@@ -1,0 +1,45 @@
+"""Figure 1 — the REGION interface.
+
+The paper's Figure 1 declares the safe region abstraction: an abstract
+``region`` type, ``create`` returning a fresh tracked region ([new R])
+and ``delete`` consuming it ([-R]).  This bench verifies our stdlib
+interface elaborates to exactly that shape and times the front-end
+(parse + context build) for it.
+"""
+
+from repro import load_context
+from repro.core import CPacked, CTracked, KeyVarRef
+from repro.stdlib import stdlib_source
+
+from conftest import banner
+
+
+def build_region_context():
+    ctx, reporter = load_context("void nothing() { }", units=["region"])
+    assert reporter.ok, reporter.render()
+    return ctx
+
+
+def test_fig1_interface_shape(benchmark):
+    ctx = benchmark(build_region_context)
+
+    create = ctx.function("create", module="Region")
+    delete = ctx.function("delete", module="Region")
+
+    assert create is not None and delete is not None
+    assert isinstance(create.ret, CTracked)
+    assert create.effect.items[0].mode == "fresh"
+
+    assert isinstance(delete.params[0].type, CTracked)
+    assert delete.effect.items[0].mode == "consume"
+
+    region = ctx.type_decl("region")
+    assert region is not None and region.is_abstract
+    assert region.owner == "Region"
+
+    banner("Figure 1: REGION interface", [
+        f"type region                 -> abstract, owned by module Region",
+        f"create: {create.show()}",
+        f"delete: {delete.show()}",
+        "paper: same shape (create [new R], delete [-R])   REPRODUCED",
+    ])

@@ -1,0 +1,71 @@
+"""Figure 5 — type agreement at join points (§2.4).
+
+The data-correlated deletion program is memory-safe in fact but the
+held-key sets disagree at the join, so the checker rejects it; making
+the correlation explicit with a keyed variant is accepted — both
+exactly as the paper prescribes.
+"""
+
+from repro import check_source
+from repro.diagnostics import Code
+
+from conftest import banner
+
+POINT = "struct point { int x; int y; }\n"
+
+FIG5 = POINT + """
+void main() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=4; y=2;};
+    if (pt.x > 0) {
+        pt.y = 0;
+        Region.delete(rgn);
+    } else {
+        pt.y = pt.x;
+    }
+    if (pt.x <= 0) {
+        Region.delete(rgn);
+    }
+}
+"""
+
+FIXED = POINT + """
+void main() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=4; y=2;};
+    tracked opt_key<R> status;
+    if (pt.x > 0) {
+        pt.y = 0;
+        Region.delete(rgn);
+        status = 'NoKey;
+    } else {
+        pt.y = pt.x;
+        status = 'SomeKey{R};
+    }
+    switch (status) {
+        case 'NoKey:
+            int done = 0;
+        case 'SomeKey:
+            Region.delete(rgn);
+    }
+}
+"""
+
+
+def check_both():
+    return check_source(FIG5), check_source(FIXED)
+
+
+def test_fig5_join_points(benchmark):
+    broken, fixed = benchmark(check_both)
+
+    assert broken.has(Code.JOIN_MISMATCH)
+    assert fixed.ok
+
+    banner("Figure 5: join-point agreement", [
+        "data-correlated deletes -> V0305 join mismatch "
+        "(paper: 'join point inconsistent')",
+        "keyed-variant rewrite   -> accepted "
+        "(paper: correlation made explicit via variant)",
+        "verdicts REPRODUCED",
+    ])

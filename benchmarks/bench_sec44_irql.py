@@ -1,0 +1,94 @@
+"""§4.4 — interrupt levels and paged memory.
+
+The global IRQL key over the partially-ordered IRQ_LEVEL stateset:
+exact requirements (KeSetPriorityThread @ PASSIVE_LEVEL), bounded state
+polymorphism (KeReleaseSemaphore at (level <= DISPATCH_LEVEL)), level
+transitions captured in KIRQL<level> result types, and the paged<T>
+guard that prevents the deadlock of touching pageable data at high
+IRQL.  Also demonstrates the corresponding *run-time* deadlock on the
+simulator — the error the checker prevents.
+"""
+
+import pytest
+
+from repro import check_source
+from repro.diagnostics import Code, RuntimeProtocolError
+from repro.kernel import DISPATCH_LEVEL, IrqlState, PageManager
+
+from conftest import banner
+
+CASES = {
+    "exact-ok": ("""
+void f(KTHREAD t) [IRQL @ PASSIVE_LEVEL] {
+    KPRIORITY p = KeSetPriorityThread(t, 3);
+}
+""", True),
+    "exact-bad": ("""
+void f(KTHREAD t) [IRQL @ DISPATCH_LEVEL] {
+    KPRIORITY p = KeSetPriorityThread(t, 3);
+}
+""", False),
+    "bounded-ok": ("""
+void f(KSEMAPHORE s) [IRQL @ (lvl <= APC_LEVEL)] {
+    int r = KeReleaseSemaphore(s, 1, 0);
+}
+""", True),
+    "bounded-bad": ("""
+void f(KSEMAPHORE s) [IRQL @ DIRQL] {
+    int r = KeReleaseSemaphore(s, 1, 0);
+}
+""", False),
+    "raise-restore": ("""
+void f() [IRQL @ PASSIVE_LEVEL] {
+    KIRQL<old> saved = KeRaiseIrqlToDpcLevel();
+    KeLowerIrql(saved);
+}
+""", True),
+    "undeclared-raise": ("""
+void f() [IRQL @ PASSIVE_LEVEL] {
+    KIRQL<old> saved = KeRaiseIrqlToDpcLevel();
+}
+""", False),
+    "paged-low": ("""
+struct config { int a; }
+int f(paged<config> cfg) [IRQL @ APC_LEVEL] {
+    return cfg.a;
+}
+""", True),
+    "paged-high": ("""
+struct config { int a; }
+int f(paged<config> cfg) [IRQL @ DISPATCH_LEVEL] {
+    return cfg.a;
+}
+""", False),
+}
+
+
+def check_all():
+    return {name: check_source(src) for name, (src, _) in CASES.items()}
+
+
+def test_sec44_irql(benchmark):
+    reports = benchmark(check_all)
+
+    rows = []
+    for name, (src, expect_ok) in CASES.items():
+        report = reports[name]
+        assert report.ok == expect_ok, f"{name}: {report.render()}"
+        verdict = "accepted" if report.ok else \
+            "rejected " + ",".join(sorted({c.value for c in report.codes()}))
+        rows.append(f"{name:<18} -> {verdict}")
+
+    # The run-time consequence the checker prevents: touching a
+    # non-resident paged object at DISPATCH deadlocks the machine.
+    irql = IrqlState(DISPATCH_LEVEL)
+    pages = PageManager(irql)
+    obj = pages.allocate("cfg", resident=False)
+    with pytest.raises(RuntimeProtocolError) as exc:
+        pages.access(obj)
+    assert exc.value.code is Code.RT_DEADLOCK
+    rows.append("simulator: page fault at DISPATCH_LEVEL -> OS deadlock "
+                "(the bug the guard prevents)")
+    rows.append("all verdicts REPRODUCED")
+
+    banner("Section 4.4: IRQLs and paged memory", rows)

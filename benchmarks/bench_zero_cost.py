@@ -1,0 +1,78 @@
+"""§2.1's zero-cost claim — "keys are purely compile-time entities that
+have no impact on run-time representations or execution time".
+
+Two measurements make the claim concrete:
+
+1. **Identical output**: compiling the annotated program and compiling
+   its key-erased rendering produce byte-identical Python — the
+   annotations leave no trace in generated code.
+2. **Checked == unchecked speed**: the compiled annotated program runs
+   exactly as fast as the compiled erased program (same code), and the
+   static check is a one-off compile-time cost.
+"""
+
+import time
+
+from repro import check_source, parse
+from repro.lower import compile_to_python, erase_program, load_compiled
+from repro.stdlib.hostimpl import create_host
+
+from conftest import banner
+
+WORKLOAD = """
+struct acc { int total; int count; }
+
+int churn(int rounds) {
+    tracked(R) region rgn = Region.create();
+    R:acc a = new(rgn) acc { total = 0; count = 0; };
+    int i = 0;
+    while (i < rounds) {
+        a.total += i * 3 % 7;
+        a.count++;
+        i++;
+    }
+    int result = a.total + a.count;
+    Region.delete(rgn);
+    return result;
+}
+"""
+
+
+def compile_both():
+    annotated = compile_to_python(parse(WORKLOAD))
+    erased_ast = erase_program(parse(WORKLOAD))
+    erased = compile_to_python(erased_ast)
+    return annotated, erased
+
+
+def test_zero_cost_erasure(benchmark):
+    report = check_source(WORKLOAD, units=["region"])
+    assert report.ok
+
+    annotated, erased = benchmark(compile_both)
+
+    # 1. The generated code is byte-identical: keys left no trace.
+    assert annotated == erased
+
+    # 2. Both run, and produce the same result.
+    mod_a = load_compiled(annotated, create_host())
+    mod_e = load_compiled(erased, create_host())
+    rounds = 5000
+    start = time.perf_counter()
+    result_a = mod_a["churn"](rounds)
+    time_a = time.perf_counter() - start
+    start = time.perf_counter()
+    result_e = mod_e["churn"](rounds)
+    time_e = time.perf_counter() - start
+    assert result_a == result_e
+
+    banner("Zero-cost checking (§2.1)", [
+        "compile(annotated) == compile(erased): byte-identical Python "
+        "output — keys/guards leave no run-time trace",
+        f"compiled annotated: churn(5000) = {result_a} in "
+        f"{time_a * 1000:.1f} ms",
+        f"compiled erased:    churn(5000) = {result_e} in "
+        f"{time_e * 1000:.1f} ms  (same code object)",
+        "paper: 'no impact on run-time representations or execution "
+        "time'   REPRODUCED",
+    ])

@@ -1,0 +1,38 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark file regenerates one of the paper's figures/experiments
+(see DESIGN.md's experiment index): it *asserts* the qualitative result
+(which programs the checker accepts/rejects, with the paper's reason)
+and *times* the checking or execution involved.  A summary block is
+printed so ``pytest benchmarks/ --benchmark-only`` output doubles as
+the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro import check_source
+from repro.diagnostics import Code, Reporter
+
+
+def check(source: str, units: Optional[Sequence[str]] = None) -> Reporter:
+    return check_source(source, units=units)
+
+
+def verdict(source: str, units: Optional[Sequence[str]] = None) -> str:
+    report = check(source, units)
+    if report.ok:
+        return "accepted"
+    return "rejected:" + ",".join(sorted({c.value for c in report.codes()}))
+
+
+def banner(title: str, rows: List[str]) -> None:
+    width = max([len(title) + 4] + [len(r) + 2 for r in rows])
+    print()
+    print("=" * width)
+    print(f"| {title}")
+    print("=" * width)
+    for row in rows:
+        print(f"  {row}")
+    print("=" * width)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The Windows 2000 floppy-driver case study (paper §4), end to end.
+
+1. statically checks the Vault floppy driver against the kernel
+   interface (IRP ownership, completion routines, events, spin locks,
+   IRQLs);
+2. boots it on the simulated kernel and drives real I/O through the
+   whole stack — including the Figure 7 regain-ownership idiom on the
+   PnP path;
+3. shows the checker rejecting classic driver bugs the paper calls
+   "very difficult to reproduce at run time".
+
+Run:  python examples/driver_demo.py
+"""
+
+from repro import check_source
+from repro.drivers import FloppyHarness, check_driver
+from repro.kernel import (IOCTL_EJECT, IOCTL_GET_GEOMETRY, IOCTL_INSERT,
+                          STATUS_NO_MEDIA, STATUS_SUCCESS)
+
+DRIVER_BUGS = {
+    "IRP dropped on a code path": """
+DSTATUS<I> BadRead(tracked(D) DEVICE_OBJECT dev, tracked(I) IRP irp)
+        [D, -I, IRQL @ (lvl <= DISPATCH_LEVEL)] {
+    int len = IrpTransferLength(irp);
+    if (len <= 0) {
+        return IoCompleteRequest(irp, STATUS_INVALID_PARAMETER());
+    }
+    IoCopyCurrentIrpStackLocationToNext(irp);
+    DSTATUS<I2> st = IoCallDriver(IoGetLowerDevice(dev), irp);
+    return IoCompleteRequest(irp, STATUS_SUCCESS());   // IRP already gone!
+}
+""",
+    "IRP touched after completion": """
+DSTATUS<I> BadTouch(DEVICE_OBJECT dev, tracked(I) IRP irp)
+        [-I, IRQL @ (lvl <= DISPATCH_LEVEL)] {
+    DSTATUS<I> st = IoCompleteRequest(irp, STATUS_SUCCESS());
+    IrpSetInformation(irp, 512);                       // use after release
+    return st;
+}
+""",
+    "spin lock never released": """
+struct counters { int n; }
+void BadLock() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counters c = new tracked counters { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    c.n++;
+}                                                      // lock leak
+""",
+    "paged data touched at DISPATCH_LEVEL": """
+struct config { int a; }
+void BadPaged(paged<config> cfg) [IRQL @ DISPATCH_LEVEL] {
+    int v = cfg.a;        // page fault here deadlocks the machine
+}
+""",
+}
+
+
+def main() -> None:
+    print("Floppy driver case study (paper section 4)\n")
+
+    # 1. The real driver checks clean.
+    report = check_driver()
+    assert report.ok, report.render()
+    print("[check] floppy.vlt: all kernel protocols verified statically")
+
+    # 2. Boot it and push I/O through the stack.
+    harness = FloppyHarness()
+    harness.boot()
+    print("[boot ] DriverEntry ran: FDO created, dispatch table "
+          "registered, stack attached")
+
+    harness.open()
+    payload = b"PLDI 2001: Enforcing High-Level Protocols"
+    write_irp = harness.write(0, payload)
+    assert write_irp.status == STATUS_SUCCESS
+    read_irp, data = harness.read(0, len(payload))
+    assert data == payload
+    print(f"[io   ] wrote+read {len(payload)} bytes through "
+          f"FDO -> PDO -> floppy ({harness.device.reads} device reads)")
+
+    geometry = harness.ioctl(IOCTL_GET_GEOMETRY)
+    print(f"[ioctl] geometry: {geometry.information} sectors")
+
+    harness.ioctl(IOCTL_EJECT)
+    no_media, _ = harness.read(0, 16)
+    assert no_media.status == STATUS_NO_MEDIA
+    print("[ioctl] eject honoured: read correctly failed with "
+          "STATUS_NO_MEDIA")
+    harness.ioctl(IOCTL_INSERT)
+
+    pnp = harness.pnp()
+    assert pnp.status == STATUS_SUCCESS
+    print("[pnp  ] Figure 7 idiom executed: completion routine + event "
+          "regained IRP ownership, then completed")
+
+    print(f"[stats] driver counted {harness.stats_total()} operations "
+          f"(under its spin lock)")
+    harness.close()
+    assert harness.audit() == []
+    print("[audit] no leaked IRPs, regions, sockets or files\n")
+
+    # 3. The classic bugs are compile-time errors.
+    for title, source in DRIVER_BUGS.items():
+        bug_report = check_source(source)
+        assert not bug_report.ok, f"expected rejection: {title}"
+        first = bug_report.errors[0]
+        print(f"[rejected] {title}")
+        print(f"           {first.code.value}: {first.message[:72]}")
+
+
+if __name__ == "__main__":
+    main()

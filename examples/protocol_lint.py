@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Using the library as a protocol lint: static vs. testing, measured.
+
+Runs the seeded-fault (mutation) study on the corpus programs: every
+mutant is judged by the Vault checker, by a plain (guard-erased)
+checker, and by actually running a test workload on the substrate
+simulators.  The output is the paper's argument in one table — the
+plain type system is protocol-blind, testing only sees executed paths,
+the Vault checker is exhaustive and compile-time.
+
+Run:  python examples/protocol_lint.py
+"""
+
+from repro.analysis import CORPUS, format_table, run_study
+
+
+def main() -> None:
+    print("Seeded-fault detection: Vault checker vs plain checker vs "
+          "testing\n")
+
+    rows = []
+    totals = {"n": 0, "vault": 0, "plain": 0, "dyn": 0, "mon": 0,
+              "benign": 0}
+    for name, program in sorted(CORPUS.items()):
+        summary = run_study(program.source, runner=program.runner,
+                            monitor_runner=program.monitor_runner)
+        rows.append([
+            name,
+            str(summary.total),
+            f"{summary.vault_detected} ({summary.rate('vault'):.0%})",
+            f"{summary.plain_detected} ({summary.rate('plain'):.0%})",
+            f"{summary.dynamic_detected} ({summary.rate('dynamic'):.0%})",
+            f"{summary.monitor_detected} ({summary.rate('monitor'):.0%})",
+            str(summary.benign),
+        ])
+        totals["n"] += summary.total
+        totals["vault"] += summary.vault_detected
+        totals["plain"] += summary.plain_detected
+        totals["dyn"] += summary.dynamic_detected
+        totals["mon"] += summary.monitor_detected
+        totals["benign"] += summary.benign
+
+    rows.append([
+        "TOTAL", str(totals["n"]),
+        f"{totals['vault']} ({totals['vault'] / totals['n']:.0%})",
+        f"{totals['plain']} ({totals['plain'] / totals['n']:.0%})",
+        f"{totals['dyn']} ({totals['dyn'] / totals['n']:.0%})",
+        f"{totals['mon']} ({totals['mon'] / totals['n']:.0%})",
+        str(totals["benign"]),
+    ])
+    print(format_table(
+        ["program", "mutants", "vault (static)", "plain checker",
+         "testing (dynamic)", "key monitor", "benign"],
+        rows))
+
+    print(
+        "\nReading the table: the Vault checker flags protocol mutants at"
+        "\ncompile time; the plain checker only sees ordinary type errors"
+        "\n(protocols are inexpressible once guards are erased); dynamic"
+        "\ntesting and the run-time key monitor need the faulty path to"
+        "\nactually execute (and the monitor pays per-call bookkeeping)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: checking resource protocols with the Vault reproduction.
+
+Reproduces the paper's Figure 2 live: one correct region program and
+the two classic mistakes — a dangling reference and a memory leak —
+each caught at *compile time* by the key checker, then shows that the
+correct program also runs (and that the erased program carries zero
+protocol machinery).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import check_source, load_context, parse
+from repro.core import check_program
+from repro.lower import compile_to_python, load_compiled
+from repro.stdlib.hostimpl import create_host, make_interpreter
+
+COMMON = "struct point { int x; int y; }\n"
+
+OKAY = COMMON + """
+int okay() {
+    tracked(R) region rgn = Region.create();   // mints key R
+    R:point pt = new(rgn) point {x=1; y=2;};   // pt guarded by R
+    pt.x++;                                    // ok: R is held
+    int result = pt.x + pt.y;
+    Region.delete(rgn);                        // consumes key R
+    return result;
+}
+"""
+
+DANGLING = COMMON + """
+void dangling() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    Region.delete(rgn);
+    pt.x++;          // error: key R no longer in the held-key set
+}
+"""
+
+LEAKY = COMMON + """
+void leaky() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    pt.x++;
+}                    // error: key R still held at exit -> leak
+"""
+
+
+def show(title: str, source: str) -> None:
+    print(f"--- {title} " + "-" * (60 - len(title)))
+    report = check_source(source)
+    if report.ok:
+        print("checker: OK — all protocols verified")
+    else:
+        print(report.render(with_source=False))
+    print()
+
+
+def main() -> None:
+    print("Vault reproduction quickstart (DeLine & Fahndrich, PLDI 2001)\n")
+
+    show("okay (Figure 2, accepted)", OKAY)
+    show("dangling (Figure 2, rejected)", DANGLING)
+    show("leaky (Figure 2, rejected)", LEAKY)
+
+    # The accepted program actually runs, against the region substrate.
+    ctx, _ = load_context(OKAY)
+    host = create_host()
+    interp = make_interpreter(ctx, host)
+    print("interpreted okay() ->", interp.call("okay"))
+    host.assert_no_leaks()
+    print("run-time leak audit: clean")
+
+    # And it compiles to plain Python with every key erased.
+    code = compile_to_python(parse(OKAY))
+    module = load_compiled(code, create_host())
+    print("compiled    okay() ->", module["okay"]())
+    assert "key" not in code.lower().replace("# keys and type guards", "")
+    print("\ncompiled output contains no key machinery — zero-cost checking")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""vault-repro — a reproduction of DeLine & Fähndrich,
+"Enforcing High-Level Protocols in Low-Level Software" (PLDI 2001).
+
+The package implements the Vault programming language described in the
+paper: a C-like surface syntax whose type system statically enforces
+resource management protocols through *keys* (linear compile-time
+tokens tracking run-time resources), *type guards* (conditions on when
+values may be accessed), *effect clauses* (per-function pre/post
+conditions on the held-key set) and *keyed variants* (moving key
+knowledge between static and dynamic worlds).
+
+Subpackages:
+
+* :mod:`repro.syntax` — lexer, parser, AST, printer;
+* :mod:`repro.core` — the key/guard type system and checker (§2, §3);
+* :mod:`repro.runtime` — an interpreter plus a dynamic protocol-monitor
+  baseline;
+* :mod:`repro.lower` — the key-erasing backend (Vault→Python, standing
+  in for the paper's Vault→C compiler);
+* :mod:`repro.regions`, :mod:`repro.sockets`, :mod:`repro.kernel` —
+  substrate simulators for §2.2, §2.3 and the Windows 2000 case study
+  of §4;
+* :mod:`repro.drivers` — the floppy-driver case study;
+* :mod:`repro.analysis` — baselines, mutation harness, synthetic
+  corpus generator.
+"""
+
+from .api import (check_source, check_source_strict, error_codes,
+                  load_context, parse)
+from .diagnostics import CheckError, Code, Reporter, RuntimeProtocolError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckError",
+    "Code",
+    "Reporter",
+    "RuntimeProtocolError",
+    "check_source",
+    "check_source_strict",
+    "error_codes",
+    "load_context",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baselines, the mutation study and measurement utilities."""
+
+from .corpus import CORPUS, CorpusProgram, synthesize_program
+from .metrics import (SizeComparison, compare_sizes, count_lines,
+                      count_tokens, format_table)
+from .mutation import (DetectionResult, Mutant, OPERATORS, StudySummary,
+                       evaluate_mutant, generate_mutants, run_study)
+from .plaincheck import PROTOCOL_CODES, is_protocol_error, plain_check
+
+__all__ = [
+    "CORPUS", "CorpusProgram", "DetectionResult", "Mutant", "OPERATORS",
+    "PROTOCOL_CODES", "SizeComparison", "StudySummary", "compare_sizes",
+    "count_lines", "count_tokens", "evaluate_mutant", "format_table",
+    "generate_mutants", "is_protocol_error", "plain_check", "run_study",
+    "synthesize_program",
+]

@@ -1,0 +1,334 @@
+"""Program corpus: the paper's example programs plus a synthetic
+program generator for checker-scaling experiments.
+
+Every corpus entry carries a correct Vault source, the entry-point
+function a dynamic workload calls, and a runner that executes the
+program against fresh substrates and audits for leaks — the "testing"
+oracle of the mutation study.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..api import load_context
+from ..diagnostics import RuntimeProtocolError, VaultError
+from ..stdlib.hostimpl import create_host, make_interpreter
+
+
+@dataclass
+class CorpusProgram:
+    name: str
+    source: str
+    entry: str
+    description: str
+
+    def runner(self, source: str) -> Optional[str]:
+        """Execute one (possibly mutated) version of this program;
+        returns an error-code string if the run misbehaved."""
+        ctx, reporter = load_context(source, filename=f"<{self.name}>")
+        if not reporter.ok:
+            return "parse-error"
+        host = create_host()
+        interp = make_interpreter(ctx, host)
+        try:
+            interp.call(self.entry)
+        except RuntimeProtocolError as err:
+            return err.code.value
+        except VaultError:
+            return "crash"
+        leaks = host.audit()
+        if leaks:
+            return "leak"
+        return None
+
+    def monitor_runner(self, source: str) -> Optional[str]:
+        """Like :meth:`runner`, but under the dynamic key monitor —
+        run-time enforcement of the effect clauses themselves."""
+        from ..runtime.monitor import make_monitored
+        ctx, reporter = load_context(source, filename=f"<{self.name}>")
+        if not reporter.ok:
+            return "parse-error"
+        monitored = make_monitored(ctx)
+        try:
+            monitored.call(self.entry)
+        except RuntimeProtocolError as err:
+            return err.code.value
+        except VaultError:
+            return "crash"
+        if monitored.monitor.audit():
+            return "leak"
+        if monitored.vault_host.audit():
+            return "leak"
+        return None
+
+
+REGION_PIPELINE = CorpusProgram(
+    name="region_pipeline",
+    description="a multi-stage region-per-phase pipeline (paper §6's "
+                "compiler-front-end pattern)",
+    entry="main",
+    source='''
+struct item { int value; int weight; }
+struct summary { int total; int count; }
+
+int phase_one(tracked(R) region rgn) [R] {
+    R:item a = new(rgn) item { value = 3; weight = 2; };
+    R:item b = new(rgn) item { value = 5; weight = 1; };
+    a.value++;
+    return a.value * a.weight + b.value * b.weight;
+}
+
+int phase_two(int seed) {
+    tracked(R) region scratch = Region.create();
+    R:summary s = new(scratch) summary { total = 0; count = 0; };
+    int i = 0;
+    while (i < 4) {
+        s.total += seed + i;
+        s.count++;
+        i++;
+    }
+    int result = s.total * 10 + s.count;
+    Region.delete(scratch);
+    return result;
+}
+
+int main() {
+    tracked(R) region rgn = Region.create();
+    int first = phase_one(rgn);
+    Region.delete(rgn);
+    int second = phase_two(first);
+    return first + second;
+}
+''')
+
+
+SOCKET_SERVER = CorpusProgram(
+    name="socket_server",
+    description="the §2.3 connection-oriented server with a client",
+    entry="main",
+    source='''
+int serve_one(tracked(S) sock srv, sockaddr addr) [S@listening] {
+    tracked(N) sock conn = Socket.accept(srv, addr);
+    byte[] buf = [0, 0, 0, 0, 0, 0, 0, 0];
+    int n = Socket.receive(conn, buf);
+    Socket.send(conn, buf);
+    Socket.close(conn);
+    return n;
+}
+
+int main() {
+    sockaddr addr = new sockaddr { host = "loopback"; port = 7777; };
+    tracked(S) sock srv = Socket.socket('INET, 'STREAM, 0);
+    Socket.bind(srv, addr);
+    Socket.listen(srv, 4);
+
+    tracked(C) sock client = Socket.socket('INET, 'STREAM, 0);
+    Socket.connect(client, addr);
+    byte[] hello = [104, 101, 108, 108, 111];
+    Socket.send(client, hello);
+
+    int n = serve_one(srv, addr);
+
+    byte[] back = [0, 0, 0, 0, 0, 0, 0, 0];
+    int m = Socket.receive(client, back);
+    Socket.close(client);
+    Socket.close(srv);
+    return n + m;
+}
+''')
+
+
+FILE_COPY = CorpusProgram(
+    name="file_copy",
+    description="the §2.1 FILE protocol: open, transfer, close",
+    entry="main",
+    source='''
+void transfer(tracked(A) FILE src, tracked(B) FILE dst, int n) [A, B] {
+    int i = 0;
+    while (i < n) {
+        byte b = fgetb(src);
+        fputb(dst, b);
+        i++;
+    }
+}
+
+int main() {
+    tracked(A) FILE src = fopen("input.dat");
+    fputb(src, 10);
+    fputb(src, 20);
+    fputb(src, 30);
+    tracked(B) FILE dst = fopen("output.dat");
+    transfer(src, dst, 3);
+    int copied = flen(dst);
+    fclose(src);
+    fclose(dst);
+    return copied;
+}
+''')
+
+
+LOCKED_COUNTER = CorpusProgram(
+    name="locked_counter",
+    description="§4.2 spin-lock discipline around shared counters",
+    entry="main",
+    source='''
+struct counters { int hits; int misses; }
+
+void record(KSPIN_LOCK<K> lock, K:counters shared, bool hit)
+        [IRQL @ (lvl <= DISPATCH_LEVEL)] {
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    if (hit) {
+        shared.hits++;
+    } else {
+        shared.misses++;
+    }
+    KeReleaseSpinLock(lock, saved);
+}
+
+int main() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counters shared = new tracked counters { hits = 0; misses = 0; };
+    K:counters view = shared;
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(shared);
+    record(lock, view, true);
+    record(lock, view, true);
+    record(lock, view, false);
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    int total = view.hits * 10 + view.misses;
+    KeReleaseSpinLock(lock, saved);
+    return total;
+}
+''')
+
+
+BANK_TRANSFER = CorpusProgram(
+    name="bank_transfer",
+    description="transactional transfer with commit/abort discipline "
+                "(the introduction's database-transaction protocol)",
+    entry="main",
+    source='''
+int transfer(int amount) {
+    tracked(T) txn t = Tx.begin();
+    int from_balance = Tx.get(t, "alice");
+    int to_balance = Tx.get(t, "bob");
+    if (from_balance < amount) {
+        Tx.abort(t);
+        return 0;
+    }
+    Tx.put(t, "alice", from_balance - amount);
+    Tx.put(t, "bob", to_balance + amount);
+    Tx.commit(t);
+    return 1;
+}
+
+int main() {
+    tracked(S) txn seed = Tx.begin();
+    Tx.put(seed, "alice", 100);
+    Tx.put(seed, "bob", 5);
+    Tx.commit(seed);
+
+    int ok_small = transfer(30);
+    int ok_big = transfer(500);
+
+    tracked(C) txn check = Tx.begin();
+    int alice = Tx.get(check, "alice");
+    int bob = Tx.get(check, "bob");
+    Tx.commit(check);
+    return alice * 1000 + bob * 10 + ok_small + ok_big;
+}
+''')
+
+
+CHART_DRAWING = CorpusProgram(
+    name="chart_drawing",
+    description="GDI device-context/pen discipline (§6's graphics "
+                "domain): select before draw, deselect before release",
+    entry="main",
+    source='''
+void polyline(tracked(D) dc canvas, int n) [D@armed] {
+    int i = 0;
+    while (i < n) {
+        Gdi.draw_line(canvas, i * 10, 0, i * 10 + 10, i * i);
+        i++;
+    }
+}
+
+int main() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    tracked(P) pen axis_pen = Gdi.create_pen(0);
+    Gdi.select_pen(canvas, axis_pen);
+    Gdi.draw_line(canvas, 0, 0, 100, 0);
+    Gdi.draw_line(canvas, 0, 0, 0, 100);
+    Gdi.deselect_pen(canvas, axis_pen);
+
+    tracked(Q) pen data_pen = Gdi.create_pen(0xFF0000);
+    Gdi.select_pen(canvas, data_pen);
+    polyline(canvas, 5);
+    Gdi.deselect_pen(canvas, data_pen);
+
+    Gdi.release_dc(canvas);
+    Gdi.delete_pen(axis_pen);
+    Gdi.delete_pen(data_pen);
+    return 0;
+}
+''')
+
+
+CORPUS: Dict[str, CorpusProgram] = {
+    p.name: p
+    for p in (REGION_PIPELINE, SOCKET_SERVER, FILE_COPY, LOCKED_COUNTER,
+              BANK_TRANSFER, CHART_DRAWING)
+}
+
+
+# ---------------------------------------------------------------------------
+# Synthetic program generator (checker scaling, property tests)
+# ---------------------------------------------------------------------------
+
+def synthesize_program(n_functions: int, seed: int = 0,
+                       error_rate: float = 0.0) -> str:
+    """A well-typed program with ``n_functions`` region-protocol
+    functions; with ``error_rate`` > 0, some functions get a seeded
+    protocol bug (leak, dangling access or double delete)."""
+    rng = random.Random(seed)
+    lines: List[str] = ["struct cell { int value; int extra; }", ""]
+    for i in range(n_functions):
+        bug = rng.random() < error_rate
+        kind = rng.choice(["leak", "dangle", "double"]) if bug else "ok"
+        lines.extend(_synth_function(i, rng, kind))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _synth_function(index: int, rng: random.Random, kind: str) -> List[str]:
+    body: List[str] = [
+        f"int worker_{index}(int input) {{",
+        "    tracked(R) region rgn = Region.create();",
+        "    R:cell c = new(rgn) cell { value = input; extra = 0; };",
+    ]
+    for j in range(rng.randint(1, 4)):
+        body.append(f"    c.value += {rng.randint(1, 9)};")
+    if rng.random() < 0.5:
+        body.extend([
+            "    if (c.value > 10) {",
+            "        c.extra = c.value * 2;",
+            "    } else {",
+            "        c.extra = c.value - 1;",
+            "    }",
+        ])
+    body.append("    int result = c.value + c.extra;")
+    if kind == "leak":
+        pass                                   # forgot Region.delete
+    elif kind == "dangle":
+        body.append("    Region.delete(rgn);")
+        body.append("    result = result + c.value;")
+    elif kind == "double":
+        body.append("    Region.delete(rgn);")
+        body.append("    Region.delete(rgn);")
+    else:
+        body.append("    Region.delete(rgn);")
+    body.append("    return result;")
+    body.append("}")
+    return body

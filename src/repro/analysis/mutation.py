@@ -1,0 +1,295 @@
+"""Seeded-fault (mutation) study: static checking vs. testing.
+
+The paper's claim is qualitative: "Vault's type checker catches at
+compile time many of the errors that are difficult to reproduce at run
+time."  This harness makes it measurable.  We seed protocol-shaped bugs
+into correct programs with three mutation operators—
+
+* **drop**  — delete a call statement (forgotten release / protocol
+  step: Figure 2's ``leaky``, §2.3's skipped ``bind``);
+* **dup**   — duplicate a call statement (double free / double release
+  / double acquire);
+* **swap**  — exchange two adjacent statements (use-after-release,
+  out-of-order protocol steps: Figure 2's ``dangling``);
+
+—and then ask three oracles about each mutant:
+
+1. the **Vault checker** (our reproduction of the paper's system);
+2. the **plain checker** (annotations erased — Java-style type safety);
+3. the **dynamic baseline** (run a test workload under the substrate
+   simulators and watch for run-time protocol errors and leak audits —
+   i.e. "testing", which only sees executed paths).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..api import check_source
+from ..diagnostics import Code, Reporter, RuntimeProtocolError, VaultError
+from ..syntax import ast, parse_program, pretty
+from .plaincheck import PROTOCOL_CODES, plain_check
+
+OPERATORS = ("drop", "dup", "swap")
+
+#: Operators for driver-style code, where the protocol step is usually
+#: the *returned* call: "pend" rewrites ``return IoCompleteRequest(irp,
+#: ...)`` / ``return IoCallDriver(..., irp)`` into ``return
+#: IoMarkIrpPending(irp)`` — the classic forgotten-completion bug
+#: (§4.1: requests "neither completed, passed on, nor pended" onto a
+#: queue silently hang the system).
+DRIVER_OPERATORS = ("drop", "dup", "swap", "pend")
+
+_PENDABLE = ("IoCompleteRequest", "IoCallDriver")
+
+#: Statement kinds worth mutating: calls and frees are where protocol
+#: steps live.
+_MUTABLE = (ast.ExprStmt, ast.Free)
+
+
+@dataclass
+class Mutant:
+    """One seeded fault."""
+
+    name: str
+    operator: str
+    function: str
+    position: int
+    source: str
+    description: str
+
+
+@dataclass
+class DetectionResult:
+    mutant: Mutant
+    vault_detected: bool
+    vault_codes: List[str]
+    plain_detected: bool
+    dynamic_detected: bool
+    dynamic_error: Optional[str]
+    monitor_detected: bool = False
+    monitor_error: Optional[str] = None
+
+    @property
+    def any_detected(self) -> bool:
+        return (self.vault_detected or self.plain_detected
+                or self.dynamic_detected or self.monitor_detected)
+
+
+def _stmt_lists(block: ast.Block) -> List[List[ast.Stmt]]:
+    """Every statement list in a function body (nested blocks too)."""
+    lists = [block.stmts]
+    for stmt in block.stmts:
+        if isinstance(stmt, ast.Block):
+            lists.extend(_stmt_lists(stmt))
+        elif isinstance(stmt, ast.If):
+            if isinstance(stmt.then, ast.Block):
+                lists.extend(_stmt_lists(stmt.then))
+            if isinstance(stmt.orelse, ast.Block):
+                lists.extend(_stmt_lists(stmt.orelse))
+        elif isinstance(stmt, ast.While):
+            if isinstance(stmt.body, ast.Block):
+                lists.extend(_stmt_lists(stmt.body))
+        elif isinstance(stmt, ast.Switch):
+            for case in stmt.cases:
+                lists.append(case.body)
+    return lists
+
+
+def _pendable_return(stmt: ast.Stmt) -> bool:
+    """Is this ``return IoCompleteRequest(...)``/``IoCallDriver(...)``
+    with an IRP argument the "pend" operator can rewrite?"""
+    if not isinstance(stmt, ast.Return) or \
+            not isinstance(stmt.value, ast.Call):
+        return False
+    fn = stmt.value.fn
+    if not (isinstance(fn, ast.Name) and fn.ident in _PENDABLE):
+        return False
+    return any(isinstance(a, ast.Name) for a in stmt.value.args)
+
+
+def _pended_return(stmt: ast.Stmt) -> ast.Return:
+    assert isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Call)
+    # The IRP is the last bare-name argument (status codes are calls or
+    # literals; device objects come first in IoCallDriver).
+    irp_arg = [a for a in stmt.value.args if isinstance(a, ast.Name)][-1]
+    call = ast.Call(stmt.span, ast.Name(stmt.span, "IoMarkIrpPending"),
+                    [irp_arg])
+    return ast.Return(stmt.span, call)
+
+
+def _describe(stmt: ast.Stmt) -> str:
+    text = pretty(stmt).strip()
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def generate_mutants(source: str,
+                     operators: Sequence[str] = OPERATORS,
+                     functions: Optional[Sequence[str]] = None
+                     ) -> List[Mutant]:
+    """All mutants of ``source`` under the chosen operators.
+
+    Each mutant re-parses the pristine source and applies exactly one
+    edit, so mutants are independent.
+    """
+    pristine = parse_program(source)
+    mutants: List[Mutant] = []
+
+    def fun_defs(prog: ast.Program) -> List[ast.FunDef]:
+        out = []
+        for decl in prog.decls:
+            if isinstance(decl, ast.FunDef):
+                out.append(decl)
+            elif isinstance(decl, ast.ModuleDecl):
+                out.extend(d for d in decl.decls
+                           if isinstance(d, ast.FunDef))
+        return out
+
+    # Enumerate edit sites on the pristine AST, then re-parse and edit
+    # a fresh copy for each mutant.
+    sites: List[Tuple[str, int, int, str, str]] = []
+    for fi, fundef in enumerate(fun_defs(pristine)):
+        if functions is not None and fundef.decl.name not in functions:
+            continue
+        for li, stmts in enumerate(_stmt_lists(fundef.body)):
+            for si, stmt in enumerate(stmts):
+                if "drop" in operators and isinstance(stmt, _MUTABLE):
+                    sites.append(("drop", fi, li, f"{si}",
+                                  f"drop `{_describe(stmt)}`"))
+                if "dup" in operators and isinstance(stmt, _MUTABLE):
+                    sites.append(("dup", fi, li, f"{si}",
+                                  f"duplicate `{_describe(stmt)}`"))
+                if "swap" in operators and si + 1 < len(stmts):
+                    nxt = stmts[si + 1]
+                    if isinstance(stmt, _MUTABLE) or isinstance(nxt, _MUTABLE):
+                        sites.append(("swap", fi, li, f"{si}",
+                                      f"swap `{_describe(stmt)}` with "
+                                      f"`{_describe(nxt)}`"))
+                if "pend" in operators and _pendable_return(stmt):
+                    sites.append(("pend", fi, li, f"{si}",
+                                  f"pend instead of `{_describe(stmt)}`"))
+
+    for count, (op, fi, li, si_s, desc) in enumerate(sites):
+        si = int(si_s)
+        prog = parse_program(source)
+        target = fun_defs(prog)[fi]
+        stmts = _stmt_lists(target.body)[li]
+        if op == "drop":
+            del stmts[si]
+        elif op == "dup":
+            stmts.insert(si, stmts[si])
+        elif op == "pend":
+            stmts[si] = _pended_return(stmts[si])
+        else:
+            stmts[si], stmts[si + 1] = stmts[si + 1], stmts[si]
+        mutants.append(Mutant(
+            name=f"{target.decl.name}:{op}:{count}",
+            operator=op,
+            function=target.decl.name,
+            position=si,
+            source=pretty(prog),
+            description=desc,
+        ))
+    return mutants
+
+
+#: A dynamic runner executes a mutated program's workload and returns
+#: None on clean execution or the error-code string observed.
+DynamicRunner = Callable[[str], Optional[str]]
+
+
+def _run_dynamic(runner: DynamicRunner, source: str) -> Optional[str]:
+    try:
+        return runner(source)
+    except RuntimeProtocolError as err:
+        return err.code.value
+    except VaultError:
+        return "crash"
+
+
+def evaluate_mutant(mutant: Mutant,
+                    runner: Optional[DynamicRunner] = None,
+                    monitor_runner: Optional[DynamicRunner] = None,
+                    units: Optional[Sequence[str]] = None
+                    ) -> DetectionResult:
+    """Run the oracles on one mutant: the Vault checker, the plain
+    checker, a dynamic test run, and (optionally) the dynamic key
+    monitor."""
+    vault_report = check_source(mutant.source, units=units)
+    vault_detected = not vault_report.ok
+    vault_codes = [c.value for c in vault_report.codes()]
+
+    try:
+        plain_report = plain_check(mutant.source, units=units)
+        plain_detected = not plain_report.ok
+    except VaultError:
+        plain_detected = True
+
+    dynamic_error = _run_dynamic(runner, mutant.source) \
+        if runner is not None else None
+    monitor_error = _run_dynamic(monitor_runner, mutant.source) \
+        if monitor_runner is not None else None
+
+    return DetectionResult(mutant, vault_detected, vault_codes,
+                           plain_detected, dynamic_error is not None,
+                           dynamic_error, monitor_error is not None,
+                           monitor_error)
+
+
+@dataclass
+class StudySummary:
+    total: int
+    vault_detected: int
+    plain_detected: int
+    dynamic_detected: int
+    benign: int
+    monitor_detected: int = 0
+    results: List[DetectionResult] = field(repr=False, default_factory=list)
+
+    def rate(self, which: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return {
+            "vault": self.vault_detected,
+            "plain": self.plain_detected,
+            "dynamic": self.dynamic_detected,
+            "monitor": self.monitor_detected,
+        }[which] / self.total
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        return [
+            ("Vault checker (static)", self.vault_detected,
+             self.rate("vault")),
+            ("plain checker (guards erased)", self.plain_detected,
+             self.rate("plain")),
+            ("dynamic testing (simulated run)", self.dynamic_detected,
+             self.rate("dynamic")),
+            ("dynamic key monitor", self.monitor_detected,
+             self.rate("monitor")),
+        ]
+
+
+def run_study(source: str, runner: Optional[DynamicRunner] = None,
+              operators: Sequence[str] = OPERATORS,
+              functions: Optional[Sequence[str]] = None,
+              units: Optional[Sequence[str]] = None,
+              limit: Optional[int] = None,
+              monitor_runner: Optional[DynamicRunner] = None
+              ) -> StudySummary:
+    """Generate and evaluate every mutant of a program."""
+    mutants = generate_mutants(source, operators, functions)
+    if limit is not None:
+        mutants = mutants[:limit]
+    results = [evaluate_mutant(m, runner, monitor_runner, units)
+               for m in mutants]
+    return StudySummary(
+        total=len(results),
+        vault_detected=sum(r.vault_detected for r in results),
+        plain_detected=sum(r.plain_detected for r in results),
+        dynamic_detected=sum(r.dynamic_detected for r in results),
+        benign=sum(not r.any_detected for r in results),
+        monitor_detected=sum(r.monitor_detected for r in results),
+        results=results,
+    )

@@ -1,0 +1,52 @@
+"""The plain-checker baseline: a guard-free type checker.
+
+The paper's thesis is that an ordinary ("safe but protocol-blind")
+type system cannot catch resource-management errors — that is exactly
+what Java-style safety gives you.  We make the baseline concrete by
+erasing every protocol annotation (keys, guards, effects, statesets)
+from both the program *and* the standard interfaces, then running the
+very same checker.  What remains is a conventional C-like type checker:
+it still catches type mismatches, arity errors and unknown names, but
+no protocol violation can be expressed, so none can be reported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core import build_context, check_program
+from ..diagnostics import Code, Reporter
+from ..lower.erase import Eraser
+from ..stdlib import stdlib_programs
+from ..syntax import ast, parse_program
+
+#: Codes a plain checker could never produce (keys do not exist there).
+PROTOCOL_CODES = {
+    Code.KEY_NOT_HELD, Code.KEY_WRONG_STATE, Code.KEY_LEAKED,
+    Code.KEY_CONSUMED_MISSING, Code.KEY_DUPLICATED, Code.JOIN_MISMATCH,
+    Code.LOOP_NO_INVARIANT, Code.POSTCONDITION_MISMATCH,
+    Code.STATE_BOUND_VIOLATION, Code.ANONYMOUS_KEY, Code.TRACKED_COPY,
+    Code.KEY_ESCAPES_SCOPE,
+}
+
+
+def plain_check(source: str, filename: str = "<input>",
+                units: Optional[Sequence[str]] = None,
+                extra: Sequence[ast.Program] = ()) -> Reporter:
+    """Type-check the *erased* program against the *erased* interfaces."""
+    reporter = Reporter(source, filename)
+    programs: List[ast.Program] = list(stdlib_programs(units))
+    programs.extend(extra)
+    programs.append(parse_program(source, filename))
+    erased = Eraser().erase_programs(programs)
+    ctx = build_context(erased, reporter)
+    if reporter.ok:
+        check_program(ctx, reporter)
+    # By construction nothing protocol-related can appear; assert it.
+    assert not any(d.code in PROTOCOL_CODES for d in reporter.errors), \
+        "erased program produced a protocol diagnostic"
+    return reporter
+
+
+def is_protocol_error(code: Code) -> bool:
+    return code in PROTOCOL_CODES

@@ -1,0 +1,226 @@
+"""``vaultc`` — the command-line front end.
+
+Subcommands::
+
+    vaultc check   file.vlt            # parse + protocol-check
+    vaultc run     file.vlt [--entry main]   # check then interpret
+    vaultc compile file.vlt [-o out.py]      # check then emit Python
+    vaultc erase   file.vlt                  # print the key-erased source
+    vaultc stats   file.vlt                  # size/annotation metrics
+    vaultc mutate  file.vlt [--limit N]      # seeded-fault study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.metrics import compare_sizes, format_table
+from .analysis.mutation import run_study
+from .api import check_source, load_context
+from .core import check_program
+from .diagnostics import RuntimeProtocolError, VaultError
+from .lower import compile_to_python, erase_program, load_compiled
+from .stdlib.hostimpl import create_host, make_interpreter
+from .syntax import parse_program, pretty
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    report = check_source(source, filename=args.file)
+    if report.ok:
+        print(f"{args.file}: OK (protocols verified)")
+        return 0
+    print(report.render())
+    print(f"{args.file}: {len(report.errors)} error(s)")
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    ctx, report = load_context(source, filename=args.file)
+    if report.ok and not args.unchecked:
+        check_program(ctx, report)
+    if not report.ok:
+        print(report.render())
+        return 1
+    if args.monitor:
+        from .runtime.monitor import make_monitored
+        interp = make_monitored(ctx)
+        host = interp.vault_host
+    else:
+        host = create_host()
+        interp = make_interpreter(ctx, host)
+    try:
+        result = interp.call(args.entry)
+    except RuntimeProtocolError as err:
+        print(f"runtime protocol violation: {err}")
+        return 2
+    print(f"{args.entry}() -> {result!r}")
+    leaks = host.audit()
+    if args.monitor:
+        leaks = leaks + interp.monitor.audit()
+    if leaks:
+        print("leaked resources:", "; ".join(leaks))
+        return 3
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    report = check_source(source, filename=args.file)
+    if not report.ok:
+        print(report.render())
+        return 1
+    code = compile_to_python(parse_program(source, args.file))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(code)
+        print(f"wrote {args.output}")
+    else:
+        print(code)
+    return 0
+
+
+def cmd_erase(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    program = parse_program(source, args.file)
+    print(pretty(erase_program(program)), end="")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    cmp = compare_sizes(source)
+    rows = [[metric, str(v), str(e), f"{o:+.1%}"]
+            for metric, v, e, o in cmp.rows()]
+    print(format_table(["metric", "vault", "erased", "overhead"], rows))
+
+    from .core import program_cfgs
+    cfgs = program_cfgs(parse_program(source, args.file))
+    if cfgs:
+        print()
+        cfg_rows = []
+        for name, cfg in sorted(cfgs.items()):
+            stats = cfg.stats()
+            cfg_rows.append([name, str(stats["blocks"]),
+                             str(stats["edges"]), str(stats["loops"]),
+                             str(stats["unreachable"])])
+        print(format_table(
+            ["function", "blocks", "edges", "loops", "unreachable"],
+            cfg_rows))
+    return 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    formatted = pretty(parse_program(source, args.file))
+    if args.in_place:
+        with open(args.file, "w", encoding="utf-8") as handle:
+            handle.write(formatted)
+        print(f"formatted {args.file}")
+    else:
+        print(formatted, end="")
+    return 0
+
+
+def cmd_cfg(args: argparse.Namespace) -> int:
+    from .core import program_cfgs
+    source = _read(args.file)
+    cfgs = program_cfgs(parse_program(source, args.file))
+    if args.function:
+        cfg = cfgs.get(args.function)
+        if cfg is None:
+            print(f"no function '{args.function}' in {args.file}",
+                  file=sys.stderr)
+            return 1
+        print(cfg.render())
+        return 0
+    for name in sorted(cfgs):
+        print(cfgs[name].render())
+        print()
+    return 0
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    summary = run_study(source, limit=args.limit)
+    rows = [[name, str(n), f"{rate:.0%}"] for name, n, rate in summary.rows()]
+    rows.append(["(benign / undetected)", str(summary.benign), ""])
+    print(f"{summary.total} mutants")
+    print(format_table(["oracle", "detected", "rate"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vaultc",
+        description="Vault protocol checker/compiler "
+                    "(PLDI 2001 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse and protocol-check a file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("run", help="check then interpret a file")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--unchecked", action="store_true",
+                   help="skip static checking (testing baseline)")
+    p.add_argument("--monitor", action="store_true",
+                   help="enforce effect clauses dynamically at run time")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compile", help="check then emit Python")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("erase", help="print the key-erased source")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_erase)
+
+    p = sub.add_parser("stats", help="annotation-overhead metrics")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("fmt", help="pretty-print (normalise) a file")
+    p.add_argument("file")
+    p.add_argument("-i", "--in-place", action="store_true")
+    p.set_defaults(fn=cmd_fmt)
+
+    p = sub.add_parser("cfg", help="print control-flow graphs")
+    p.add_argument("file")
+    p.add_argument("--function", "-f", default=None)
+    p.set_defaults(fn=cmd_cfg)
+
+    p = sub.add_parser("mutate", help="seeded-fault detection study")
+    p.add_argument("file")
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(fn=cmd_mutate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except VaultError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Vault's core type system: keys, capabilities, elaboration, checking."""
+
+from .capability import CapabilityError, HeldKeys, KeyInfo
+from .cfg import CFG, Block, build_cfg, program_cfgs
+from .checker import (Checker, FlowState, FnChecker, check_program,
+                      match_signatures)
+from .dataflow import (DefiniteAssignment, ForwardAnalysis,
+                       dead_statement_count, reachable_statements)
+from .effects import CoreEffect, CoreEffectItem, Signature, SigParam
+from .elaborate import Elaborator, Scope
+from .keys import (DEFAULT_STATE, Key, State, StateSet, StateSpace, StateVar,
+                   fresh_key, state_display, states_equal)
+from .program import (CtorInfo, GlobalKeyInfo, ProgramContext, StructInfo,
+                      TypeDeclInfo, VariantInfo, build_context,
+                      signatures_alpha_equal)
+from .subst import Subst
+from .types import (ANY_STATE, AnyState, AtMostState, CArg, CArray, CBase,
+                    CFun, CGuarded, CNamed, CPacked, CTracked, CType,
+                    CTypeVar, ExactState, KeyRef, KeyVarRef, StateReq,
+                    StateVarRef, TypeVarRef, strip_guards)
+
+__all__ = [
+    "ANY_STATE", "AnyState", "AtMostState", "Block", "CArg", "CArray",
+    "CBase", "CFG", "DefiniteAssignment", "ForwardAnalysis",
+    "build_cfg", "dead_statement_count", "match_signatures",
+    "program_cfgs", "reachable_statements",
+    "CFun", "CGuarded", "CNamed", "CPacked", "CTracked", "CType",
+    "CTypeVar", "CapabilityError", "Checker", "CoreEffect",
+    "CoreEffectItem", "CtorInfo", "DEFAULT_STATE", "Elaborator",
+    "ExactState", "FlowState", "FnChecker", "GlobalKeyInfo", "HeldKeys",
+    "Key", "KeyInfo", "KeyRef", "KeyVarRef", "ProgramContext", "Scope",
+    "SigParam", "Signature", "State", "StateReq", "StateSet", "StateSpace",
+    "StateVar", "StateVarRef", "StructInfo", "Subst", "TypeDeclInfo",
+    "TypeVarRef", "VariantInfo", "build_context", "check_program",
+    "fresh_key", "signatures_alpha_equal", "state_display", "states_equal",
+    "strip_guards",
+]

@@ -1,0 +1,130 @@
+"""A generic forward worklist dataflow engine over Vault CFGs.
+
+The checker's held-key analysis is one instance of the classic forward
+dataflow pattern the paper describes ("computes the held-key set before
+and after each node", with joins at merge points and fixpoints around
+loops).  This module provides the pattern generically over
+:class:`repro.core.cfg.CFG`, plus two ready-made analyses used by the
+tooling and tests:
+
+* :func:`reachable_statements` — which statements can execute at all
+  (dead-code detection for ``vaultc stats``);
+* :class:`DefiniteAssignment` — which variables are definitely
+  assigned at each block entry (the classic must-analysis, mirroring
+  the checker's use-before-init reasoning).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Generic, List, Optional, Set, TypeVar
+
+from ..syntax import ast
+from .cfg import CFG, Block
+
+L = TypeVar("L")
+
+
+class ForwardAnalysis(Generic[L]):
+    """A forward dataflow problem: lattice values of type ``L``.
+
+    Subclasses (or instances configured with callables) provide the
+    entry value, the join of two values, and the per-block transfer
+    function.  :meth:`solve` runs the worklist to a fixpoint and
+    returns the value *before* each block.
+    """
+
+    def __init__(self,
+                 entry_value: L,
+                 join: Callable[[L, L], L],
+                 transfer: Callable[[Block, L], L],
+                 bottom: Optional[L] = None):
+        self.entry_value = entry_value
+        self.join = join
+        self.transfer = transfer
+        self.bottom = bottom
+
+    def solve(self, cfg: CFG) -> Dict[int, L]:
+        before: Dict[int, L] = {cfg.entry.id: self.entry_value}
+        worklist: List[Block] = [cfg.entry]
+        iterations = 0
+        limit = max(64, 16 * len(cfg.blocks) * (1 + cfg.edge_count()))
+        while worklist:
+            iterations += 1
+            if iterations > limit:
+                raise RuntimeError(
+                    f"dataflow for '{cfg.name}' did not converge")
+            block = worklist.pop(0)
+            if block.id not in before:
+                continue
+            out_value = self.transfer(block, before[block.id])
+            for target, _label in block.succs:
+                if target.id not in before:
+                    before[target.id] = out_value
+                    worklist.append(target)
+                else:
+                    joined = self.join(before[target.id], out_value)
+                    if joined != before[target.id]:
+                        before[target.id] = joined
+                        worklist.append(target)
+        return before
+
+
+# ---------------------------------------------------------------------------
+# Ready-made analyses
+# ---------------------------------------------------------------------------
+
+def reachable_statements(cfg: CFG) -> Set[int]:
+    """ids of blocks whose statements can execute."""
+    return cfg.reachable_blocks()
+
+
+def dead_statement_count(cfg: CFG) -> int:
+    """How many statements sit in unreachable blocks."""
+    return sum(len(b.stmts) for b in cfg.unreachable_blocks())
+
+
+def _assigned_in(stmt: ast.Stmt) -> List[str]:
+    if isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+        return [stmt.name]
+    if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Name):
+        return [stmt.target.ident]
+    if isinstance(stmt, ast.LocalFun):
+        return [stmt.fundef.decl.name]
+    return []
+
+
+class DefiniteAssignment:
+    """Must-assigned variables at each block entry.
+
+    The lattice is (sets of names, ⊇) with intersection as join: a
+    variable is definitely assigned at a point only if it is assigned
+    on *every* path.  ``None`` stands for "unreachable" (top).
+    """
+
+    def __init__(self, params: Optional[List[str]] = None):
+        self.params = frozenset(params or [])
+
+    def solve(self, cfg: CFG) -> Dict[int, FrozenSet[str]]:
+        def join(a: Optional[FrozenSet[str]],
+                 b: Optional[FrozenSet[str]]) -> Optional[FrozenSet[str]]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return a & b
+
+        def transfer(block: Block,
+                     value: Optional[FrozenSet[str]]) -> FrozenSet[str]:
+            names = set(value or frozenset())
+            for stmt in block.stmts:
+                names.update(_assigned_in(stmt))
+            return frozenset(names)
+
+        analysis = ForwardAnalysis(self.params, join, transfer)
+        solved = analysis.solve(cfg)
+        return {bid: (v if v is not None else frozenset())
+                for bid, v in solved.items()}
+
+    def definitely_assigned_at_exit(self, cfg: CFG) -> FrozenSet[str]:
+        solved = self.solve(cfg)
+        return solved.get(cfg.exit.id, frozenset())

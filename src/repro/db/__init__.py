@@ -1,0 +1,7 @@
+"""Transactional key-value store substrate (the paper's introduction
+lists database transactions among the resources whose protocols Vault
+enforces)."""
+
+from .store import Transaction, TxStore
+
+__all__ = ["Transaction", "TxStore"]

@@ -1,0 +1,97 @@
+"""A transactional key-value store — the "database transactions"
+resource class from the paper's introduction.
+
+Transactions follow the classic protocol the Vault interface
+(``transactions.vlt``) encodes in key states: ``begin`` creates a
+transaction in state "active"; reads and writes require it active;
+``commit`` and ``abort`` consume it.  The store itself provides
+snapshot isolation of a single writer: writes buffer in the
+transaction and apply atomically on commit, roll back on abort.
+
+Run-time misuse (use after commit, double commit, leaked transactions)
+raises :class:`~repro.diagnostics.RuntimeProtocolError` — the dynamic
+baseline for this protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+
+_txn_ids = itertools.count(1)
+
+
+class Transaction:
+    def __init__(self, store: "TxStore"):
+        self.id = next(_txn_ids)
+        self.store = store
+        self.state = "active"
+        self.writes: Dict[str, int] = {}
+
+    def _require_active(self, what: str) -> None:
+        if self.state != "active":
+            raise RuntimeProtocolError(
+                Code.RT_DANGLING,
+                f"{what} on transaction {self.id}, which is "
+                f"'{self.state}'")
+
+    def __repr__(self) -> str:
+        return f"txn{self.id}[{self.state}]"
+
+
+class TxStore:
+    """A single-node transactional store."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, int] = {}
+        self.transactions: List[Transaction] = []
+        self.commits = 0
+        self.aborts = 0
+
+    # -- protocol operations --------------------------------------------------
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self)
+        self.transactions.append(txn)
+        return txn
+
+    def put(self, txn: Transaction, key: str, value: int) -> None:
+        txn._require_active("put")
+        txn.writes[key] = value
+
+    def get(self, txn: Transaction, key: str) -> int:
+        txn._require_active("get")
+        if key in txn.writes:
+            return txn.writes[key]
+        return self.data.get(key, 0)
+
+    def delete(self, txn: Transaction, key: str) -> None:
+        txn._require_active("delete")
+        txn.writes[key] = 0
+
+    def commit(self, txn: Transaction) -> None:
+        txn._require_active("commit")
+        self.data.update(txn.writes)
+        txn.state = "committed"
+        self.commits += 1
+
+    def abort(self, txn: Transaction) -> None:
+        txn._require_active("abort")
+        txn.writes.clear()
+        txn.state = "aborted"
+        self.aborts += 1
+
+    # -- audits -------------------------------------------------------------------
+
+    def audit(self) -> List[int]:
+        """Transactions neither committed nor aborted (leaks)."""
+        return [t.id for t in self.transactions if t.state == "active"]
+
+    def assert_no_leaks(self) -> None:
+        leaked = self.audit()
+        if leaked:
+            raise RuntimeProtocolError(
+                Code.RT_LEAK,
+                f"transaction(s) never finished: {leaked}")

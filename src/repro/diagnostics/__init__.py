@@ -1,0 +1,28 @@
+"""Spans, diagnostics, error codes and reporting for the Vault pipeline."""
+
+from .errors import (
+    CheckError,
+    Code,
+    Diagnostic,
+    LexError,
+    ParseError,
+    RuntimeProtocolError,
+    Severity,
+    VaultError,
+)
+from .reporter import Reporter
+from .span import Pos, Span
+
+__all__ = [
+    "CheckError",
+    "Code",
+    "Diagnostic",
+    "LexError",
+    "ParseError",
+    "Pos",
+    "Reporter",
+    "RuntimeProtocolError",
+    "Severity",
+    "Span",
+    "VaultError",
+]

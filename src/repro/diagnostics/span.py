@@ -1,0 +1,54 @@
+"""Source positions and spans for diagnostics.
+
+Every token and AST node carries a :class:`Span` so that errors produced
+by the checker point at the offending construct, as the Vault compiler's
+error messages do in the paper's examples (Figure 2's ``dangling`` and
+``leaky`` functions, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A single source position (1-based line, 1-based column)."""
+
+    line: int
+    col: int
+    offset: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, with the originating file name."""
+
+    start: Pos
+    end: Pos
+    filename: str = "<input>"
+
+    @staticmethod
+    def unknown() -> "Span":
+        return Span(Pos(0, 0), Pos(0, 0), "<unknown>")
+
+    @staticmethod
+    def point(line: int, col: int, filename: str = "<input>") -> "Span":
+        p = Pos(line, col)
+        return Span(p, p, filename)
+
+    def merge(self, other: "Span") -> "Span":
+        """Smallest span covering both ``self`` and ``other``."""
+        if self.filename == "<unknown>":
+            return other
+        if other.filename == "<unknown>":
+            return self
+        lo = min((self.start.line, self.start.col), (other.start.line, other.start.col))
+        hi = max((self.end.line, self.end.col), (other.end.line, other.end.col))
+        return Span(Pos(lo[0], lo[1]), Pos(hi[0], hi[1]), self.filename)
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.start}"

@@ -1,0 +1,9 @@
+"""The Windows 2000 driver case studies (paper §4): the floppy driver
+and the crypt filter stacked above it."""
+
+from .floppy import (IOCTL_READ_STATS, FloppyHarness, check_driver,
+                     driver_source)
+from .stack import StackedHarness, crypt_source
+
+__all__ = ["FloppyHarness", "IOCTL_READ_STATS", "StackedHarness",
+           "check_driver", "crypt_source", "driver_source"]

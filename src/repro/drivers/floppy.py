@@ -1,0 +1,156 @@
+"""Harness for the floppy-driver case study (paper §4).
+
+Loads the Vault floppy driver, checks it against the kernel interface,
+wires it to the simulated kernel and hardware, and offers a high-level
+I/O API (read/write/ioctl/pnp) used by the examples, tests and the
+case-study benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from ..api import load_context
+from ..core import ProgramContext, check_program
+from ..diagnostics import Reporter
+from ..kernel import (IOCTL_EJECT, IOCTL_GET_GEOMETRY, IOCTL_INSERT,
+                      IOCTL_MOTOR_OFF, IOCTL_MOTOR_ON, IRP_MJ_CLOSE,
+                      IRP_MJ_CREATE, IRP_MJ_DEVICE_CONTROL, IRP_MJ_PNP,
+                      IRP_MJ_READ, IRP_MJ_WRITE, FloppyDevice, Irp,
+                      STATUS_SUCCESS)
+from ..runtime.values import VHandle
+from ..stdlib.hostimpl import Host, create_host, make_interpreter
+
+IOCTL_READ_STATS = 0x706
+IOCTL_SET_WRITE_PROTECT = 0x707
+IOCTL_CLEAR_WRITE_PROTECT = 0x708
+IOCTL_LAZY_WRITES_ON = 0x709
+IOCTL_LAZY_WRITES_OFF = 0x70A
+IOCTL_FLUSH_QUEUE = 0x70B
+IOCTL_QUEUE_DEPTH = 0x70C
+
+_DRIVER_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "vault", "floppy.vlt")
+
+
+def driver_source() -> str:
+    """The Vault source text of the floppy driver."""
+    with open(_DRIVER_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def check_driver() -> Reporter:
+    """Statically check the driver against the kernel interface."""
+    ctx, reporter = load_context(driver_source(), filename="floppy.vlt")
+    if reporter.ok:
+        check_program(ctx, reporter)
+    return reporter
+
+
+class FloppyHarness:
+    """A booted driver + kernel + device, ready for I/O requests.
+
+    ``compiled=True`` runs the driver through the Vault->Python
+    compiler instead of the interpreter — the paper's deployment model
+    (checked source compiled with keys erased, linked against the
+    kernel through a thin wrapper).
+    """
+
+    DEVICE_NAME = "floppy0"
+
+    def __init__(self, sectors: int = 2880, check: bool = True,
+                 source: Optional[str] = None, compiled: bool = False):
+        src = source if source is not None else driver_source()
+        self.ctx, self.reporter = load_context(src, filename="floppy.vlt")
+        if self.reporter.ok and check:
+            check_program(self.ctx, self.reporter)
+        self.host: Host = create_host()
+        self.compiled = compiled
+        if compiled:
+            from ..lower import compile_to_python, load_compiled
+            from ..syntax import parse_program
+            code = compile_to_python(parse_program(src, "floppy.vlt"))
+            self._module = load_compiled(code, self.host)
+            # The module's bound Rt doubles as the kernel's "interp":
+            # its call_value invokes the compiled dispatch closures.
+            self.interp = self._module["_rt"]
+        else:
+            self.interp = make_interpreter(self.ctx, self.host)
+        self._register_ioctls()
+        self.device = FloppyDevice(sectors=sectors)
+        self.pdo = self.host.kernel.create_pdo("floppy-pdo", self.device)
+
+    def _register_ioctls(self) -> None:
+        constants = {
+            "IOCTL_MOTOR_ON": IOCTL_MOTOR_ON,
+            "IOCTL_MOTOR_OFF": IOCTL_MOTOR_OFF,
+            "IOCTL_EJECT": IOCTL_EJECT,
+            "IOCTL_INSERT": IOCTL_INSERT,
+            "IOCTL_GET_GEOMETRY": IOCTL_GET_GEOMETRY,
+            "IOCTL_READ_STATS": IOCTL_READ_STATS,
+            "IOCTL_SET_WRITE_PROTECT": IOCTL_SET_WRITE_PROTECT,
+            "IOCTL_CLEAR_WRITE_PROTECT": IOCTL_CLEAR_WRITE_PROTECT,
+            "IOCTL_LAZY_WRITES_ON": IOCTL_LAZY_WRITES_ON,
+            "IOCTL_LAZY_WRITES_OFF": IOCTL_LAZY_WRITES_OFF,
+            "IOCTL_FLUSH_QUEUE": IOCTL_FLUSH_QUEUE,
+            "IOCTL_QUEUE_DEPTH": IOCTL_QUEUE_DEPTH,
+        }
+
+        def make(value):
+            def constant(interp):
+                return value
+            return constant
+
+        for name, value in constants.items():
+            self.host.env.register(name, make(value))
+
+    # -- boot ------------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Run DriverEntry, creating and attaching the FDO."""
+        if self.compiled:
+            self._module["DriverEntry"](VHandle("device", self.pdo))
+        else:
+            self.interp.call("DriverEntry", [VHandle("device", self.pdo)])
+
+    # -- request helpers --------------------------------------------------------
+
+    def _request(self, major: int, **kwargs) -> Irp:
+        irp = self.host.kernel.submit_request(
+            self.interp, self.DEVICE_NAME, major, **kwargs)
+        if not irp.completed and not irp.pending:
+            self.host.kernel.run_until_complete(self.interp, irp)
+        return irp
+
+    def open(self) -> Irp:
+        return self._request(IRP_MJ_CREATE)
+
+    def close(self) -> Irp:
+        return self._request(IRP_MJ_CLOSE)
+
+    def read(self, offset: int, length: int) -> Tuple[Irp, bytes]:
+        buffer: List[int] = [0] * max(length, 0)
+        irp = self._request(IRP_MJ_READ, buffer=buffer, length=length,
+                            offset=offset)
+        return irp, bytes(buffer[:irp.information])
+
+    def write(self, offset: int, payload: bytes) -> Irp:
+        buffer = list(payload)
+        return self._request(IRP_MJ_WRITE, buffer=buffer,
+                             length=len(payload), offset=offset)
+
+    def ioctl(self, code: int) -> Irp:
+        return self._request(IRP_MJ_DEVICE_CONTROL, ioctl=code)
+
+    def pnp(self) -> Irp:
+        return self._request(IRP_MJ_PNP)
+
+    # -- state inspection ----------------------------------------------------------
+
+    def stats_total(self) -> int:
+        irp = self.ioctl(IOCTL_READ_STATS)
+        return irp.information
+
+    def audit(self) -> List[str]:
+        return self.host.audit()

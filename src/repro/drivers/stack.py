@@ -1,0 +1,63 @@
+"""A two-driver stack: the crypt filter above the floppy driver.
+
+Reproduces §4's driver-stack structure — requests enter at the top
+(crypt0), are transformed and passed down to the floppy FDO, which
+forwards transfers to the hardware PDO; completion routines run in
+LIFO order as the IRP bubbles back up.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from ..api import load_context
+from ..core import check_program
+from ..kernel import (IRP_MJ_CLOSE, IRP_MJ_CREATE, IRP_MJ_DEVICE_CONTROL,
+                      IRP_MJ_PNP, IRP_MJ_READ, IRP_MJ_WRITE, FloppyDevice,
+                      Irp)
+from ..runtime.values import VHandle
+from ..stdlib.hostimpl import Host, create_host, make_interpreter
+from ..syntax import parse_program
+from .floppy import FloppyHarness, driver_source
+
+_CRYPT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "vault", "crypt.vlt")
+
+
+def crypt_source() -> str:
+    with open(_CRYPT_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class StackedHarness(FloppyHarness):
+    """kernel requests -> crypt0 (filter) -> floppy0 -> floppy PDO."""
+
+    DEVICE_NAME = "crypt0"
+
+    def __init__(self, sectors: int = 2880, check: bool = True,
+                 secret: int = 42, compiled: bool = False):
+        combined = driver_source() + "\n" + crypt_source()
+        super().__init__(sectors=sectors, check=check, source=combined,
+                         compiled=compiled)
+        self.secret = secret
+
+    def boot(self) -> None:
+        if self.compiled:
+            self._module["DriverEntry"](VHandle("device", self.pdo))
+            floppy_fdo = self.host.kernel.devices["floppy0"]
+            self._module["CryptDriverEntry"](
+                VHandle("device", floppy_fdo), self.secret)
+            return
+        self.interp.call("DriverEntry", [VHandle("device", self.pdo)])
+        floppy_fdo = self.host.kernel.devices["floppy0"]
+        self.interp.call("CryptDriverEntry",
+                         [VHandle("device", floppy_fdo), self.secret])
+
+    @property
+    def crypt_fdo(self):
+        return self.host.kernel.devices["crypt0"]
+
+    def raw_sector(self, offset: int, length: int) -> bytes:
+        """What the hardware actually stores (the ciphertext)."""
+        return self.device.read(offset, length)

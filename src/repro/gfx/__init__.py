@@ -1,0 +1,5 @@
+"""GDI-style graphics substrate (the §6 future-work domain)."""
+
+from .gdi import DeviceContext, GdiSystem, Pen
+
+__all__ = ["DeviceContext", "GdiSystem", "Pen"]

@@ -1,0 +1,119 @@
+"""A GDI-style graphics substrate (paper §6: "we need to continue
+validating these features in other domains, like graphic interfaces").
+
+Device contexts and pens follow the classic Win32 GDI discipline the
+Vault interface (``gdi.vlt``) encodes in key states:
+
+* a DC is acquired blank, must have a pen selected before drawing, and
+  must be blank again (pen deselected) before release;
+* a pen is created free, may be selected into one DC at a time, and
+  may only be deleted while free.
+
+Run-time misuse raises deterministic protocol errors; ``audit`` reports
+unreleased DCs and undeleted pens.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..diagnostics import Code, RuntimeProtocolError
+
+_dc_ids = itertools.count(1)
+_pen_ids = itertools.count(1)
+
+
+class Pen:
+    def __init__(self, color: int):
+        self.id = next(_pen_ids)
+        self.color = color
+        self.state = "idle"         # idle | selected | deleted
+
+    def __repr__(self) -> str:
+        return f"pen{self.id}[{self.state}]"
+
+
+class DeviceContext:
+    def __init__(self, window: int):
+        self.id = next(_dc_ids)
+        self.window = window
+        self.state = "blank"        # blank | armed | released
+        self.pen: Optional[Pen] = None
+        self.lines: List[Tuple[int, int, int, int, int]] = []
+
+    def __repr__(self) -> str:
+        return f"dc{self.id}[{self.state}]"
+
+
+class GdiSystem:
+    """All graphics objects of one run."""
+
+    def __init__(self) -> None:
+        self.dcs: List[DeviceContext] = []
+        self.pens: List[Pen] = []
+
+    # -- protocol operations --------------------------------------------------
+
+    def get_dc(self, window: int) -> DeviceContext:
+        dc = DeviceContext(window)
+        self.dcs.append(dc)
+        return dc
+
+    def create_pen(self, color: int) -> Pen:
+        pen = Pen(color)
+        self.pens.append(pen)
+        return pen
+
+    def _require(self, obj, state: str, what: str) -> None:
+        if obj.state != state:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"{what}: {obj!r} must be '{state}'")
+
+    def select_pen(self, dc: DeviceContext, pen: Pen) -> None:
+        self._require(dc, "blank", "select_pen")
+        self._require(pen, "idle", "select_pen")
+        dc.state = "armed"
+        dc.pen = pen
+        pen.state = "selected"
+
+    def deselect_pen(self, dc: DeviceContext, pen: Pen) -> None:
+        self._require(dc, "armed", "deselect_pen")
+        if dc.pen is not pen:
+            # The static checker cannot correlate *which* pen sits in
+            # which DC (their keys are independent); this pairing rule
+            # is enforced dynamically.
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"deselect_pen: {pen!r} is not the pen selected into "
+                f"{dc!r}")
+        dc.state = "blank"
+        dc.pen = None
+        pen.state = "idle"
+
+    def draw_line(self, dc: DeviceContext, x0: int, y0: int,
+                  x1: int, y1: int) -> None:
+        self._require(dc, "armed", "draw_line")
+        assert dc.pen is not None
+        dc.lines.append((x0, y0, x1, y1, dc.pen.color))
+
+    def release_dc(self, dc: DeviceContext) -> None:
+        self._require(dc, "blank", "release_dc")
+        dc.state = "released"
+
+    def delete_pen(self, pen: Pen) -> None:
+        self._require(pen, "idle", "delete_pen")
+        pen.state = "deleted"
+
+    # -- audits -------------------------------------------------------------------
+
+    def audit(self) -> List[str]:
+        report = [f"dc {dc.id}" for dc in self.dcs
+                  if dc.state != "released"]
+        report.extend(f"pen {p.id}" for p in self.pens
+                      if p.state != "deleted")
+        return report
+
+    def total_lines(self) -> int:
+        return sum(len(dc.lines) for dc in self.dcs)

@@ -1,0 +1,30 @@
+"""Windows 2000 kernel simulator substrate (paper §4)."""
+
+from .device import (IOCTL_EJECT, IOCTL_GET_GEOMETRY, IOCTL_INSERT,
+                     IOCTL_MOTOR_OFF, IOCTL_MOTOR_ON, DeviceObject,
+                     FloppyDevice)
+from .events import KernelEvent
+from .irp import (IRP_MJ_CLOSE, IRP_MJ_CREATE, IRP_MJ_DEVICE_CONTROL,
+                  IRP_MJ_PNP, IRP_MJ_READ, IRP_MJ_WRITE, OWNER_COMPLETED,
+                  OWNER_DRIVER, OWNER_KERNEL, OWNER_LOWER, STATUS_DEVICE_NOT_READY,
+                  STATUS_INVALID_DEVICE_REQUEST, STATUS_INVALID_PARAMETER,
+                  STATUS_NO_MEDIA, STATUS_PENDING, STATUS_SUCCESS, Irp,
+                  major_name)
+from .irql import (APC_LEVEL, DIRQL, DISPATCH_LEVEL, LEVELS, PASSIVE_LEVEL,
+                   IrqlState, leq, level_index)
+from .paging import PagedObject, PageManager
+from .sim import KernelSim
+from .spinlock import SpinLock
+
+__all__ = [
+    "APC_LEVEL", "DIRQL", "DISPATCH_LEVEL", "DeviceObject", "FloppyDevice",
+    "IOCTL_EJECT", "IOCTL_GET_GEOMETRY", "IOCTL_INSERT", "IOCTL_MOTOR_OFF",
+    "IOCTL_MOTOR_ON", "IRP_MJ_CLOSE", "IRP_MJ_CREATE",
+    "IRP_MJ_DEVICE_CONTROL", "IRP_MJ_PNP", "IRP_MJ_READ", "IRP_MJ_WRITE",
+    "Irp", "IrqlState", "KernelEvent", "KernelSim", "LEVELS",
+    "OWNER_COMPLETED", "OWNER_DRIVER", "OWNER_KERNEL", "OWNER_LOWER",
+    "PASSIVE_LEVEL", "PagedObject", "PageManager", "SpinLock",
+    "STATUS_DEVICE_NOT_READY", "STATUS_INVALID_DEVICE_REQUEST",
+    "STATUS_INVALID_PARAMETER", "STATUS_NO_MEDIA", "STATUS_PENDING",
+    "STATUS_SUCCESS", "leq", "level_index", "major_name",
+]

@@ -1,0 +1,116 @@
+"""Device objects and the simulated floppy hardware (paper §4).
+
+A :class:`DeviceObject` is one layer of a driver stack: either a
+functional device object (FDO) whose dispatch table is filled in by a
+Vault driver, or a physical device object (PDO) backed by a host
+device model such as :class:`FloppyDevice`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+from .irp import (IRP_MJ_CLOSE, IRP_MJ_CREATE, IRP_MJ_DEVICE_CONTROL,
+                  IRP_MJ_PNP, IRP_MJ_READ, IRP_MJ_WRITE, STATUS_NO_MEDIA,
+                  STATUS_SUCCESS, Irp)
+
+_device_ids = itertools.count(1)
+
+# IOCTL codes for the floppy device model.
+IOCTL_MOTOR_ON = 0x701
+IOCTL_MOTOR_OFF = 0x702
+IOCTL_EJECT = 0x703
+IOCTL_INSERT = 0x704
+IOCTL_GET_GEOMETRY = 0x705
+
+
+class DeviceObject:
+    """One device in a driver stack."""
+
+    def __init__(self, name: str, kind: str = "fdo",
+                 device: Optional["FloppyDevice"] = None):
+        self.id = next(_device_ids)
+        self.name = name
+        self.kind = kind                   # "fdo" (driver) or "pdo" (hardware)
+        self.device = device               # host device model for PDOs
+        self.lower: Optional["DeviceObject"] = None
+        self.extension: Any = None         # Vault per-device state
+        self.dispatch: Dict[int, Any] = {} # major -> Vault closure
+
+    def attach(self, lower: "DeviceObject") -> None:
+        self.lower = lower
+
+    def __repr__(self) -> str:
+        return f"DeviceObject({self.name}, {self.kind})"
+
+
+class FloppyDevice:
+    """The simulated floppy-disk hardware.
+
+    Models the properties the paper's case-study driver cares about:
+    sector-addressed storage, a motor that must be spinning before a
+    transfer, removable media, and per-operation latency (expressed as
+    simulator ticks) so that requests genuinely complete
+    asynchronously.
+    """
+
+    SECTOR = 512
+
+    def __init__(self, sectors: int = 2880, seek_ticks: int = 2,
+                 transfer_ticks: int = 1):
+        self.sectors = sectors
+        self.data = bytearray(sectors * self.SECTOR)
+        self.motor_on = False
+        self.media_present = True
+        self.seek_ticks = seek_ticks
+        self.transfer_ticks = transfer_ticks
+        self.reads = 0
+        self.writes = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self.sectors * self.SECTOR
+
+    def latency_for(self, length: int) -> int:
+        sectors = max(1, (length + self.SECTOR - 1) // self.SECTOR)
+        return self.seek_ticks + sectors * self.transfer_ticks
+
+    # -- operations (called by the PDO when its turn comes) ------------------------
+
+    def check_ready(self) -> Optional[int]:
+        if not self.media_present:
+            return STATUS_NO_MEDIA
+        return None
+
+    def read(self, offset: int, length: int) -> bytes:
+        self.reads += 1
+        end = min(offset + length, self.size_bytes)
+        return bytes(self.data[offset:end])
+
+    def write(self, offset: int, payload: bytes) -> int:
+        self.writes += 1
+        end = min(offset + len(payload), self.size_bytes)
+        self.data[offset:end] = payload[:end - offset]
+        return end - offset
+
+    def ioctl(self, code: int) -> int:
+        if code == IOCTL_MOTOR_ON:
+            self.motor_on = True
+            return STATUS_SUCCESS
+        if code == IOCTL_MOTOR_OFF:
+            self.motor_on = False
+            return STATUS_SUCCESS
+        if code == IOCTL_EJECT:
+            self.media_present = False
+            return STATUS_SUCCESS
+        if code == IOCTL_INSERT:
+            self.media_present = True
+            return STATUS_SUCCESS
+        if code == IOCTL_GET_GEOMETRY:
+            return STATUS_SUCCESS
+        raise RuntimeProtocolError(
+            Code.RT_PROTOCOL, f"unknown floppy IOCTL {code:#x}")

@@ -1,0 +1,42 @@
+"""Kernel events — thread coordination (paper §4.2).
+
+An event lets one execution context block until another signals it; in
+Vault, signalling transfers a key between per-thread held-key sets.
+The simulator is cooperatively scheduled: waiting pumps the kernel's
+work queue until the event is signalled, and detects the deadlock of
+waiting with no runnable work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+
+_event_ids = itertools.count(1)
+
+
+class KernelEvent:
+    def __init__(self, name: Optional[str] = None):
+        self.id = next(_event_ids)
+        self.name = name or f"event{self.id}"
+        self.signaled = False
+        self.signal_count = 0
+
+    def signal(self) -> None:
+        if self.signaled:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"event '{self.name}' signalled twice without a wait "
+                f"(its key was already given away)")
+        self.signaled = True
+        self.signal_count += 1
+
+    def consume(self) -> None:
+        """Called when a waiter observes the signal."""
+        self.signaled = False
+
+    def __repr__(self) -> str:
+        state = "signaled" if self.signaled else "unsignaled"
+        return f"KernelEvent({self.name}, {state})"

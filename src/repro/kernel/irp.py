@@ -1,0 +1,96 @@
+"""I/O Request Packets and their ownership model (paper §4.1).
+
+An IRP "belongs" to exactly one party at any moment — the kernel, the
+driver currently handling it, or a lower driver in the stack.  A driver
+may only touch an IRP while it owns it; on receiving one it must either
+complete it (``IoCompleteRequest``), pass it down (``IoCallDriver``) or
+mark it pending and queue it (``IoMarkIrpPending``).  The simulator
+enforces these rules at run time; the Vault checker enforces them at
+compile time through the IRP's tracked key and the abstract keyed
+``DSTATUS`` result type.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Tuple
+
+from ..diagnostics import Code, RuntimeProtocolError
+
+_irp_ids = itertools.count(1)
+
+# Request major codes, mirroring IRP_MJ_*.
+IRP_MJ_CREATE = 0
+IRP_MJ_CLOSE = 2
+IRP_MJ_READ = 3
+IRP_MJ_WRITE = 4
+IRP_MJ_DEVICE_CONTROL = 14
+IRP_MJ_PNP = 27
+
+STATUS_SUCCESS = 0
+STATUS_PENDING = 259
+STATUS_INVALID_DEVICE_REQUEST = -1073741808
+STATUS_NO_MEDIA = -1073741660
+STATUS_DEVICE_NOT_READY = -1073741661
+STATUS_INVALID_PARAMETER = -1073741811
+
+#: IRP ownership states.
+OWNER_KERNEL = "kernel"
+OWNER_DRIVER = "driver"
+OWNER_LOWER = "lower"
+OWNER_COMPLETED = "completed"
+
+
+class Irp:
+    """One I/O request packet."""
+
+    def __init__(self, major: int, minor: int = 0,
+                 buffer: Optional[List[int]] = None,
+                 length: int = 0, offset: int = 0, ioctl: int = 0):
+        self.id = next(_irp_ids)
+        self.major = major
+        self.minor = minor
+        #: Transfer buffer, as a list of byte values so Vault ``byte[]``
+        #: views can share the same storage.
+        self.buffer: List[int] = buffer if buffer is not None else []
+        self.length = length
+        self.offset = offset
+        self.ioctl = ioctl
+        self.information = 0
+        self.status: Optional[int] = None
+        self.owner = OWNER_KERNEL
+        self.pending = False
+        #: LIFO stack of (callable, device) completion routines.
+        self.completion_routines: List[Tuple[Any, Any]] = []
+        #: Current stack location index (grows as the IRP moves down).
+        self.stack_location = 0
+        self.next_location_prepared = False
+
+    # -- ownership -----------------------------------------------------------
+
+    def require_owner(self, who: str, what: str) -> None:
+        if self.owner != who:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"{what} on IRP {self.id}: the IRP belongs to "
+                f"'{self.owner}', not '{who}' — a driver may only access "
+                f"an IRP it owns")
+
+    def give_to(self, who: str) -> None:
+        self.owner = who
+
+    @property
+    def completed(self) -> bool:
+        return self.owner == OWNER_COMPLETED
+
+    def __repr__(self) -> str:
+        return (f"IRP#{self.id}(major={self.major}, owner={self.owner}, "
+                f"status={self.status})")
+
+
+def major_name(major: int) -> str:
+    return {
+        IRP_MJ_CREATE: "CREATE", IRP_MJ_CLOSE: "CLOSE", IRP_MJ_READ: "READ",
+        IRP_MJ_WRITE: "WRITE", IRP_MJ_DEVICE_CONTROL: "DEVICE_CONTROL",
+        IRP_MJ_PNP: "PNP",
+    }.get(major, f"MJ_{major}")

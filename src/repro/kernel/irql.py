@@ -1,0 +1,81 @@
+"""Interrupt request levels (paper §4.4).
+
+The processor's current IRQL governs which kernel functions may be
+called and whether paged memory is accessible.  The simulator tracks
+the level explicitly and raises deterministic protocol errors where
+real hardware would misbehave (bugcheck IRQL_NOT_LESS_OR_EQUAL, or a
+deadlock in the VM system).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..diagnostics import Code, RuntimeProtocolError
+
+LEVELS: List[str] = ["PASSIVE_LEVEL", "APC_LEVEL", "DISPATCH_LEVEL", "DIRQL"]
+
+PASSIVE_LEVEL = "PASSIVE_LEVEL"
+APC_LEVEL = "APC_LEVEL"
+DISPATCH_LEVEL = "DISPATCH_LEVEL"
+DIRQL = "DIRQL"
+
+
+def level_index(level: str) -> int:
+    try:
+        return LEVELS.index(level)
+    except ValueError:
+        raise RuntimeProtocolError(Code.RT_PROTOCOL,
+                                   f"unknown IRQL '{level}'")
+
+
+def leq(a: str, b: str) -> bool:
+    return level_index(a) <= level_index(b)
+
+
+class IrqlState:
+    """The current processor interrupt level."""
+
+    def __init__(self, level: str = PASSIVE_LEVEL):
+        self.level = level
+        self.transitions = 0
+
+    def require(self, at_most: str, what: str) -> None:
+        if not leq(self.level, at_most):
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"{what} requires IRQL <= {at_most}, but the current level "
+                f"is {self.level}")
+
+    def require_exactly(self, level: str, what: str) -> None:
+        if self.level != level:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"{what} requires IRQL == {level}, but the current level "
+                f"is {self.level}")
+
+    def raise_to(self, level: str) -> str:
+        """Raise the IRQL; returns the previous level for restoration."""
+        if level_index(level) < level_index(self.level):
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"cannot 'raise' IRQL downwards ({self.level} -> {level})")
+        previous = self.level
+        self.level = level
+        self.transitions += 1
+        return previous
+
+    def lower_to(self, level: str) -> None:
+        if level_index(level) > level_index(self.level):
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"cannot 'lower' IRQL upwards ({self.level} -> {level})")
+        self.level = level
+        self.transitions += 1
+
+    def set(self, level: str) -> None:
+        level_index(level)
+        self.level = level
+
+    def __repr__(self) -> str:
+        return f"IRQL({self.level})"

@@ -1,0 +1,62 @@
+"""Paged kernel memory (paper §4.4).
+
+Kernel memory divides into locked-down (non-paged) pages and pages the
+virtual memory system manages.  Touching a non-resident paged object
+while the IRQL prevents the VM system from running deadlocks the whole
+machine; the paper calls this "a subtle error very difficult to
+reproduce and correct".  The simulator makes it deterministic: any
+access to a non-resident paged object above APC_LEVEL raises
+``RT_DEADLOCK``.  Residency can be manipulated (``trim``) so tests can
+exercise both the "happens to be resident" and the deadlock cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+from .irql import APC_LEVEL, IrqlState, leq
+
+_page_ids = itertools.count(1)
+
+
+class PagedObject:
+    """A value stored in paged memory with a residency flag."""
+
+    def __init__(self, value: Any, resident: bool = True):
+        self.id = next(_page_ids)
+        self.value = value
+        self.resident = resident
+        self.faults = 0
+
+
+class PageManager:
+    def __init__(self, irql: IrqlState):
+        self.irql = irql
+        self.objects: List[PagedObject] = []
+
+    def allocate(self, value: Any, resident: bool = True) -> PagedObject:
+        obj = PagedObject(value, resident)
+        self.objects.append(obj)
+        return obj
+
+    def access(self, obj: PagedObject) -> Any:
+        """Touch a paged object at the current IRQL."""
+        if not obj.resident:
+            if not leq(self.irql.level, APC_LEVEL):
+                raise RuntimeProtocolError(
+                    Code.RT_DEADLOCK,
+                    f"page fault on non-resident paged object {obj.id} at "
+                    f"IRQL {self.irql.level}: the virtual memory system "
+                    f"cannot run — the operating system deadlocks")
+            # The page-fault handler runs and brings the page in.
+            obj.faults += 1
+            obj.resident = True
+        return obj.value
+
+    def trim(self, obj: Optional[PagedObject] = None) -> None:
+        """Evict one object (or all of them) from memory."""
+        targets = [obj] if obj is not None else self.objects
+        for target in targets:
+            target.resident = False

@@ -1,0 +1,55 @@
+"""Kernel spin locks (paper §4.2).
+
+A spin lock guards a tracked data object: initialising a lock consumes
+the object's key, acquiring returns it (and raises the IRQL to
+DISPATCH_LEVEL), releasing consumes it again and restores the previous
+IRQL.  On a uniprocessor, acquiring a lock the current context already
+holds spins forever — the simulator reports that deterministically as
+a deadlock, mirroring Vault's static double-acquire detection (a key
+cannot enter the held-key set twice).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+from .irql import DISPATCH_LEVEL, IrqlState
+
+_lock_ids = itertools.count(1)
+
+
+class SpinLock:
+    def __init__(self, name: Optional[str] = None):
+        self.id = next(_lock_ids)
+        self.name = name or f"lock{self.id}"
+        self.held = False
+        self.acquisitions = 0
+
+    def acquire(self, irql: IrqlState) -> str:
+        """Acquire; returns the previous IRQL for the matching release."""
+        if self.held:
+            raise RuntimeProtocolError(
+                Code.RT_DEADLOCK,
+                f"spin lock '{self.name}' acquired while already held "
+                f"(self-deadlock)")
+        irql.require(DISPATCH_LEVEL, f"KeAcquireSpinLock({self.name})")
+        previous = irql.raise_to(DISPATCH_LEVEL)
+        self.held = True
+        self.acquisitions += 1
+        return previous
+
+    def release(self, irql: IrqlState, restore_to: str) -> None:
+        if not self.held:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"spin lock '{self.name}' released while not held")
+        irql.require_exactly(DISPATCH_LEVEL,
+                             f"KeReleaseSpinLock({self.name})")
+        self.held = False
+        irql.lower_to(restore_to)
+
+    def __repr__(self) -> str:
+        state = "held" if self.held else "free"
+        return f"SpinLock({self.name}, {state})"

@@ -1,0 +1,9 @@
+"""The key-erasing backend: Vault -> plain Python (stands in for the
+paper's Vault -> C compiler)."""
+
+from .erase import Eraser, erase_program, erase_programs
+from .pygen import PyGen, compile_to_python, load_compiled
+from .shim import Rt
+
+__all__ = ["Eraser", "PyGen", "Rt", "compile_to_python", "erase_program",
+           "erase_programs", "load_compiled"]

@@ -1,0 +1,240 @@
+"""Key erasure — the front half of the paper's compilation model.
+
+"Keys are purely compile-time entities that have no impact on run-time
+representations or execution time" (§2.1).  The paper's compiler
+translates checked Vault into plain C; :func:`erase_program` performs
+the corresponding source-to-source step on our AST:
+
+* ``tracked(K) T`` / ``tracked T``       →  ``T``
+* guarded types ``K@st : T``             →  ``T``
+* effect clauses                         →  removed
+* key/state parameters of declarations   →  removed (with matching
+  arguments dropped at every use site)
+* constructor key attachments ``{K}``    →  removed
+* ``stateset`` / ``key`` declarations    →  removed
+
+The erased program parses and runs identically (keys never influenced
+run-time behaviour) but carries none of the protocol annotations — it
+is the "C version" used for the case study's size comparison and as
+input to the plain-checker baseline.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..syntax import ast
+
+
+class _ParamTable:
+    """Which ``<...>`` positions of each named type survive erasure."""
+
+    def __init__(self) -> None:
+        #: type name -> list of param kinds ("type" | "key" | "state")
+        self.kinds: Dict[str, List[str]] = {}
+
+    def collect(self, programs: Sequence[ast.Program]) -> None:
+        def walk(decls: List[ast.Decl]) -> None:
+            for decl in decls:
+                if isinstance(decl, (ast.InterfaceDecl, ast.ModuleDecl)):
+                    walk(decl.decls)
+                elif isinstance(decl, (ast.TypeAliasDecl, ast.VariantDecl,
+                                       ast.StructDecl)):
+                    self.kinds[decl.name] = [p.kind for p in decl.params]
+        for prog in programs:
+            walk(prog.decls)
+
+    def keep_mask(self, name: str, argc: int) -> List[bool]:
+        kinds = self.kinds.get(name)
+        if kinds is None or len(kinds) != argc:
+            return [True] * argc
+        return [k == "type" for k in kinds]
+
+
+class Eraser:
+    """Erases Vault's protocol annotations from an AST."""
+
+    def __init__(self, table: Optional[_ParamTable] = None):
+        self.table = table or _ParamTable()
+
+    # -- programs / declarations --------------------------------------------
+
+    def erase_programs(self, programs: Sequence[ast.Program]
+                       ) -> List[ast.Program]:
+        self.table.collect(programs)
+        return [self.erase_program(p, collected=True) for p in programs]
+
+    def erase_program(self, program: ast.Program,
+                      collected: bool = False) -> ast.Program:
+        if not collected:
+            self.table.collect([program])
+        decls = []
+        for decl in program.decls:
+            erased = self.erase_decl(decl)
+            if erased is not None:
+                decls.append(erased)
+        return ast.Program(program.span, decls, program.filename)
+
+    def erase_decl(self, decl: ast.Decl) -> Optional[ast.Decl]:
+        if isinstance(decl, (ast.StateSetDecl, ast.KeyDecl)):
+            return None
+        if isinstance(decl, ast.InterfaceDecl):
+            inner = [d for d in (self.erase_decl(x) for x in decl.decls)
+                     if d is not None]
+            return ast.InterfaceDecl(decl.span, decl.name, inner)
+        if isinstance(decl, ast.ModuleDecl):
+            inner = [d for d in (self.erase_decl(x) for x in decl.decls)
+                     if d is not None]
+            return ast.ModuleDecl(decl.span, decl.name, decl.interface,
+                                  inner, decl.is_extern)
+        if isinstance(decl, ast.TypeAliasDecl):
+            params = [p for p in decl.params if p.kind == "type"]
+            rhs = self.erase_type(decl.rhs) if decl.rhs is not None else None
+            return ast.TypeAliasDecl(decl.span, decl.name, params, rhs)
+        if isinstance(decl, ast.VariantDecl):
+            params = [p for p in decl.params if p.kind == "type"]
+            ctors = [ast.CtorDecl(c.span, c.name,
+                                  [self.erase_type(t) for t in c.args], [])
+                     for c in decl.ctors]
+            return ast.VariantDecl(decl.span, decl.name, params, ctors)
+        if isinstance(decl, ast.StructDecl):
+            params = [p for p in decl.params if p.kind == "type"]
+            fields = [ast.StructField(f.span, self.erase_type(f.type),
+                                      f.name)
+                      for f in decl.fields]
+            return ast.StructDecl(decl.span, decl.name, params, fields)
+        if isinstance(decl, ast.FunDecl):
+            return self.erase_fun_decl(decl)
+        if isinstance(decl, ast.FunDef):
+            return ast.FunDef(decl.span, self.erase_fun_decl(decl.decl),
+                              self.erase_block(decl.body))
+        raise TypeError(f"unknown decl {type(decl).__name__}")
+
+    def erase_fun_decl(self, decl: ast.FunDecl) -> ast.FunDecl:
+        params = [ast.Param(p.span, self.erase_type(p.type), p.name)
+                  for p in decl.params]
+        type_params = [p for p in decl.type_params if p.kind == "type"]
+        return ast.FunDecl(decl.span, self.erase_type(decl.ret), decl.name,
+                           params, None, type_params)
+
+    # -- types -------------------------------------------------------------------
+
+    def erase_type(self, ty: ast.Type) -> ast.Type:
+        if isinstance(ty, ast.BaseType):
+            return ty
+        if isinstance(ty, ast.TrackedType):
+            return self.erase_type(ty.inner)
+        if isinstance(ty, ast.GuardedType):
+            return self.erase_type(ty.inner)
+        if isinstance(ty, ast.ArrayType):
+            return ast.ArrayType(ty.span, self.erase_type(ty.elem))
+        if isinstance(ty, ast.NamedType):
+            mask = self.table.keep_mask(ty.name, len(ty.args))
+            args = []
+            for keep, arg in zip(mask, ty.args):
+                if keep and arg.type is not None:
+                    erased = self.erase_type(arg.type)
+                    args.append(ast.TypeArg(arg.span, erased, arg.name))
+            return ast.NamedType(ty.span, ty.name, args)
+        if isinstance(ty, ast.FunType):
+            params = [ast.Param(p.span, self.erase_type(p.type), p.name)
+                      for p in ty.params]
+            return ast.FunType(ty.span, self.erase_type(ty.ret), params,
+                               None, ty.name)
+        raise TypeError(f"unknown type {type(ty).__name__}")
+
+    # -- statements -----------------------------------------------------------------
+
+    def erase_block(self, block: ast.Block) -> ast.Block:
+        return ast.Block(block.span,
+                         [self.erase_stmt(s) for s in block.stmts])
+
+    def erase_stmt(self, stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.Block):
+            return self.erase_block(stmt)
+        if isinstance(stmt, ast.VarDecl):
+            init = self.erase_expr(stmt.init) if stmt.init else None
+            return ast.VarDecl(stmt.span, self.erase_type(stmt.type),
+                               stmt.name, init)
+        if isinstance(stmt, ast.LocalFun):
+            fd = stmt.fundef
+            erased = ast.FunDef(fd.span, self.erase_fun_decl(fd.decl),
+                                self.erase_block(fd.body))
+            return ast.LocalFun(stmt.span, erased)
+        if isinstance(stmt, ast.ExprStmt):
+            return ast.ExprStmt(stmt.span, self.erase_expr(stmt.expr))
+        if isinstance(stmt, ast.Assign):
+            return ast.Assign(stmt.span, self.erase_expr(stmt.target),
+                              stmt.op, self.erase_expr(stmt.value))
+        if isinstance(stmt, ast.IncDec):
+            return ast.IncDec(stmt.span, self.erase_expr(stmt.target),
+                              stmt.op)
+        if isinstance(stmt, ast.If):
+            orelse = self.erase_stmt(stmt.orelse) if stmt.orelse else None
+            return ast.If(stmt.span, self.erase_expr(stmt.cond),
+                          self.erase_stmt(stmt.then), orelse)
+        if isinstance(stmt, ast.While):
+            return ast.While(stmt.span, self.erase_expr(stmt.cond),
+                             self.erase_stmt(stmt.body))
+        if isinstance(stmt, ast.Switch):
+            cases = [ast.Case(c.span, c.pattern,
+                              [self.erase_stmt(s) for s in c.body])
+                     for c in stmt.cases]
+            return ast.Switch(stmt.span, self.erase_expr(stmt.scrutinee),
+                              cases)
+        if isinstance(stmt, ast.Return):
+            value = self.erase_expr(stmt.value) if stmt.value else None
+            return ast.Return(stmt.span, value)
+        if isinstance(stmt, ast.Free):
+            return ast.Free(stmt.span, self.erase_expr(stmt.target))
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return stmt
+        raise TypeError(f"unknown stmt {type(stmt).__name__}")
+
+    # -- expressions -------------------------------------------------------------------
+
+    def erase_expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit,
+                             ast.StringLit, ast.CharLit, ast.NullLit,
+                             ast.Name)):
+            return expr
+        if isinstance(expr, ast.FieldAccess):
+            return ast.FieldAccess(expr.span, self.erase_expr(expr.obj),
+                                   expr.field)
+        if isinstance(expr, ast.Index):
+            return ast.Index(expr.span, self.erase_expr(expr.obj),
+                             self.erase_expr(expr.index))
+        if isinstance(expr, ast.Call):
+            return ast.Call(expr.span, self.erase_expr(expr.fn),
+                            [self.erase_expr(a) for a in expr.args])
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.span, expr.op,
+                             self.erase_expr(expr.operand))
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(expr.span, expr.op,
+                              self.erase_expr(expr.left),
+                              self.erase_expr(expr.right))
+        if isinstance(expr, ast.CtorApp):
+            return ast.CtorApp(expr.span, expr.name,
+                               [self.erase_expr(a) for a in expr.args], [])
+        if isinstance(expr, ast.New):
+            inits = [ast.FieldInit(i.span, i.name, self.erase_expr(i.value))
+                     for i in expr.inits]
+            region = self.erase_expr(expr.region) if expr.region else None
+            return ast.New(expr.span, self.erase_type(expr.type), inits,
+                           False, region)
+        if isinstance(expr, ast.ArrayLit):
+            return ast.ArrayLit(expr.span,
+                                [self.erase_expr(e) for e in expr.elems])
+        raise TypeError(f"unknown expr {type(expr).__name__}")
+
+
+def erase_program(program: ast.Program) -> ast.Program:
+    """Erase one compilation unit's protocol annotations."""
+    return Eraser().erase_program(program)
+
+
+def erase_programs(programs: Sequence[ast.Program]) -> List[ast.Program]:
+    """Erase several units sharing one declaration table (stdlib + user)."""
+    return Eraser().erase_programs(programs)

@@ -1,0 +1,140 @@
+"""Runtime support for compiled (erased) Vault programs.
+
+The paper compiles checked Vault into C and links it against the kernel
+through a thin wrapper; :mod:`repro.lower.pygen` compiles checked Vault
+into plain Python, and this module is that thin wrapper.  A compiled
+module holds a single :class:`Rt` instance through which it reaches the
+host substrates — exactly the services the interpreter uses, minus any
+key machinery (keys were erased at compile time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+from ..runtime.values import (NULL_VALUE, VOID_VALUE, VArray, VHandle,
+                              VStruct, VVariant)
+
+
+class Rt:
+    """The compiled program's runtime services."""
+
+    NULL = NULL_VALUE
+    VOID = VOID_VALUE
+
+    def __init__(self, host) -> None:
+        self.host = host
+
+    # -- host dispatch (extern functions) ------------------------------------
+
+    def call(self, name: str, *args: Any) -> Any:
+        fn = self.host.env.lookup(name)
+        if fn is None:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL, f"no host implementation for '{name}'")
+        return fn(self, *args)
+
+    def call_value(self, fn: Any, args: List[Any]) -> Any:
+        """Kernel substrates call back through this (dispatch routines,
+        completion routines)."""
+        if callable(fn):
+            return fn(*args)
+        raise RuntimeProtocolError(
+            Code.RT_PROTOCOL, f"cannot call non-function value {fn!r}")
+
+    def invoke(self, fn: Any, args: List[Any]) -> Any:
+        return self.call_value(fn, args)
+
+    # -- data ---------------------------------------------------------------------
+
+    def new_struct(self, type_name: str, fields: Dict[str, Any],
+                   region: Any = None) -> VStruct:
+        struct = VStruct(type_name, fields)
+        if region is not None:
+            if isinstance(region, VHandle) and region.kind == "region":
+                region.resource.allocate(struct)
+                struct.region = region.resource
+            else:
+                raise RuntimeProtocolError(
+                    Code.RT_PROTOCOL,
+                    f"new(...) requires a region, got {region!r}")
+        return struct
+
+    def variant(self, ctor: str, args: List[Any]) -> VVariant:
+        return VVariant(ctor, args)
+
+    def ctor_of(self, value: Any) -> str:
+        if isinstance(value, VVariant):
+            return value.ctor
+        raise RuntimeProtocolError(
+            Code.RT_PROTOCOL, f"switch on non-variant value {value!r}")
+
+    def variant_arg(self, value: VVariant, index: int) -> Any:
+        return value.args[index]
+
+    def array(self, elems: List[Any]) -> VArray:
+        return VArray(elems)
+
+    def _check_struct(self, obj: Any) -> VStruct:
+        if isinstance(obj, VStruct):
+            if obj.freed:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING,
+                    f"access to freed {obj.type_name} object")
+            if obj.region is not None and not obj.region.alive:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING,
+                    f"access to {obj.type_name} object in deleted region "
+                    f"'{obj.region.name}'")
+            return obj
+        raise RuntimeProtocolError(
+            Code.RT_PROTOCOL, f"cannot access fields of {obj!r}")
+
+    def get_field(self, obj: Any, name: str) -> Any:
+        return self._check_struct(obj).fields[name]
+
+    def set_field(self, obj: Any, name: str, value: Any) -> Any:
+        self._check_struct(obj).fields[name] = value
+        return value
+
+    def index(self, obj: Any, idx: int) -> Any:
+        if isinstance(obj, VArray):
+            return obj.elems[idx]
+        if isinstance(obj, str):
+            return obj[idx]
+        raise RuntimeProtocolError(Code.RT_PROTOCOL,
+                                   f"cannot index {obj!r}")
+
+    def set_index(self, obj: Any, idx: int, value: Any) -> Any:
+        if isinstance(obj, VArray):
+            obj.elems[idx] = value
+            return value
+        raise RuntimeProtocolError(Code.RT_PROTOCOL,
+                                   f"cannot index {obj!r}")
+
+    def free(self, obj: Any) -> None:
+        if isinstance(obj, VStruct):
+            if obj.freed:
+                raise RuntimeProtocolError(
+                    Code.RT_DOUBLE_FREE,
+                    f"double free of {obj.type_name} object")
+            obj.freed = True
+            return
+        raise RuntimeProtocolError(Code.RT_PROTOCOL,
+                                   f"cannot free {obj!r}")
+
+    @staticmethod
+    def div(a: Any, b: Any) -> Any:
+        if b == 0:
+            raise RuntimeProtocolError(Code.RT_PROTOCOL, "division by zero")
+        if isinstance(a, int) and isinstance(b, int):
+            return int(a / b)
+        return a / b
+
+    @staticmethod
+    def truthy(value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        raise RuntimeProtocolError(
+            Code.RT_PROTOCOL, f"condition evaluated to non-bool {value!r}")

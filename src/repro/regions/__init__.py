@@ -1,0 +1,5 @@
+"""Region-based memory management substrate (paper §2.2)."""
+
+from .allocator import Region, RegionManager
+
+__all__ = ["Region", "RegionManager"]

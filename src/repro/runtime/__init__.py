@@ -1,0 +1,13 @@
+"""Execution of Vault programs: interpreter, values, dynamic monitoring."""
+
+from .interp import HostEnv, InterpError, Interpreter
+from .monitor import KeyMonitor, MonitoredInterpreter, make_monitored
+from .values import (NULL_VALUE, VOID_VALUE, VArray, VClosure, VHandle,
+                     VNull, VStruct, VVariant, VVoid, truthy)
+
+__all__ = [
+    "HostEnv", "InterpError", "Interpreter", "KeyMonitor",
+    "MonitoredInterpreter", "NULL_VALUE", "VOID_VALUE", "VArray",
+    "VClosure", "VHandle", "VNull", "VStruct", "VVariant", "VVoid",
+    "make_monitored", "truthy",
+]

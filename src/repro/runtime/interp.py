@@ -1,0 +1,424 @@
+"""A tree-walking interpreter for Vault programs.
+
+Runs programs *after* (or without) static checking; keys and guards are
+erased, matching the paper's compilation model.  Extern functions and
+extern-module members dispatch to host implementations registered in a
+:class:`HostEnv` (see :mod:`repro.stdlib.hostimpl`), which back the
+paper's substrates: the region allocator (§2.2), the socket simulator
+(§2.3) and the Windows 2000 kernel simulator (§4).
+
+Because the substrates enforce their own protocols at run time (a real
+OS crashes or deadlocks on misuse; our simulators raise
+:class:`~repro.diagnostics.RuntimeProtocolError` deterministically),
+running an *unchecked* program under this interpreter is exactly the
+"testing" baseline the paper contrasts with static checking: a
+violation is only observed if the faulty path actually executes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..diagnostics import Code, RuntimeProtocolError, Span
+from ..syntax import ast
+from ..core.program import ProgramContext
+from .values import (NULL_VALUE, VOID_VALUE, VArray, VClosure, VHandle,
+                     VNull, VStruct, VVariant, VVoid, truthy)
+
+
+class HostEnv:
+    """Registry of host implementations for extern functions."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, Callable] = {}
+
+    def register(self, qualified_name: str, fn: Callable) -> None:
+        self._functions[qualified_name] = fn
+
+    def register_all(self, mapping: Dict[str, Callable]) -> None:
+        self._functions.update(mapping)
+
+    def lookup(self, qualified_name: str) -> Optional[Callable]:
+        return self._functions.get(qualified_name)
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class InterpError(RuntimeProtocolError):
+    """An execution error that is not a protocol violation (bad input,
+    missing host function, ...)."""
+
+    def __init__(self, message: str, span: Optional[Span] = None):
+        super().__init__(Code.RT_PROTOCOL, message, span)
+
+
+MAX_STEPS_DEFAULT = 5_000_000
+
+
+class Interpreter:
+    """Executes function bodies from a :class:`ProgramContext`."""
+
+    def __init__(self, ctx: ProgramContext, host: Optional[HostEnv] = None,
+                 max_steps: int = MAX_STEPS_DEFAULT):
+        self.ctx = ctx
+        self.host = host or HostEnv()
+        self.max_steps = max_steps
+        self.steps = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def call(self, qualified_name: str, args: Optional[List[Any]] = None
+             ) -> Any:
+        """Call a defined or extern function by (qualified) name."""
+        args = args or []
+        fundef = self.ctx.fun_defs.get(qualified_name)
+        if fundef is not None:
+            return self._call_def(fundef, args, captured={})
+        host_fn = self.host.lookup(qualified_name)
+        if host_fn is not None:
+            return host_fn(self, *args)
+        raise InterpError(f"no implementation for '{qualified_name}'")
+
+    def call_value(self, fn: Any, args: List[Any]) -> Any:
+        """Call a function value (closure or host callable)."""
+        if isinstance(fn, VClosure):
+            return self._call_def(fn.fundef, args, captured=fn.captured)
+        if callable(fn):
+            return fn(self, *args)
+        raise InterpError(f"cannot call non-function value {fn!r}")
+
+    # -- machinery -----------------------------------------------------------
+
+    def _tick(self, span: Span) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpError("step budget exhausted (infinite loop?)", span)
+
+    def _call_def(self, fundef: ast.FunDef, args: List[Any],
+                  captured: Dict[str, Any]) -> Any:
+        decl = fundef.decl
+        if len(args) != len(decl.params):
+            raise InterpError(
+                f"'{decl.name}' expects {len(decl.params)} argument(s), "
+                f"got {len(args)}", fundef.span)
+        env: Dict[str, Any] = dict(captured)
+        for param, value in zip(decl.params, args):
+            if param.name:
+                env[param.name] = value
+        try:
+            self._exec_block(fundef.body, env)
+        except _Return as ret:
+            return ret.value
+        return VOID_VALUE
+
+    # -- statements -------------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, env: Dict[str, Any]) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: Dict[str, Any]) -> None:
+        self._tick(stmt.span)
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, ast.VarDecl):
+            env[stmt.name] = (self._eval(stmt.init, env)
+                              if stmt.init is not None else NULL_VALUE)
+        elif isinstance(stmt, ast.LocalFun):
+            env[stmt.fundef.decl.name] = VClosure(
+                stmt.fundef.decl.name, stmt.fundef, captured=env)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ast.IncDec):
+            delta = 1 if stmt.op == "++" else -1
+            current = self._eval(stmt.target, env)
+            self._assign_to(stmt.target, current + delta, env)
+        elif isinstance(stmt, ast.If):
+            if truthy(self._eval(stmt.cond, env)):
+                self._exec_stmt(stmt.then, env)
+            elif stmt.orelse is not None:
+                self._exec_stmt(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            while truthy(self._eval(stmt.cond, env)):
+                self._tick(stmt.span)
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.Switch):
+            self._exec_switch(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            value = (self._eval(stmt.value, env)
+                     if stmt.value is not None else VOID_VALUE)
+            raise _Return(value)
+        elif isinstance(stmt, ast.Free):
+            target = self._eval(stmt.target, env)
+            self._free(target, stmt.span)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        else:
+            raise InterpError(f"unknown statement {type(stmt).__name__}",
+                              stmt.span)
+
+    def _exec_assign(self, stmt: ast.Assign, env: Dict[str, Any]) -> None:
+        value = self._eval(stmt.value, env)
+        if stmt.op == "+=":
+            value = self._eval(stmt.target, env) + value
+        elif stmt.op == "-=":
+            value = self._eval(stmt.target, env) - value
+        self._assign_to(stmt.target, value, env)
+
+    def _assign_to(self, target: ast.Expr, value: Any,
+                   env: Dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.ident] = value
+            return
+        if isinstance(target, ast.FieldAccess):
+            obj = self._eval(target.obj, env)
+            obj = self._deref_struct(obj, target.span)
+            obj.fields[target.field] = value
+            return
+        if isinstance(target, ast.Index):
+            obj = self._eval(target.obj, env)
+            idx = self._eval(target.index, env)
+            if isinstance(obj, VArray):
+                obj.elems[idx] = value
+                return
+            raise InterpError(f"cannot index {obj!r}", target.span)
+        raise InterpError("bad assignment target", target.span)
+
+    def _exec_switch(self, stmt: ast.Switch, env: Dict[str, Any]) -> None:
+        value = self._eval(stmt.scrutinee, env)
+        if not isinstance(value, VVariant):
+            raise InterpError(f"switch on non-variant value {value!r}",
+                              stmt.span)
+        default_case: Optional[ast.Case] = None
+        for case in stmt.cases:
+            if case.pattern.ctor is None:
+                default_case = case
+                continue
+            if case.pattern.ctor == value.ctor:
+                for binder, arg in zip(case.pattern.binders, value.args):
+                    if binder is not None:
+                        env[binder] = arg
+                for s in case.body:
+                    self._exec_stmt(s, env)
+                return
+        if default_case is not None:
+            for s in default_case.body:
+                self._exec_stmt(s, env)
+            return
+        raise InterpError(
+            f"switch did not match constructor '{value.ctor}'", stmt.span)
+
+    def _free(self, value: Any, span: Span) -> None:
+        if isinstance(value, VStruct):
+            if value.freed:
+                raise RuntimeProtocolError(
+                    Code.RT_DOUBLE_FREE,
+                    f"double free of {value.type_name} object", span)
+            value.freed = True
+            return
+        if isinstance(value, VHandle):
+            release = self.host.lookup(f"$free:{value.kind}")
+            if release is not None:
+                release(self, value)
+                return
+        raise InterpError(f"cannot free {value!r}", span)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: Dict[str, Any]) -> Any:
+        self._tick(expr.span)
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.CharLit):
+            return expr.value
+        if isinstance(expr, ast.NullLit):
+            return NULL_VALUE
+        if isinstance(expr, ast.Name):
+            if expr.ident in env:
+                return env[expr.ident]
+            # A bare reference to a top-level function.
+            if self.ctx.fun_defs.get(expr.ident) is not None:
+                fundef = self.ctx.fun_defs[expr.ident]
+                return VClosure(expr.ident, fundef, captured={})
+            raise InterpError(f"undefined variable '{expr.ident}'", expr.span)
+        if isinstance(expr, ast.FieldAccess):
+            obj = self._eval(expr.obj, env)
+            struct = self._deref_struct(obj, expr.span)
+            if expr.field not in struct.fields:
+                raise InterpError(
+                    f"no field '{expr.field}' on {struct.type_name}",
+                    expr.span)
+            return struct.fields[expr.field]
+        if isinstance(expr, ast.Index):
+            obj = self._eval(expr.obj, env)
+            idx = self._eval(expr.index, env)
+            if isinstance(obj, VArray):
+                if not 0 <= idx < len(obj.elems):
+                    raise InterpError(
+                        f"index {idx} out of bounds (length "
+                        f"{len(obj.elems)})", expr.span)
+                return obj.elems[idx]
+            if isinstance(obj, str):
+                return obj[idx]
+            raise InterpError(f"cannot index {obj!r}", expr.span)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Unary):
+            operand = self._eval(expr.operand, env)
+            if expr.op == "!":
+                return not truthy(operand)
+            return -operand
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.CtorApp):
+            args = [self._eval(a, env) for a in expr.args]
+            return VVariant(expr.name, args)
+        if isinstance(expr, ast.New):
+            return self._eval_new(expr, env)
+        if isinstance(expr, ast.ArrayLit):
+            return VArray([self._eval(e, env) for e in expr.elems])
+        raise InterpError(f"unknown expression {type(expr).__name__}",
+                          expr.span)
+
+    def _deref_struct(self, obj: Any, span: Span) -> VStruct:
+        if isinstance(obj, VStruct):
+            if obj.freed:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING,
+                    f"access to freed {obj.type_name} object", span)
+            if obj.region is not None and not obj.region.alive:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING,
+                    f"access to {obj.type_name} object in deleted region "
+                    f"'{obj.region.name}'", span)
+            return obj
+        if isinstance(obj, VHandle):
+            accessor = self.host.lookup(f"$struct:{obj.kind}")
+            if accessor is not None:
+                return accessor(self, obj)
+        raise InterpError(f"cannot access fields of {obj!r}", span)
+
+    def _eval_binary(self, expr: ast.Binary, env: Dict[str, Any]) -> Any:
+        op = expr.op
+        if op == "&&":
+            return truthy(self._eval(expr.left, env)) and \
+                truthy(self._eval(expr.right, env))
+        if op == "||":
+            return truthy(self._eval(expr.left, env)) or \
+                truthy(self._eval(expr.right, env))
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise InterpError("division by zero", expr.span)
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)   # C-style truncation toward zero
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise InterpError("modulo by zero", expr.span)
+            return left % right
+        if op == "==":
+            return self._values_equal(left, right)
+        if op == "!=":
+            return not self._values_equal(left, right)
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+        raise InterpError(f"unknown operator '{op}'", expr.span)
+
+    @staticmethod
+    def _values_equal(left: Any, right: Any) -> bool:
+        if isinstance(left, VNull) or isinstance(right, VNull):
+            return isinstance(left, VNull) and isinstance(right, VNull)
+        if isinstance(left, VVariant) and isinstance(right, VVariant):
+            return (left.ctor == right.ctor
+                    and len(left.args) == len(right.args)
+                    and all(Interpreter._values_equal(a, b)
+                            for a, b in zip(left.args, right.args)))
+        return left == right
+
+    def _eval_call(self, expr: ast.Call, env: Dict[str, Any]) -> Any:
+        args = [self._eval(a, env) for a in expr.args]
+        fn = expr.fn
+        if isinstance(fn, ast.Name):
+            if fn.ident in env:
+                return self.call_value(env[fn.ident], args)
+            fundef = self.ctx.fun_defs.get(fn.ident)
+            if fundef is not None:
+                return self._call_def(fundef, args, captured={})
+            host_fn = self.host.lookup(fn.ident)
+            if host_fn is not None:
+                return host_fn(self, *args)
+            raise InterpError(f"undefined function '{fn.ident}'", expr.span)
+        if isinstance(fn, ast.FieldAccess) and isinstance(fn.obj, ast.Name):
+            qual = f"{fn.obj.ident}.{fn.field}"
+            fundef = self.ctx.fun_defs.get(qual)
+            if fundef is not None:
+                return self._call_def(fundef, args, captured={})
+            host_fn = self.host.lookup(qual)
+            if host_fn is not None:
+                return host_fn(self, *args)
+            raise InterpError(f"no implementation for '{qual}'", expr.span)
+        callee = self._eval(fn, env)
+        return self.call_value(callee, args)
+
+    def _eval_new(self, expr: ast.New, env: Dict[str, Any]) -> Any:
+        assert isinstance(expr.type, ast.NamedType)
+        sinfo = self.ctx.struct(expr.type.name)
+        fields: Dict[str, Any] = {}
+        if sinfo is not None:
+            for fname, _ftype in sinfo.fields:
+                fields[fname] = NULL_VALUE
+        for init in expr.inits:
+            fields[init.name] = self._eval(init.value, env)
+        struct = VStruct(expr.type.name, fields)
+        if expr.region is not None:
+            region_handle = self._eval(expr.region, env)
+            if isinstance(region_handle, VHandle) and \
+                    region_handle.kind == "region":
+                region = region_handle.resource
+                region.allocate(struct)
+                struct.region = region
+            else:
+                raise InterpError(
+                    f"new(...) requires a region, got {region_handle!r}",
+                    expr.span)
+        return struct

@@ -1,0 +1,302 @@
+"""A dynamic key monitor — run-time enforcement of Vault's protocols.
+
+The paper argues for *static* enforcement; the natural alternative a
+practitioner would reach for is to enforce the same rules dynamically
+(reference monitors, debug builds, typestate assertions).  This module
+implements that alternative faithfully so the trade-off is measurable:
+
+* every tracked resource created at run time gets a **runtime key**
+  with a current state;
+* every call to a function with an effect clause checks the clause's
+  precondition against the live key table and applies its transitions
+  (consume / produce / fresh / state changes), exactly mirroring the
+  static checker's transfer function — but only on the executed path;
+* :meth:`KeyMonitor.audit` reports keys still held (leaks) at the end
+  of a run.
+
+Violations raise :class:`~repro.diagnostics.RuntimeProtocolError` with
+the corresponding ``RT_*`` code.  Compared to the static checker the
+monitor is *late* (the fault must execute) and *costly* (every call
+pays bookkeeping) — the two costs the paper's approach eliminates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import (AnyState, AtMostState, CoreEffect, ExactState,
+                    ProgramContext, Signature, StateReq, CPacked, CTracked,
+                    strip_guards)
+from ..core.keys import DEFAULT_STATE
+from ..diagnostics import Code, RuntimeProtocolError
+from .interp import Interpreter
+from .values import VHandle, VStruct
+
+_rt_key_ids = itertools.count(1)
+
+
+@dataclass
+class RuntimeKey:
+    """One live resource's run-time key."""
+
+    id: int
+    label: str
+    state: str
+
+    def __repr__(self) -> str:
+        return f"rtkey{self.id}:{self.label}@{self.state}"
+
+
+class KeyMonitor:
+    """The run-time held-key table."""
+
+    def __init__(self, statespace) -> None:
+        self.statespace = statespace
+        self.held: Dict[int, RuntimeKey] = {}
+        #: id(resource) -> RuntimeKey (alive or not)
+        self._by_resource: Dict[int, RuntimeKey] = {}
+        self.violations: List[str] = []
+        self.checks = 0
+
+    # -- key lifecycle ------------------------------------------------------
+
+    def mint(self, resource: Any, label: str,
+             state: str = DEFAULT_STATE) -> RuntimeKey:
+        key = RuntimeKey(next(_rt_key_ids), label, state)
+        self.held[key.id] = key
+        self._by_resource[id(resource)] = key
+        return key
+
+    def key_of(self, resource: Any) -> Optional[RuntimeKey]:
+        return self._by_resource.get(id(resource))
+
+    def _fail(self, code: Code, message: str) -> None:
+        self.violations.append(message)
+        raise RuntimeProtocolError(code, message)
+
+    def require(self, resource: Any, req: StateReq, what: str) -> RuntimeKey:
+        self.checks += 1
+        key = self.key_of(resource)
+        if key is None:
+            self._fail(Code.RT_PROTOCOL,
+                       f"{what}: value has no runtime key (not a tracked "
+                       f"resource)")
+        if key.id not in self.held:
+            self._fail(Code.RT_DANGLING,
+                       f"{what}: key {key!r} is not held (released or "
+                       f"transferred)")
+        if not self._satisfies(key.state, req):
+            self._fail(Code.RT_PROTOCOL,
+                       f"{what}: key {key!r} does not satisfy {req!r}")
+        return key
+
+    def _satisfies(self, state: str, req: StateReq) -> bool:
+        if isinstance(req, AnyState):
+            return True
+        if isinstance(req, ExactState):
+            want = req.state
+            if not isinstance(want, str):
+                return True   # symbolic: dynamically unconstrained
+            return state == want
+        if isinstance(req, AtMostState):
+            return self.statespace.leq(state, req.bound)
+        return True
+
+    def consume(self, key: RuntimeKey, what: str) -> None:
+        if key.id not in self.held:
+            self._fail(Code.RT_DOUBLE_FREE,
+                       f"{what}: key {key!r} consumed twice")
+        del self.held[key.id]
+
+    def produce(self, resource: Any, label: str, state: str,
+                what: str) -> None:
+        self.checks += 1
+        key = self.key_of(resource)
+        if key is None:
+            key = self.mint(resource, label, state)
+            return
+        if key.id in self.held:
+            self._fail(Code.RT_PROTOCOL,
+                       f"{what}: key {key!r} produced while already held "
+                       f"(double acquire)")
+        key.state = state
+        self.held[key.id] = key
+
+    def set_state(self, key: RuntimeKey, state: str) -> None:
+        key.state = state
+
+    # -- audits ---------------------------------------------------------------
+
+    def audit(self) -> List[str]:
+        return [repr(key) for key in self.held.values()]
+
+    def assert_no_leaks(self) -> None:
+        leaked = self.audit()
+        if leaked:
+            raise RuntimeProtocolError(
+                Code.RT_LEAK,
+                "runtime keys still held at end of run: "
+                + ", ".join(leaked))
+
+
+def _static_state(req: Optional[StateReq]) -> str:
+    if isinstance(req, ExactState) and isinstance(req.state, str):
+        return req.state
+    return DEFAULT_STATE
+
+
+class MonitoredInterpreter(Interpreter):
+    """An interpreter that enforces effect clauses dynamically.
+
+    Uses the program's elaborated signatures (the same ones the static
+    checker consumes) as run-time contracts: before each call the
+    effect's preconditions are checked against the key table, after it
+    the transitions are applied.
+    """
+
+    def __init__(self, ctx: ProgramContext, host=None, **kwargs):
+        super().__init__(ctx, host, **kwargs)
+        self.monitor = KeyMonitor(ctx.statespace)
+
+    # The interpreter resolves calls in several places; the narrow
+    # waist is host/extern dispatch plus defined-function calls, both
+    # of which funnel through _eval_call and call().
+
+    def _signature_for(self, name: str,
+                       module: Optional[str] = None) -> Optional[Signature]:
+        return self.ctx.function(name, module)
+
+    def _eval_call(self, expr, env):
+        from ..syntax import ast
+        sig = None
+        fn = expr.fn
+        if isinstance(fn, ast.Name) and fn.ident not in env:
+            sig = self._signature_for(fn.ident)
+        elif isinstance(fn, ast.FieldAccess) and \
+                isinstance(fn.obj, ast.Name) and fn.obj.ident not in env:
+            sig = self._signature_for(fn.field, fn.obj.ident)
+        if sig is None or not sig.effect.items:
+            result = super()._eval_call(expr, env)
+            self._maybe_mint_tracked(sig, result)
+            return result
+
+        args = [self._eval(a, env) for a in expr.args]
+        keys = self._resolve_effect_keys(sig, args)
+
+        # Preconditions.
+        for item, resource in keys:
+            if item.mode in ("keep", "consume"):
+                key = self.monitor.require(resource, item.pre,
+                                           sig.qualified_name)
+        # Execute.
+        result = self._dispatch_call(expr, args, env)
+        # Postconditions / transitions.
+        for item, resource in keys:
+            key = self.monitor.key_of(resource)
+            if item.mode == "consume" and key is not None:
+                self.monitor.consume(key, sig.qualified_name)
+            elif item.mode == "produce":
+                self.monitor.produce(resource, sig.name,
+                                     _static_state(item.post),
+                                     sig.qualified_name)
+            elif item.mode == "keep" and item.post is not None and \
+                    key is not None:
+                self.monitor.set_state(key, _static_state(item.post))
+        self._maybe_mint_tracked(sig, result)
+        return result
+
+    def _dispatch_call(self, expr, args, env):
+        from ..syntax import ast
+        fn = expr.fn
+        if isinstance(fn, ast.Name):
+            fundef = self.ctx.fun_defs.get(fn.ident)
+            if fundef is not None:
+                return self._call_def(fundef, args, captured={})
+            host_fn = self.host.lookup(fn.ident)
+            if host_fn is not None:
+                return host_fn(self, *args)
+        if isinstance(fn, ast.FieldAccess) and isinstance(fn.obj, ast.Name):
+            qual = f"{fn.obj.ident}.{fn.field}"
+            fundef = self.ctx.fun_defs.get(qual)
+            if fundef is not None:
+                return self._call_def(fundef, args, captured={})
+            host_fn = self.host.lookup(qual)
+            if host_fn is not None:
+                return host_fn(self, *args)
+        callee = self._eval(fn, env)
+        return self.call_value(callee, args)
+
+    def _resolve_effect_keys(self, sig: Signature, args
+                             ) -> List[Tuple[Any, Any]]:
+        """Pair each effect item with the argument resource whose
+        tracked parameter binds the item's key variable."""
+        by_var: Dict[str, Any] = {}
+        for param, value in zip(sig.params, args):
+            ptype = strip_guards(param.type)
+            if isinstance(ptype, CTracked) and \
+                    not isinstance(ptype.key, str):
+                name = getattr(ptype.key, "name", None)
+                if name is not None and name not in by_var:
+                    by_var[name] = value
+            # Key arguments of named types (KEVENT<K>, KSPIN_LOCK<K>):
+            # the handle itself stands for the key's resource.
+            from ..core import CNamed
+            if isinstance(ptype, CNamed):
+                for arg in ptype.args:
+                    if arg.kind == "key":
+                        name = getattr(arg.key, "name", None)
+                        if name is not None and name not in by_var:
+                            by_var[name] = value
+        pairs = []
+        for item in sig.effect.items:
+            key_name = item.key if isinstance(item.key, str) else None
+            if key_name is None:
+                continue
+            if key_name in by_var:
+                pairs.append((item, by_var[key_name]))
+            # Global keys and fresh keys are handled elsewhere / minted
+            # on result values.
+        return pairs
+
+    def _maybe_mint_tracked(self, sig: Optional[Signature],
+                            result: Any) -> None:
+        if sig is None:
+            return
+        ret = strip_guards(sig.ret)
+        fresh = any(item.mode == "fresh" for item in sig.effect.items)
+        if isinstance(ret, (CTracked, CPacked)) and \
+                (fresh or isinstance(ret, CPacked)):
+            if isinstance(result, (VHandle, VStruct)):
+                state = DEFAULT_STATE
+                if isinstance(ret, CPacked):
+                    # Anonymous tracked results carry their initial
+                    # state in the type (``tracked(@raw) sock``,
+                    # ``tracked(@active) txn``).
+                    state = _static_state(ret.state)
+                for item in sig.effect.items:
+                    if item.mode == "fresh":
+                        state = _static_state(item.post)
+                self.monitor.mint(result, sig.name, state)
+
+    def _eval_new(self, expr, env):
+        result = super()._eval_new(expr, env)
+        if expr.tracked:
+            self.monitor.mint(result, expr.type.name)
+        return result
+
+    def _free(self, value, span):
+        key = self.monitor.key_of(value)
+        if key is not None:
+            self.monitor.consume(key, "free")
+        super()._free(value, span)
+
+
+def make_monitored(ctx: ProgramContext, host=None) -> MonitoredInterpreter:
+    """A monitored interpreter wired to a (fresh) host."""
+    from ..stdlib.hostimpl import create_host
+    host = host or create_host()
+    interp = MonitoredInterpreter(ctx, host.env)
+    interp.vault_host = host
+    return interp

@@ -1,0 +1,112 @@
+"""Run-time values for the Vault interpreter.
+
+Keys and guards have *no run-time representation* (paper §2.1) — the
+interpreter executes the erased program.  Base types map to Python
+natives; structs, variants, arrays, closures and host resources get
+small wrapper classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class VVoid:
+    """The unit value returned by void functions."""
+
+    _instance: Optional["VVoid"] = None
+
+    def __new__(cls) -> "VVoid":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+VOID_VALUE = VVoid()
+
+
+class VNull:
+    _instance: Optional["VNull"] = None
+
+    def __new__(cls) -> "VNull":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "null"
+
+
+NULL_VALUE = VNull()
+
+
+@dataclass
+class VStruct:
+    """A struct instance.  ``region`` is set for region-allocated
+    objects so the allocator can invalidate them on region deletion."""
+
+    type_name: str
+    fields: Dict[str, Any]
+    region: Optional[Any] = None
+    freed: bool = False
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"{self.type_name}{{{inner}}}"
+
+
+@dataclass
+class VVariant:
+    """A variant value: constructor name plus argument values."""
+
+    ctor: str
+    args: List[Any] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        if self.args:
+            return f"'{self.ctor}({', '.join(map(repr, self.args))})"
+        return f"'{self.ctor}"
+
+
+@dataclass
+class VArray:
+    elems: List[Any]
+
+    def __repr__(self) -> str:
+        return f"[{', '.join(map(repr, self.elems))}]"
+
+
+@dataclass
+class VClosure:
+    """A function value: a (possibly nested) definition plus the
+    environment frames it captured."""
+
+    name: str
+    fundef: Any                     # ast.FunDef
+    captured: Dict[str, Any]
+
+    def __repr__(self) -> str:
+        return f"<fn {self.name}>"
+
+
+@dataclass
+class VHandle:
+    """A handle to a host resource (region, socket, file, IRP, event,
+    lock, device...).  ``kind`` names the resource family; ``resource``
+    is the substrate object."""
+
+    kind: str
+    resource: Any
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.resource!r}>"
+
+
+def truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise TypeError(f"condition evaluated to non-bool {value!r}")

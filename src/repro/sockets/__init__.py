@@ -1,0 +1,5 @@
+"""Loopback socket simulator substrate (paper §2.3)."""
+
+from .sim import STATES, SimSocket, SocketNetwork
+
+__all__ = ["STATES", "SimSocket", "SocketNetwork"]

@@ -1,0 +1,164 @@
+"""A loopback socket simulator — the substrate for paper §2.3.
+
+Implements connection-oriented sockets with the exact state machine the
+Vault interface encodes in key states::
+
+    raw --bind--> named --listen--> listening --accept--> (new) ready
+
+plus ``connect`` (client side: raw -> ready against a listening
+server), ``send``/``receive`` on ready sockets, and ``close``.
+
+Misuse raises :class:`~repro.diagnostics.RuntimeProtocolError` with the
+same determinism a real socket library returns EINVAL/ENOTCONN —
+giving the dynamic baseline something to observe when an unchecked
+program runs a faulty path.  :meth:`SocketNetwork.audit` reports
+sockets never closed (descriptor leaks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..diagnostics import Code, RuntimeProtocolError
+
+_socket_ids = itertools.count(1)
+
+#: The socket protocol states, mirroring the key states of socket.vlt.
+STATES = ("raw", "named", "listening", "ready", "closed")
+
+
+class SimSocket:
+    def __init__(self, domain: str, style: str, network: "SocketNetwork"):
+        self.id = next(_socket_ids)
+        self.domain = domain
+        self.style = style
+        self.network = network
+        self.state = "raw"
+        self.address: Optional[Tuple[str, int]] = None
+        self.backlog: Deque["SimSocket"] = deque()
+        self.max_backlog = 0
+        self.peer: Optional["SimSocket"] = None
+        self.inbox: Deque[bytes] = deque()
+
+    def _require(self, *states: str) -> None:
+        if self.state not in states:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"socket {self.id} is '{self.state}', operation requires "
+                f"{' or '.join(repr(s) for s in states)}")
+
+    def __repr__(self) -> str:
+        return f"sock{self.id}[{self.state}]"
+
+
+class SocketNetwork:
+    """The loopback 'network' connecting simulated sockets."""
+
+    def __init__(self) -> None:
+        self.sockets: List[SimSocket] = []
+        self.bound: Dict[Tuple[str, int], SimSocket] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def socket(self, domain: str = "INET", style: str = "STREAM") -> SimSocket:
+        sock = SimSocket(domain, style, self)
+        self.sockets.append(sock)
+        return sock
+
+    def bind(self, sock: SimSocket, host: str, port: int) -> None:
+        sock._require("raw")
+        addr = (host, port)
+        if addr in self.bound and self.bound[addr].state != "closed":
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL, f"address {host}:{port} already in use")
+        self.bound[addr] = sock
+        sock.address = addr
+        sock.state = "named"
+
+    def bind_checked(self, sock: SimSocket, host: str,
+                     port: int) -> Optional[int]:
+        """Failure-aware bind: returns an error code instead of raising
+        when the address is in use (the paper's §2.3 status variant)."""
+        sock._require("raw")
+        addr = (host, port)
+        if addr in self.bound and self.bound[addr].state != "closed":
+            return 98  # EADDRINUSE
+        self.bound[addr] = sock
+        sock.address = addr
+        sock.state = "named"
+        return None
+
+    def listen(self, sock: SimSocket, backlog: int) -> None:
+        sock._require("named")
+        sock.max_backlog = max(backlog, 1)
+        sock.state = "listening"
+
+    def connect(self, sock: SimSocket, host: str, port: int) -> None:
+        sock._require("raw")
+        server = self.bound.get((host, port))
+        if server is None or server.state != "listening":
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"connection refused to {host}:{port}")
+        if len(server.backlog) >= server.max_backlog:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"backlog full on {host}:{port}")
+        # Create the server-side endpoint now; accept() hands it out.
+        endpoint = self.socket(server.domain, server.style)
+        endpoint.state = "ready"
+        endpoint.peer = sock
+        sock.peer = endpoint
+        sock.state = "ready"
+        server.backlog.append(endpoint)
+
+    def accept(self, sock: SimSocket) -> SimSocket:
+        sock._require("listening")
+        if not sock.backlog:
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL,
+                f"accept on socket {sock.id} with no pending connection")
+        return sock.backlog.popleft()
+
+    def close(self, sock: SimSocket) -> None:
+        if sock.state == "closed":
+            raise RuntimeProtocolError(
+                Code.RT_DOUBLE_FREE, f"socket {sock.id} closed twice")
+        if sock.address is not None and \
+                self.bound.get(sock.address) is sock:
+            del self.bound[sock.address]
+        sock.state = "closed"
+
+    # -- data transfer -----------------------------------------------------------
+
+    def send(self, sock: SimSocket, data: bytes) -> None:
+        sock._require("ready")
+        if sock.peer is None or sock.peer.state == "closed":
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL, f"socket {sock.id} has no live peer")
+        sock.peer.inbox.append(bytes(data))
+
+    def receive(self, sock: SimSocket, max_len: int = 1 << 16) -> bytes:
+        sock._require("ready")
+        if not sock.inbox:
+            return b""
+        return sock.inbox.popleft()[:max_len]
+
+    # -- audits ---------------------------------------------------------------------
+
+    def audit(self) -> List[int]:
+        """Descriptor-leak report: ids of sockets never closed."""
+        return [s.id for s in self.sockets if s.state != "closed"]
+
+    def assert_no_leaks(self) -> None:
+        leaked = self.audit()
+        if leaked:
+            raise RuntimeProtocolError(
+                Code.RT_LEAK,
+                f"socket(s) never closed: {leaked}")
+
+    def reset(self) -> None:
+        self.sockets.clear()
+        self.bound.clear()

@@ -1,0 +1,560 @@
+"""Host implementations backing the standard Vault interfaces.
+
+Each extern function declared in ``vault/*.vlt`` is implemented here
+against the substrate simulators — the region allocator (§2.2), the
+socket network (§2.3), an in-memory file table (§2.1) and the kernel
+simulator (§4).  :func:`create_host` builds a fresh, isolated
+:class:`Host` whose :attr:`Host.env` plugs straight into the
+interpreter.
+
+The paper's Vault compiler links checked drivers against the real
+kernel through a thin C wrapper; these bindings are that wrapper's
+analogue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..diagnostics import Code, RuntimeProtocolError
+from ..kernel import (IRP_MJ_CLOSE, IRP_MJ_CREATE, IRP_MJ_DEVICE_CONTROL,
+                      IRP_MJ_PNP, IRP_MJ_READ, IRP_MJ_WRITE, DeviceObject,
+                      Irp, KernelEvent, KernelSim, OWNER_DRIVER, SpinLock,
+                      STATUS_DEVICE_NOT_READY, STATUS_INVALID_DEVICE_REQUEST,
+                      STATUS_INVALID_PARAMETER, STATUS_NO_MEDIA,
+                      STATUS_PENDING, STATUS_SUCCESS)
+from ..regions import RegionManager
+from ..runtime.interp import HostEnv, Interpreter
+from ..runtime.values import VOID_VALUE, VArray, VHandle, VStruct
+
+_file_ids = itertools.count(1)
+
+
+class SimFile:
+    """An in-memory file for the §2.1 FILE examples."""
+
+    def __init__(self, name: str):
+        self.id = next(_file_ids)
+        self.name = name
+        self.data: List[int] = []
+        self.pos = 0
+        self.open = True
+
+    def require_open(self, what: str) -> None:
+        if not self.open:
+            raise RuntimeProtocolError(
+                Code.RT_DANGLING,
+                f"{what} on closed file '{self.name}'")
+
+
+def _handle(kind: str):
+    """Build an argument validator/extractor for VHandle arguments."""
+    def extract(value: Any, what: str):
+        if isinstance(value, VHandle) and value.kind == kind:
+            return value.resource
+        raise RuntimeProtocolError(
+            Code.RT_PROTOCOL, f"{what} expects a {kind}, got {value!r}")
+    return extract
+
+
+_region = _handle("region")
+_sock = _handle("sock")
+_file = _handle("file")
+_irp = _handle("irp")
+_event = _handle("event")
+_lock = _handle("lock")
+_irql = _handle("irql")
+_device = _handle("device")
+
+
+class Host:
+    """A bundle of substrate instances plus the extern-function table."""
+
+    def __init__(self) -> None:
+        from ..db import TxStore
+        from ..gfx import GdiSystem
+        from ..sockets import SocketNetwork
+        self.regions = RegionManager()
+        self.network = SocketNetwork()
+        self.kernel = KernelSim()
+        self.store = TxStore()
+        self.gdi = GdiSystem()
+        self.files: List[SimFile] = []
+        self.env = HostEnv()
+        self._register_regions()
+        self._register_files()
+        self._register_sockets()
+        self._register_kernel()
+        self._register_transactions()
+        self._register_gdi()
+
+    # -- audits across every substrate -----------------------------------------
+
+    def audit(self) -> List[str]:
+        report = []
+        report.extend(f"region {name}" for name in self.regions.audit())
+        report.extend(f"socket {sid}" for sid in self.network.audit())
+        report.extend(f"file {f.name}" for f in self.files if f.open)
+        report.extend(f"transaction {tid}" for tid in self.store.audit())
+        report.extend(f"gdi {name}" for name in self.gdi.audit())
+        report.extend(self.kernel.audit())
+        return report
+
+    def assert_no_leaks(self) -> None:
+        leaked = self.audit()
+        if leaked:
+            raise RuntimeProtocolError(
+                Code.RT_LEAK, "leaked resource(s): " + "; ".join(leaked))
+
+    # -- regions (§2.2) ------------------------------------------------------------
+
+    def _register_regions(self) -> None:
+        def create(interp):
+            return VHandle("region", self.regions.create())
+
+        def delete(interp, rgn):
+            self.regions.delete(_region(rgn, "Region.delete"))
+            return VOID_VALUE
+
+        def size(interp, rgn):
+            return _region(rgn, "Region.size").size
+
+        self.env.register_all({
+            "Region.create": create,
+            "Region.delete": delete,
+            "Region.size": size,
+        })
+
+    # -- files (§2.1) -----------------------------------------------------------------
+
+    def _register_files(self) -> None:
+        def fopen(interp, name):
+            handle = SimFile(str(name))
+            self.files.append(handle)
+            return VHandle("file", handle)
+
+        def fclose(interp, f):
+            sim = _file(f, "fclose")
+            if not sim.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DOUBLE_FREE,
+                    f"file '{sim.name}' closed twice")
+            sim.open = False
+            return VOID_VALUE
+
+        def fgetb(interp, f):
+            sim = _file(f, "fgetb")
+            sim.require_open("fgetb")
+            if sim.pos >= len(sim.data):
+                return 0
+            value = sim.data[sim.pos]
+            sim.pos += 1
+            return value
+
+        def fputb(interp, f, b):
+            sim = _file(f, "fputb")
+            sim.require_open("fputb")
+            sim.data.append(int(b) & 0xFF)
+            return VOID_VALUE
+
+        def flen(interp, f):
+            sim = _file(f, "flen")
+            sim.require_open("flen")
+            return len(sim.data)
+
+        self.env.register_all({
+            "fopen": fopen, "fclose": fclose, "fgetb": fgetb,
+            "fputb": fputb, "flen": flen,
+        })
+
+    # -- sockets (§2.3) --------------------------------------------------------------------
+
+    def _register_sockets(self) -> None:
+        net = self.network
+
+        def vsocket(interp, domain, style, protocol):
+            return VHandle("sock", net.socket(domain.ctor, style.ctor))
+
+        def addr_of(value: Any):
+            if isinstance(value, VStruct) and value.type_name == "sockaddr":
+                return str(value.fields.get("host")), \
+                    int(value.fields.get("port"))
+            raise RuntimeProtocolError(
+                Code.RT_PROTOCOL, f"expected a sockaddr, got {value!r}")
+
+        def bind(interp, s, a):
+            host, port = addr_of(a)
+            net.bind(_sock(s, "Socket.bind"), host, port)
+            return VOID_VALUE
+
+        def bind_checked(interp, s, a):
+            from ..runtime.values import VVariant
+            host, port = addr_of(a)
+            err = net.bind_checked(_sock(s, "Socket.bind_checked"),
+                                   host, port)
+            if err is None:
+                return VVariant("Ok", [])
+            return VVariant("Error", [err])
+
+        def listen(interp, s, backlog):
+            net.listen(_sock(s, "Socket.listen"), int(backlog))
+            return VOID_VALUE
+
+        def accept(interp, s, a):
+            return VHandle("sock", net.accept(_sock(s, "Socket.accept")))
+
+        def receive(interp, s, buf):
+            sock = _sock(s, "Socket.receive")
+            data = net.receive(sock)
+            if isinstance(buf, VArray):
+                buf.elems[:len(data)] = list(data)
+            return len(data)
+
+        def send(interp, s, buf):
+            sock = _sock(s, "Socket.send")
+            payload = bytes(int(b) & 0xFF for b in buf.elems) \
+                if isinstance(buf, VArray) else b""
+            net.send(sock, payload)
+            return VOID_VALUE
+
+        def connect(interp, s, a):
+            host, port = addr_of(a)
+            net.connect(_sock(s, "Socket.connect"), host, port)
+            return VOID_VALUE
+
+        def close(interp, s):
+            net.close(_sock(s, "Socket.close"))
+            return VOID_VALUE
+
+        self.env.register_all({
+            "Socket.socket": vsocket, "Socket.bind": bind,
+            "Socket.bind_checked": bind_checked, "Socket.listen": listen,
+            "Socket.accept": accept, "Socket.receive": receive,
+            "Socket.send": send, "Socket.connect": connect,
+            "Socket.close": close,
+        })
+
+    # -- transactions (§1's database-transaction resource class) -----------------
+
+    def _register_transactions(self) -> None:
+        store = self.store
+        _txn = _handle("txn")
+
+        def begin(interp):
+            return VHandle("txn", store.begin())
+
+        def put(interp, t, key, value):
+            store.put(_txn(t, "Tx.put"), str(key), int(value))
+            return VOID_VALUE
+
+        def get(interp, t, key):
+            return store.get(_txn(t, "Tx.get"), str(key))
+
+        def remove(interp, t, key):
+            store.delete(_txn(t, "Tx.remove"), str(key))
+            return VOID_VALUE
+
+        def commit(interp, t):
+            store.commit(_txn(t, "Tx.commit"))
+            return VOID_VALUE
+
+        def abort(interp, t):
+            store.abort(_txn(t, "Tx.abort"))
+            return VOID_VALUE
+
+        self.env.register_all({
+            "Tx.begin": begin, "Tx.put": put, "Tx.get": get,
+            "Tx.remove": remove, "Tx.commit": commit, "Tx.abort": abort,
+        })
+
+    # -- graphics (§6's "graphic interfaces" domain) -------------------------------
+
+    def _register_gdi(self) -> None:
+        gdi = self.gdi
+        _dc = _handle("dc")
+        _pen = _handle("pen")
+
+        def get_dc(interp, window):
+            return VHandle("dc", gdi.get_dc(int(window)))
+
+        def create_pen(interp, color):
+            return VHandle("pen", gdi.create_pen(int(color)))
+
+        def select_pen(interp, d, p):
+            gdi.select_pen(_dc(d, "Gdi.select_pen"),
+                           _pen(p, "Gdi.select_pen"))
+            return VOID_VALUE
+
+        def deselect_pen(interp, d, p):
+            gdi.deselect_pen(_dc(d, "Gdi.deselect_pen"),
+                             _pen(p, "Gdi.deselect_pen"))
+            return VOID_VALUE
+
+        def draw_line(interp, d, x0, y0, x1, y1):
+            gdi.draw_line(_dc(d, "Gdi.draw_line"), int(x0), int(y0),
+                          int(x1), int(y1))
+            return VOID_VALUE
+
+        def release_dc(interp, d):
+            gdi.release_dc(_dc(d, "Gdi.release_dc"))
+            return VOID_VALUE
+
+        def delete_pen(interp, p):
+            gdi.delete_pen(_pen(p, "Gdi.delete_pen"))
+            return VOID_VALUE
+
+        self.env.register_all({
+            "Gdi.get_dc": get_dc, "Gdi.create_pen": create_pen,
+            "Gdi.select_pen": select_pen, "Gdi.deselect_pen": deselect_pen,
+            "Gdi.draw_line": draw_line, "Gdi.release_dc": release_dc,
+            "Gdi.delete_pen": delete_pen,
+        })
+
+    # -- kernel (§4) -------------------------------------------------------------------------
+
+    def _register_kernel(self) -> None:
+        kernel = self.kernel
+
+        # IRP ownership -------------------------------------------------------
+        def io_complete_request(interp, irp, status):
+            return kernel.io_complete_request(
+                interp, _irp(irp, "IoCompleteRequest"), int(status))
+
+        def io_call_driver(interp, dev, irp):
+            return kernel.io_call_driver(
+                interp, _device(dev, "IoCallDriver"),
+                _irp(irp, "IoCallDriver"))
+
+        def io_mark_pending(interp, irp):
+            return kernel.io_mark_pending(_irp(irp, "IoMarkIrpPending"))
+
+        def io_allocate_irp(interp, stack_size):
+            irp = Irp(IRP_MJ_PNP)
+            irp.give_to(OWNER_DRIVER)
+            kernel.live_irps[irp.id] = irp
+            return VHandle("irp", irp)
+
+        def io_build_ioctl(interp, code):
+            irp = Irp(IRP_MJ_DEVICE_CONTROL, ioctl=int(code))
+            irp.give_to(OWNER_DRIVER)
+            kernel.live_irps[irp.id] = irp
+            return VHandle("irp", irp)
+
+        def io_free_irp(interp, irp):
+            packet = _irp(irp, "IoFreeIrp")
+            packet.require_owner(OWNER_DRIVER, "IoFreeIrp")
+            kernel.live_irps.pop(packet.id, None)
+            packet.give_to("freed")
+            return VOID_VALUE
+
+        def _owned(irp, what):
+            packet = _irp(irp, what)
+            packet.require_owner(OWNER_DRIVER, what)
+            return packet
+
+        def io_set_completion(interp, irp, routine):
+            packet = _owned(irp, "IoSetCompletionRoutine")
+            ctx = DeviceObject("completion-context")
+            packet.completion_routines.append((routine, ctx))
+            return VOID_VALUE
+
+        accessors = {
+            "IrpMajorFunction": lambda p: p.major,
+            "IrpMinorFunction": lambda p: p.minor,
+            "IrpTransferLength": lambda p: p.length,
+            "IrpTransferOffset": lambda p: p.offset,
+            "IrpIoctlCode": lambda p: p.ioctl,
+        }
+
+        def make_accessor(name, getter):
+            def accessor(interp, irp):
+                return getter(_owned(irp, name))
+            return accessor
+
+        def irp_set_information(interp, irp, info):
+            _owned(irp, "IrpSetInformation").information = int(info)
+            return VOID_VALUE
+
+        def irp_system_buffer(interp, irp):
+            return VArray(_owned(irp, "IrpSystemBuffer").buffer)
+
+        def io_copy_next(interp, irp):
+            _owned(irp,
+                   "IoCopyCurrentIrpStackLocationToNext"
+                   ).next_location_prepared = True
+            return VOID_VALUE
+
+        def io_skip_next(interp, irp):
+            _owned(irp,
+                   "IoSkipCurrentIrpStackLocation"
+                   ).next_location_prepared = True
+            return VOID_VALUE
+
+        # Device queues (pending-IRP lists, §4.1) -------------------------------
+        def ke_create_queue(interp):
+            return VHandle("queue", [])
+
+        def ke_insert_queue(interp, q, irp):
+            queue = _handle("queue")(q, "KeInsertDeviceQueue")
+            packet = _irp(irp, "KeInsertDeviceQueue")
+            packet.require_owner(OWNER_DRIVER, "KeInsertDeviceQueue")
+            queue.append(packet)
+            return VOID_VALUE
+
+        def ke_queue_depth(interp, q):
+            return len(_handle("queue")(q, "KeQueueDepth"))
+
+        def ke_remove_queue(interp, q):
+            from ..runtime.values import VVariant
+            queue = _handle("queue")(q, "KeRemoveDeviceQueue")
+            if not queue:
+                return VVariant("QueueEmpty", [])
+            packet = queue.pop(0)
+            return VVariant("Dequeued", [VHandle("irp", packet)])
+
+        # Thread coordination --------------------------------------------------
+        def ke_init_event(interp, obj):
+            return VHandle("event", KernelEvent())
+
+        def ke_signal_event(interp, ev):
+            _event(ev, "KeSignalEvent").signal()
+            return VOID_VALUE
+
+        def ke_wait_event(interp, ev):
+            event = _event(ev, "KeWaitForEvent")
+            guard = 100_000
+            while not event.signaled:
+                if not kernel.work:
+                    raise RuntimeProtocolError(
+                        Code.RT_DEADLOCK,
+                        f"KeWaitForEvent('{event.name}') with no pending "
+                        f"work: nothing can ever signal it")
+                kernel.tick(interp)
+                guard -= 1
+                if guard <= 0:
+                    raise RuntimeProtocolError(
+                        Code.RT_DEADLOCK,
+                        f"KeWaitForEvent('{event.name}') never satisfied")
+            event.consume()
+            return VOID_VALUE
+
+        def ke_init_spin_lock(interp, obj):
+            return VHandle("lock", SpinLock())
+
+        def ke_acquire_spin_lock(interp, lock):
+            previous = _lock(lock, "KeAcquireSpinLock").acquire(kernel.irql)
+            return VHandle("irql", previous)
+
+        def ke_release_spin_lock(interp, lock, old):
+            _lock(lock, "KeReleaseSpinLock").release(
+                kernel.irql, _irql(old, "KeReleaseSpinLock"))
+            return VOID_VALUE
+
+        # IRQL ---------------------------------------------------------------------
+        def ke_set_priority(interp, thread, priority):
+            kernel.irql.require_exactly("PASSIVE_LEVEL",
+                                        "KeSetPriorityThread")
+            return int(priority)
+
+        def ke_release_semaphore(interp, sem, priority, adjust):
+            kernel.irql.require("DISPATCH_LEVEL", "KeReleaseSemaphore")
+            return 0
+
+        def ke_raise_to_dpc(interp):
+            return VHandle("irql", kernel.irql.raise_to("DISPATCH_LEVEL"))
+
+        def ke_lower(interp, old):
+            kernel.irql.lower_to(_irql(old, "KeLowerIrql"))
+            return VOID_VALUE
+
+        # Devices / registration -----------------------------------------------------
+        def io_create_device(interp, name, dd):
+            return VHandle("device", kernel.create_fdo(str(name), dd))
+
+        def io_register_dispatch(interp, dev, major, fn):
+            _device(dev, "IoRegisterDispatch").dispatch[int(major)] = fn
+            return VOID_VALUE
+
+        def io_attach(interp, fdo, lower):
+            top = _device(fdo, "IoAttachDeviceToDeviceStack")
+            top.attach(_device(lower, "IoAttachDeviceToDeviceStack"))
+            return fdo
+
+        def io_get_lower(interp, dev):
+            device = _device(dev, "IoGetLowerDevice")
+            if device.lower is None:
+                raise RuntimeProtocolError(
+                    Code.RT_PROTOCOL,
+                    f"device '{device.name}' has no lower device")
+            return VHandle("device", device.lower)
+
+        table: Dict[str, Any] = {
+            "IoCompleteRequest": io_complete_request,
+            "IoCallDriver": io_call_driver,
+            "IoMarkIrpPending": io_mark_pending,
+            "IoAllocateIrp": io_allocate_irp,
+            "IoBuildDeviceIoControlRequest": io_build_ioctl,
+            "IoFreeIrp": io_free_irp,
+            "IoSetCompletionRoutine": io_set_completion,
+            "IrpSetInformation": irp_set_information,
+            "IrpSystemBuffer": irp_system_buffer,
+            "IoCopyCurrentIrpStackLocationToNext": io_copy_next,
+            "IoSkipCurrentIrpStackLocation": io_skip_next,
+            "KeCreateDeviceQueue": ke_create_queue,
+            "KeInsertDeviceQueue": ke_insert_queue,
+            "KeQueueDepth": ke_queue_depth,
+            "KeRemoveDeviceQueue": ke_remove_queue,
+            "KeInitializeEvent": ke_init_event,
+            "KeSignalEvent": ke_signal_event,
+            "KeWaitForEvent": ke_wait_event,
+            "KeInitializeSpinLock": ke_init_spin_lock,
+            "KeAcquireSpinLock": ke_acquire_spin_lock,
+            "KeReleaseSpinLock": ke_release_spin_lock,
+            "KeSetPriorityThread": ke_set_priority,
+            "KeReleaseSemaphore": ke_release_semaphore,
+            "KeRaiseIrqlToDpcLevel": ke_raise_to_dpc,
+            "KeLowerIrql": ke_lower,
+            "IoCreateDevice": io_create_device,
+            "IoRegisterDispatch": io_register_dispatch,
+            "IoAttachDeviceToDeviceStack": io_attach,
+            "IoGetLowerDevice": io_get_lower,
+        }
+        for name, getter in accessors.items():
+            table[name] = make_accessor(name, getter)
+
+        constants = {
+            "IRP_MJ_CREATE": IRP_MJ_CREATE, "IRP_MJ_CLOSE": IRP_MJ_CLOSE,
+            "IRP_MJ_READ": IRP_MJ_READ, "IRP_MJ_WRITE": IRP_MJ_WRITE,
+            "IRP_MJ_DEVICE_CONTROL": IRP_MJ_DEVICE_CONTROL,
+            "IRP_MJ_PNP": IRP_MJ_PNP,
+            "STATUS_SUCCESS": STATUS_SUCCESS,
+            "STATUS_PENDING": STATUS_PENDING,
+            "STATUS_INVALID_DEVICE_REQUEST": STATUS_INVALID_DEVICE_REQUEST,
+            "STATUS_NO_MEDIA": STATUS_NO_MEDIA,
+            "STATUS_DEVICE_NOT_READY": STATUS_DEVICE_NOT_READY,
+            "STATUS_INVALID_PARAMETER": STATUS_INVALID_PARAMETER,
+        }
+
+        def make_constant(value):
+            def constant(interp):
+                return value
+            return constant
+
+        for name, value in constants.items():
+            table[name] = make_constant(value)
+
+        self.env.register_all(table)
+
+
+def create_host() -> Host:
+    """A fresh host with isolated substrate instances."""
+    return Host()
+
+
+def make_interpreter(ctx, host: Optional[Host] = None) -> Interpreter:
+    """Convenience: an interpreter wired to a (fresh) host."""
+    host = host or create_host()
+    interp = Interpreter(ctx, host.env)
+    interp.vault_host = host
+    return interp

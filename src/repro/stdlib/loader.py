@@ -1,0 +1,50 @@
+"""Loading of the standard Vault interface library.
+
+The ``vault/`` directory holds the interfaces the paper develops:
+``region.vlt`` (§2.2), ``socket.vlt`` (§2.3), ``file.vlt`` (the FILE
+examples of §2.1) and ``ntkernel.vlt`` (the Windows 2000 kernel/driver
+interface of §4).  :func:`stdlib_programs` parses whichever of them a
+caller requests, defaulting to all.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..syntax import ast, parse_program
+
+_VAULT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "vault")
+
+#: Load order matters only for readability; names are global either way.
+STDLIB_UNITS = ("region", "file", "socket", "ntkernel", "transactions",
+                "gdi")
+
+
+def stdlib_path(unit: str) -> str:
+    return os.path.join(_VAULT_DIR, f"{unit}.vlt")
+
+
+def available_units() -> List[str]:
+    return sorted(
+        name[:-4] for name in os.listdir(_VAULT_DIR) if name.endswith(".vlt"))
+
+
+@lru_cache(maxsize=None)
+def _load_unit(unit: str) -> ast.Program:
+    path = stdlib_path(unit)
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read(), filename=f"<stdlib:{unit}>")
+
+
+def stdlib_programs(units: Optional[Sequence[str]] = None) -> List[ast.Program]:
+    """Parsed stdlib compilation units (cached)."""
+    chosen: Iterable[str] = units if units is not None else [
+        u for u in STDLIB_UNITS if os.path.exists(stdlib_path(u))]
+    return [_load_unit(u) for u in chosen]
+
+
+def stdlib_source(unit: str) -> str:
+    with open(stdlib_path(unit), "r", encoding="utf-8") as handle:
+        return handle.read()

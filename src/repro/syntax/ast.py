@@ -1,0 +1,472 @@
+"""Abstract syntax for the Vault surface language.
+
+The node classes mirror the constructs the paper uses:
+
+* declarations — ``interface``, ``module``, ``extern module``, ``type``
+  aliases and abstract types, ``variant`` declarations with key-capturing
+  constructors, ``struct``, ``stateset`` partial orders, global ``key``
+  declarations, and function declarations/definitions with effect
+  clauses;
+* types — base types, named (possibly parameterized) types,
+  ``tracked(K) T`` / anonymous ``tracked T``, guarded types ``K@st : T``,
+  arrays, and function types (for completion routines, §4.3);
+* effect clauses — ``[K@a->b]``, ``[-K@a]``, ``[+K@b]``, ``[new K@b]``,
+  with states that may be names, variables, or bounded variables
+  ``(level <= DISPATCH_LEVEL)``;
+* statements and expressions — C-like, plus ``switch`` pattern matching
+  over variants, ``free``, ``new``/``new(region)``/``new tracked``
+  allocation, and constructor application ``'Name(args){keys}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..diagnostics import Span
+
+
+@dataclass
+class Node:
+    span: Span
+
+
+# ---------------------------------------------------------------------------
+# States (as they appear in guards and effect clauses)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StateRef(Node):
+    """A reference to a key state: a concrete state name or a state variable.
+
+    The parser cannot distinguish state names from state variables; the
+    elaborator resolves them against ``stateset`` declarations.
+    """
+    name: str
+
+
+@dataclass
+class StateBound(Node):
+    """A bounded state variable, ``(var <= BOUND)`` (§4.4)."""
+    var: str
+    bound: str
+
+
+StateExpr = Union[StateRef, StateBound]
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Type(Node):
+    pass
+
+
+@dataclass
+class BaseType(Type):
+    name: str  # void, int, bool, byte, float, string, char
+
+
+@dataclass
+class NamedType(Type):
+    """A use of a declared type: ``FILE``, ``opt_key<K>``, ``KIRQL<level>``.
+
+    ``args`` holds type arguments; key and state arguments appear as
+    :class:`NamedType` with a bare name and are disambiguated during
+    elaboration against the declaration's parameter kinds.
+    """
+    name: str
+    args: List["TypeArg"] = field(default_factory=list)
+
+
+@dataclass
+class TypeArg(Node):
+    """An argument in ``<...>``: a type, or a bare key/state name."""
+    type: Optional[Type] = None
+    name: Optional[str] = None          # key or state argument
+    state: Optional[StateExpr] = None   # explicit @state on a key argument
+
+
+@dataclass
+class ArrayType(Type):
+    elem: Type
+
+
+@dataclass
+class TrackedType(Type):
+    """``tracked(K) T``, ``tracked(K@st) T``, ``tracked(@st) T`` or ``tracked T``.
+
+    ``key`` is ``None`` for anonymous tracked types (existentials).
+    ``state`` is the optional initial/required state annotation.
+    """
+    key: Optional[str]
+    inner: Type
+    state: Optional[StateExpr] = None
+
+
+@dataclass
+class GuardedType(Type):
+    """``K : T``, ``K@st : T`` or ``(IRQL @ (lvl<=APC_LEVEL)) : T``."""
+    key: str
+    state: Optional[StateExpr]
+    inner: Type
+
+
+@dataclass
+class FunType(Type):
+    """A function type, used in type aliases (completion routines, §4.3)."""
+    ret: Type
+    params: List["Param"]
+    effect: Optional["EffectClause"]
+    name: Optional[str] = None   # the dummy name in the paper's syntax
+
+
+# ---------------------------------------------------------------------------
+# Effect clauses
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EffectItem(Node):
+    """One item of an effect clause.
+
+    ``mode`` is one of:
+
+    * ``"keep"``    — ``K@a->b`` / ``K@a`` (held before and after);
+    * ``"consume"`` — ``-K@a`` (held before, gone after);
+    * ``"produce"`` — ``+K@b`` (absent before, held after);
+    * ``"fresh"``   — ``new K@b`` (fresh key held after).
+    """
+    mode: str
+    key: str
+    pre: Optional[StateExpr] = None
+    post: Optional[StateExpr] = None
+
+
+@dataclass
+class EffectClause(Node):
+    items: List[EffectItem] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class TypeParam(Node):
+    """``type T``, ``key K`` or ``state S`` inside ``<...>`` of a declaration."""
+    kind: str  # "type" | "key" | "state"
+    name: str
+
+
+@dataclass
+class Param(Node):
+    type: Type
+    name: Optional[str]
+
+
+@dataclass
+class FunDecl(Decl):
+    """A function signature (prototype); also used inside interfaces."""
+    ret: Type
+    name: str
+    params: List[Param]
+    effect: Optional[EffectClause]
+    type_params: List[TypeParam] = field(default_factory=list)
+
+
+@dataclass
+class FunDef(Decl):
+    """A function definition with a body; may be nested (Figure 7)."""
+    decl: FunDecl
+    body: "Block"
+
+
+@dataclass
+class TypeAliasDecl(Decl):
+    """``type name<params> = type;`` — ``rhs`` is ``None`` for abstract types."""
+    name: str
+    params: List[TypeParam]
+    rhs: Optional[Type]
+
+
+@dataclass
+class CtorDecl(Node):
+    """A variant constructor: ``'Name(arg-types){key-attachments}``."""
+    name: str
+    args: List[Type] = field(default_factory=list)
+    keys: List[Tuple[str, Optional[StateExpr]]] = field(default_factory=list)
+
+
+@dataclass
+class VariantDecl(Decl):
+    name: str
+    params: List[TypeParam]
+    ctors: List[CtorDecl]
+
+
+@dataclass
+class StructField(Node):
+    type: Type
+    name: str
+
+
+@dataclass
+class StructDecl(Decl):
+    name: str
+    params: List[TypeParam]
+    fields: List[StructField]
+
+
+@dataclass
+class StateSetDecl(Decl):
+    """``stateset NAME = [ a < b < c ];`` — states with a partial order.
+
+    ``order`` lists the declared ``<`` edges; states not related by any
+    edge are incomparable.
+    """
+    name: str
+    states: List[str]
+    order: List[Tuple[str, str]]
+
+
+@dataclass
+class KeyDecl(Decl):
+    """``key NAME @ STATESET;`` — a statically-declared (global) key (§4.4)."""
+    name: str
+    stateset: Optional[str]
+    initial: Optional[str] = None
+
+
+@dataclass
+class InterfaceDecl(Decl):
+    name: str
+    decls: List[Decl]
+
+
+@dataclass
+class ModuleDecl(Decl):
+    """``module Name : IFACE { ... }`` or ``extern module Name : IFACE;``."""
+    name: str
+    interface: Optional[str]
+    decls: List[Decl]
+    is_extern: bool = False
+
+
+@dataclass
+class Program(Node):
+    decls: List[Decl]
+    filename: str = "<input>"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: Type
+    name: str
+    init: Optional["Expr"]
+
+
+@dataclass
+class LocalFun(Stmt):
+    """A nested function definition (the paper's ``RegainIrp``, Figure 7)."""
+    fundef: FunDef
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: "Expr"
+
+
+@dataclass
+class Assign(Stmt):
+    target: "Expr"
+    op: str          # "=", "+=", "-="
+    value: "Expr"
+
+
+@dataclass
+class IncDec(Stmt):
+    target: "Expr"
+    op: str          # "++" or "--"
+
+
+@dataclass
+class If(Stmt):
+    cond: "Expr"
+    then: Stmt
+    orelse: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: "Expr"
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional["Expr"]
+
+
+@dataclass
+class Free(Stmt):
+    target: "Expr"
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Pattern(Node):
+    """A switch pattern: ``'Ctor``, ``'Ctor(x, _, y)`` or ``default``."""
+    ctor: Optional[str]                 # None for default
+    binders: List[Optional[str]] = field(default_factory=list)
+
+
+@dataclass
+class Case(Node):
+    pattern: Pattern
+    body: List[Stmt]
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: "Expr"
+    cases: List[Case]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class CharLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    obj: Expr
+    field: str
+
+
+@dataclass
+class Index(Expr):
+    obj: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """``f(args)`` or ``Module.f(args)`` (``fn`` is Name or FieldAccess)."""
+    fn: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class CtorApp(Expr):
+    """Constructor application: ``'Name``, ``'Name(args)``, ``'Name{K}``,
+    ``'Name(args){K}``."""
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    keys: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FieldInit(Node):
+    name: str
+    value: Expr
+
+
+@dataclass
+class New(Expr):
+    """Allocation:
+
+    * ``new tracked T {inits}``  — fresh tracked heap object (``tracked=True``)
+    * ``new(rgn) T {inits}``     — region allocation (``region`` set)
+    * ``new T {inits}``          — plain struct value
+    """
+    type: Type
+    inits: List[FieldInit]
+    tracked: bool = False
+    region: Optional[Expr] = None
+
+
+@dataclass
+class ArrayLit(Expr):
+    elems: List[Expr]

@@ -1,0 +1,211 @@
+"""Hand-written lexer for the Vault surface language.
+
+C-style tokens plus Vault's additions: constructor names ``'Name``
+(a tick immediately followed by an identifier), ``@`` for key states,
+and ``->`` inside effect clauses.  Comments are C-style ``//`` and
+``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..diagnostics import LexError, Pos, Span
+from .tokens import KEYWORDS, T, Token
+
+_SIMPLE = {
+    "(": T.LPAREN, ")": T.RPAREN, "{": T.LBRACE, "}": T.RBRACE,
+    "[": T.LBRACKET, "]": T.RBRACKET, ";": T.SEMI, ",": T.COMMA,
+    ".": T.DOT, ":": T.COLON, "@": T.AT, "?": T.QUESTION, "%": T.PERCENT,
+    "*": T.STAR, "|": T.PIPE,
+}
+
+
+class Lexer:
+    """Converts Vault source text into a token stream."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.src = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self) -> str:
+        ch = self.src[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def _here(self) -> Pos:
+        return Pos(self.line, self.col, self.pos)
+
+    def _span(self, start: Pos) -> Span:
+        return Span(start, self._here(), self.filename)
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, Span.point(self.line, self.col, self.filename))
+
+    # -- token scanning -----------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._here()
+                self._advance()
+                self._advance()
+                while True:
+                    if self.pos >= len(self.src):
+                        raise LexError("unterminated block comment",
+                                       Span(start, start, self.filename))
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _lex_ident(self, start: Pos) -> Token:
+        begin = self.pos
+        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.src[begin:self.pos]
+        if text == "_":
+            return Token(T.UNDERSCORE, text, self._span(start))
+        kind = KEYWORDS.get(text, T.IDENT)
+        return Token(kind, text, self._span(start))
+
+    def _lex_number(self, start: Pos) -> Token:
+        begin = self.pos
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance()
+            self._advance()
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token(T.INT, self.src[begin:self.pos], self._span(start))
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) and self._peek(1) in "+-"
+                    and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        kind = T.FLOAT if is_float else T.INT
+        return Token(kind, self.src[begin:self.pos], self._span(start))
+
+    def _lex_string(self, start: Pos) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.src) or self._peek() == "\n":
+                raise LexError("unterminated string literal",
+                               Span(start, start, self.filename))
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                if self.pos >= len(self.src):
+                    raise LexError("unterminated string literal",
+                                   Span(start, start, self.filename))
+                esc = self._advance()
+                chars.append({"n": "\n", "t": "\t", "r": "\r",
+                              "0": "\0", "\\": "\\", '"': '"'}.get(esc, esc))
+            else:
+                chars.append(ch)
+        return Token(T.STRING, "".join(chars), self._span(start))
+
+    def _lex_ctor(self, start: Pos) -> Token:
+        self._advance()  # the tick
+        if not (self._peek().isalpha() or self._peek() == "_"):
+            # A tick followed by one char and a closing tick is a char literal.
+            if self._peek() and self._peek(1) == "'":
+                ch = self._advance()
+                self._advance()
+                return Token(T.CHAR, ch, self._span(start))
+            raise self._error("expected constructor name after '")
+        begin = self.pos
+        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        # 'x' style char literal: single letter followed by a closing tick
+        if self.pos - begin == 1 and self._peek() == "'":
+            ch = self.src[begin]
+            self._advance()
+            return Token(T.CHAR, ch, self._span(start))
+        return Token(T.CTOR, self.src[begin:self.pos], self._span(start))
+
+    def _lex_operator(self, start: Pos) -> Token:
+        two = self.src[self.pos:self.pos + 2]
+        table2 = {
+            "->": T.ARROW, "&&": T.AMPAMP, "||": T.PIPEPIPE, "==": T.EQ,
+            "!=": T.NE, "<=": T.LE, ">=": T.GE, "++": T.PLUSPLUS,
+            "--": T.MINUSMINUS, "+=": T.PLUSEQ, "-=": T.MINUSEQ,
+        }
+        if two in table2:
+            self._advance()
+            self._advance()
+            return Token(table2[two], two, self._span(start))
+        ch = self._peek()
+        table1 = dict(_SIMPLE)
+        table1.update({"=": T.ASSIGN, "+": T.PLUS, "-": T.MINUS,
+                       "/": T.SLASH, "!": T.BANG, "<": T.LT, ">": T.GT})
+        if ch in table1:
+            self._advance()
+            return Token(table1[ch], ch, self._span(start))
+        raise self._error(f"unexpected character {ch!r}")
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self._here()
+        if self.pos >= len(self.src):
+            return Token(T.EOF, "", self._span(start))
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(start)
+        if ch.isdigit():
+            return self._lex_number(start)
+        if ch == '"':
+            return self._lex_string(start)
+        if ch == "'":
+            return self._lex_ctor(start)
+        return self._lex_operator(start)
+
+    def tokenize(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is T.EOF:
+                return out
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize Vault source, returning a list ending with an EOF token."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,49 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro import check_source, load_context
+from repro.diagnostics import Code, Reporter
+from repro.stdlib.hostimpl import Host, create_host, make_interpreter
+
+POINT = "struct point { int x; int y; }\n"
+
+
+def check(source: str, units: Optional[Sequence[str]] = None) -> Reporter:
+    return check_source(source, units=units)
+
+
+def codes(source: str, units: Optional[Sequence[str]] = None) -> List[Code]:
+    return check(source, units).codes()
+
+
+def assert_ok(source: str, units: Optional[Sequence[str]] = None) -> None:
+    report = check(source, units)
+    assert report.ok, "expected clean check, got:\n" + report.render()
+
+
+def assert_rejected(source: str, code: Code,
+                    units: Optional[Sequence[str]] = None) -> None:
+    report = check(source, units)
+    assert not report.ok, "expected rejection, but the program checked"
+    assert report.has(code), (
+        f"expected {code.value}, got "
+        f"{[c.value for c in report.codes()]}:\n{report.render()}")
+
+
+def run_program(source: str, entry: str = "main"):
+    """Check-free execution helper: returns (result, host)."""
+    ctx, reporter = load_context(source)
+    assert reporter.ok, reporter.render()
+    host = create_host()
+    interp = make_interpreter(ctx, host)
+    return interp.call(entry), host
+
+
+@pytest.fixture
+def host() -> Host:
+    return create_host()

@@ -1,0 +1,178 @@
+"""Analysis-layer tests: plain-checker baseline, mutation harness,
+corpus, synthetic generator, metrics."""
+
+import pytest
+
+from repro import check_source
+from repro.analysis import (CORPUS, PROTOCOL_CODES, compare_sizes,
+                            count_lines, count_tokens, format_table,
+                            generate_mutants, is_protocol_error,
+                            plain_check, run_study, synthesize_program)
+from repro.diagnostics import Code
+from repro.drivers import driver_source
+
+LEAKY = """
+struct point { int x; int y; }
+void leaky() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    pt.x++;
+}
+"""
+
+
+class TestPlainChecker:
+    def test_protocol_bug_invisible_to_plain_checker(self):
+        assert not check_source(LEAKY).ok
+        assert plain_check(LEAKY).ok
+
+    def test_ordinary_type_error_still_caught(self):
+        bad = 'void f() { int x = "nope"; }'
+        assert not plain_check(bad).ok
+
+    def test_undefined_name_still_caught(self):
+        assert not plain_check("void f() { mystery(); }").ok
+
+    def test_driver_passes_plain_check(self):
+        assert plain_check(driver_source()).ok
+
+    def test_is_protocol_error(self):
+        assert is_protocol_error(Code.KEY_LEAKED)
+        assert not is_protocol_error(Code.TYPE_MISMATCH)
+
+    def test_protocol_codes_cover_key_family(self):
+        assert Code.KEY_NOT_HELD in PROTOCOL_CODES
+        assert Code.JOIN_MISMATCH in PROTOCOL_CODES
+
+
+class TestMutants:
+    def test_mutants_generated_for_all_operators(self):
+        program = CORPUS["region_pipeline"]
+        mutants = generate_mutants(program.source)
+        ops = {m.operator for m in mutants}
+        assert ops == {"drop", "dup", "swap"}
+
+    def test_each_mutant_differs_from_original(self):
+        program = CORPUS["region_pipeline"]
+        for mutant in generate_mutants(program.source):
+            assert mutant.source != program.source
+
+    def test_mutants_reparse(self):
+        from repro.syntax import parse_program
+        program = CORPUS["file_copy"]
+        for mutant in generate_mutants(program.source):
+            parse_program(mutant.source)
+
+    def test_drop_release_is_static_leak(self):
+        program = CORPUS["region_pipeline"]
+        mutants = [m for m in generate_mutants(program.source, ["drop"])
+                   if "Region.delete" in m.description]
+        assert mutants
+        for mutant in mutants:
+            report = check_source(mutant.source)
+            assert report.has(Code.KEY_LEAKED) or \
+                report.has(Code.POSTCONDITION_MISMATCH)
+
+    def test_dup_release_is_static_double_free(self):
+        program = CORPUS["region_pipeline"]
+        mutants = [m for m in generate_mutants(program.source, ["dup"])
+                   if "Region.delete" in m.description]
+        for mutant in mutants:
+            report = check_source(mutant.source)
+            assert report.has(Code.KEY_CONSUMED_MISSING) or \
+                report.has(Code.KEY_NOT_HELD)
+
+    def test_function_filter(self):
+        program = CORPUS["region_pipeline"]
+        mutants = generate_mutants(program.source, functions=["phase_two"])
+        assert mutants
+        assert all(m.function == "phase_two" for m in mutants)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        program = CORPUS["region_pipeline"]
+        return run_study(program.source, runner=program.runner)
+
+    def test_vault_beats_plain(self, study):
+        assert study.vault_detected > study.plain_detected
+
+    def test_static_catches_what_dynamic_catches_here(self, study):
+        # With a fully-covering workload, static detection should not
+        # trail dynamic detection on protocol mutants.
+        assert study.vault_detected >= study.dynamic_detected
+
+    def test_rates_consistent(self, study):
+        assert 0 <= study.rate("vault") <= 1
+        assert study.total == len(study.results)
+
+    def test_rows_structure(self, study):
+        rows = study.rows()
+        assert len(rows) == 4
+        assert rows[0][1] == study.vault_detected
+
+    def test_limit(self):
+        program = CORPUS["file_copy"]
+        summary = run_study(program.source, limit=3)
+        assert summary.total == 3
+
+
+class TestSyntheticCorpus:
+    def test_clean_programs_check(self):
+        for seed in range(3):
+            source = synthesize_program(4, seed=seed)
+            report = check_source(source, units=["region"])
+            assert report.ok, report.render()
+
+    def test_buggy_programs_rejected(self):
+        source = synthesize_program(6, seed=7, error_rate=1.0)
+        report = check_source(source, units=["region"])
+        assert not report.ok
+        assert all(is_protocol_error(c) or c is Code.KEY_NOT_HELD
+                   for c in report.codes())
+
+    def test_size_scales(self):
+        small = synthesize_program(2, seed=0)
+        large = synthesize_program(40, seed=0)
+        assert count_lines(large) > count_lines(small) * 10
+
+    def test_deterministic_for_seed(self):
+        assert synthesize_program(5, seed=3) == synthesize_program(5, seed=3)
+
+
+class TestMetrics:
+    def test_count_lines_skips_comments_and_blanks(self):
+        text = "// comment\n\nint x;\n/* block\nstill */\nint y;\n"
+        assert count_lines(text) == 2
+
+    def test_count_tokens(self):
+        assert count_tokens("int x = 1;") == 5
+
+    def test_driver_annotation_overhead_is_modest(self):
+        # Paper: 4900 C lines -> 5200 Vault lines (~6%).  Our token
+        # overhead should be positive but small (< 25%).
+        cmp = compare_sizes(driver_source())
+        assert cmp.vault_tokens > cmp.erased_tokens
+        assert 0.0 < cmp.token_overhead < 0.25
+
+    def test_char_overhead_positive(self):
+        cmp = compare_sizes(driver_source())
+        assert cmp.char_overhead > 0
+
+    def test_format_table(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0]
+
+
+class TestCorpusPrograms:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_checks_clean(self, name):
+        report = check_source(CORPUS[name].source)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_runs_clean(self, name):
+        assert CORPUS[name].runner(CORPUS[name].source) is None

@@ -1,0 +1,197 @@
+"""CFG construction and dataflow-engine tests."""
+
+import pytest
+
+from repro.core import (CFG, DefiniteAssignment, ForwardAnalysis, build_cfg,
+                        dead_statement_count, program_cfgs)
+from repro.drivers import driver_source
+from repro.syntax import ast, parse_program
+
+
+def cfg_of(source, name=None):
+    program = parse_program(source)
+    cfgs = program_cfgs(program)
+    if name is None:
+        assert len(cfgs) == 1
+        return next(iter(cfgs.values()))
+    return cfgs[name]
+
+
+class TestConstruction:
+    def test_straight_line(self):
+        cfg = cfg_of("int f() { int x = 1; int y = 2; return x + y; }")
+        stats = cfg.stats()
+        assert stats["loops"] == 0
+        assert stats["unreachable"] == 0
+        assert stats["statements"] == 3
+
+    def test_if_produces_diamond(self):
+        cfg = cfg_of("""
+int f(bool c) {
+    int x = 0;
+    if (c) { x = 1; } else { x = 2; }
+    return x;
+}
+""")
+        branch_blocks = [b for b in cfg.blocks if b.terminator == "branch"]
+        assert len(branch_blocks) == 1
+        labels = {label for _t, label in branch_blocks[0].succs}
+        assert labels == {"true", "false"}
+
+    def test_if_without_else_links_false_to_join(self):
+        cfg = cfg_of("""
+int f(bool c) {
+    int x = 0;
+    if (c) { x = 1; }
+    return x;
+}
+""")
+        assert cfg.stats()["unreachable"] == 0
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("""
+int f(int n) {
+    int i = 0;
+    while (i < n) { i++; }
+    return i;
+}
+""")
+        assert cfg.stats()["loops"] == 1
+
+    def test_break_jumps_past_loop(self):
+        cfg = cfg_of("""
+int f(int n) {
+    int i = 0;
+    while (true) {
+        if (i > n) { break; }
+        i++;
+    }
+    return i;
+}
+""")
+        breaks = [label for b in cfg.blocks
+                  for _t, label in b.succs if label == "break"]
+        assert len(breaks) == 1
+
+    def test_continue_jumps_to_head(self):
+        cfg = cfg_of("""
+int f(int n) {
+    int i = 0;
+    int acc = 0;
+    while (i < n) {
+        i++;
+        if (i % 2 == 0) { continue; }
+        acc += i;
+    }
+    return acc;
+}
+""")
+        continues = [label for b in cfg.blocks
+                     for _t, label in b.succs if label == "continue"]
+        assert len(continues) == 1
+
+    def test_switch_edges_labelled_by_ctor(self):
+        cfg = cfg_of("""
+variant opt [ 'None | 'Some(int) ];
+int f(opt v) {
+    switch (v) {
+        case 'None: return 0;
+        case 'Some(n): return n;
+    }
+}
+""", name="f")
+        switch_block = [b for b in cfg.blocks if b.terminator == "switch"][0]
+        labels = {label for _t, label in switch_block.succs}
+        assert labels == {"None", "Some"}
+
+    def test_dead_code_after_return_is_unreachable(self):
+        cfg = cfg_of("""
+int f() {
+    return 1;
+    int x = 2;
+}
+""")
+        assert dead_statement_count(cfg) == 1
+
+    def test_both_branches_return_join_unreachable(self):
+        cfg = cfg_of("""
+int f(bool c) {
+    if (c) { return 1; } else { return 2; }
+}
+""")
+        assert cfg.exit.id in cfg.reachable_blocks()
+
+    def test_driver_cfgs_build(self):
+        cfgs = program_cfgs(parse_program(driver_source()))
+        assert "FloppyRead" in cfgs
+        read_stats = cfgs["FloppyRead"].stats()
+        assert read_stats["blocks"] > 5
+        assert all(c.stats()["unreachable"] == 0 for c in cfgs.values())
+
+    def test_render(self):
+        cfg = cfg_of("int f() { return 1; }")
+        text = cfg.render()
+        assert "entry" in text and "exit" in text
+
+
+class TestDataflow:
+    def test_definite_assignment_straight_line(self):
+        cfg = cfg_of("int f() { int x = 1; return x; }")
+        assigned = DefiniteAssignment().definitely_assigned_at_exit(cfg)
+        assert "x" in assigned
+
+    def test_branch_assignment_must_cover_both_arms(self):
+        cfg = cfg_of("""
+int f(bool c) {
+    int x = 0;
+    if (c) { int y = 1; }
+    return x;
+}
+""")
+        assigned = DefiniteAssignment().definitely_assigned_at_exit(cfg)
+        assert "x" in assigned
+        assert "y" not in assigned
+
+    def test_both_arms_assign(self):
+        cfg = cfg_of("""
+int f(bool c) {
+    int y = 0;
+    if (c) { y = 1; } else { y = 2; }
+    return y;
+}
+""")
+        assigned = DefiniteAssignment().definitely_assigned_at_exit(cfg)
+        assert "y" in assigned
+
+    def test_params_definitely_assigned(self):
+        cfg = cfg_of("int f(int a, int b) { return a + b; }")
+        analysis = DefiniteAssignment(params=["a", "b"])
+        assert {"a", "b"} <= analysis.definitely_assigned_at_exit(cfg)
+
+    def test_loop_body_assignment_not_definite(self):
+        cfg = cfg_of("""
+int f(int n) {
+    int i = 0;
+    while (i < n) { int inner = 3; i++; }
+    return i;
+}
+""")
+        assigned = DefiniteAssignment().definitely_assigned_at_exit(cfg)
+        assert "i" in assigned
+        assert "inner" not in assigned
+
+    def test_generic_engine_converges_on_loops(self):
+        cfg = cfg_of("""
+int f(int n) {
+    int i = 0;
+    while (i < n) { i++; }
+    return i;
+}
+""")
+        # Count maximum path-length lattice: join = max, transfer = +len.
+        analysis = ForwardAnalysis(
+            entry_value=0,
+            join=max,
+            transfer=lambda block, v: min(v + len(block.stmts), 99))
+        solved = analysis.solve(cfg)
+        assert solved[cfg.exit.id] >= 2

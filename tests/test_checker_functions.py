@@ -1,0 +1,342 @@
+"""Checker tests: function signatures, effect clauses, polymorphism
+(§3.2), nested functions and function values (§4.3)."""
+
+from repro.diagnostics import Code
+
+from conftest import assert_ok, assert_rejected, codes
+
+
+class TestEffectPolymorphism:
+    def test_key_polymorphic_callee(self):
+        # fclose can be called on any tracked file, whatever its key.
+        assert_ok("""
+void f() {
+    tracked(A) FILE one = fopen("a");
+    tracked(B) FILE two = fopen("b");
+    fclose(two);
+    fclose(one);
+}
+""")
+
+    def test_rest_of_keyset_untouched(self):
+        # Calling fclose(one) must not disturb two's key.
+        assert_ok("""
+void f() {
+    tracked(A) FILE one = fopen("a");
+    tracked(B) FILE two = fopen("b");
+    fclose(one);
+    fputb(two, 1);
+    fclose(two);
+}
+""")
+
+    def test_state_polymorphic_close(self):
+        assert_ok("""
+void close_any(tracked(S) sock s) [-S] {
+    Socket.close(s);
+}
+""")
+
+    def test_effectless_function_is_identity_on_keys(self):
+        assert_ok("""
+int peek(tracked(F) FILE f) {
+    return flen(f);
+}
+void g() {
+    tracked(F) FILE f = fopen("x");
+    int n = peek(f);
+    fclose(f);
+}
+""")
+
+    def test_two_tracked_params_distinct_keys(self):
+        assert_ok("""
+void both(tracked(A) FILE a, tracked(B) FILE b) [-A, -B] {
+    fclose(a);
+    fclose(b);
+}
+void g() {
+    tracked(X) FILE x = fopen("x");
+    tracked(Y) FILE y = fopen("y");
+    both(x, y);
+}
+""")
+
+    def test_same_key_for_two_params(self):
+        # guarded_int<F> correlates with the file's key (paper §2.1).
+        assert_ok("""
+type guarded_int<key K> = K:int;
+int foo(tracked(F) FILE f, guarded_int<F> gi) [F] {
+    return gi + flen(f);
+}
+""")
+
+    def test_consume_precondition_missing(self):
+        assert_rejected("""
+void g(tracked(F) FILE f) [-F] {
+    fclose(f);
+    fclose(f);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_promised_consume_not_performed(self):
+        assert_rejected("""
+void g(tracked(F) FILE f) [-F] {
+    int n = flen(f);
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_undeclared_fresh_key_is_leak(self):
+        assert_rejected("""
+void g() {
+    tracked(F) FILE f = fopen("x");
+}
+""", Code.KEY_LEAKED)
+
+    def test_declared_fresh_key_returned(self):
+        assert_ok("""
+tracked(N) FILE open_log() [new N] {
+    tracked(F) FILE f = fopen("log");
+    fputb(f, 1);
+    return f;
+}
+void g() {
+    tracked(L) FILE log = open_log();
+    fclose(log);
+}
+""")
+
+    def test_return_type_names_key_without_new_item(self):
+        assert_rejected("""
+tracked(N) FILE broken() {
+    tracked(F) FILE f = fopen("x");
+    return f;
+}
+""", Code.KEY_ESCAPES_SCOPE)
+
+    def test_fresh_key_wrong_state(self):
+        assert_rejected("""
+tracked(N) sock make() [new N@ready] {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    return s;
+}
+""", Code.KEY_WRONG_STATE)
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        assert_rejected("""
+void g() {
+    tracked(F) FILE f = fopen("x", 1);
+    fclose(f);
+}
+""", Code.ARITY_MISMATCH)
+
+    def test_argument_type_mismatch(self):
+        assert_rejected("""
+void g() {
+    tracked(F) FILE f = fopen(42);
+    fclose(f);
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_unknown_function(self):
+        assert_rejected("void g() { frobnicate(); }", Code.UNDEFINED_NAME)
+
+    def test_unknown_module_function(self):
+        assert_rejected("void g() { Region.frobnicate(); }",
+                        Code.UNDEFINED_NAME)
+
+    def test_passing_untracked_where_tracked_needed(self):
+        assert_rejected("""
+void g(int x) {
+    fclose(x);
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_key_binding_conflict(self):
+        # Both params demand the same key; passing distinct files fails.
+        assert_rejected("""
+void same(tracked(K) FILE a, tracked(K) FILE b) [K] { }
+void g() {
+    tracked(X) FILE x = fopen("x");
+    tracked(Y) FILE y = fopen("y");
+    same(x, y);
+    fclose(x);
+    fclose(y);
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_key_binding_same_alias_ok(self):
+        assert_ok("""
+void same(tracked(K) FILE a, tracked(K) FILE b) [K] { }
+void g() {
+    tracked(X) FILE x = fopen("x");
+    tracked(X) FILE alias = x;
+    same(x, alias);
+    fclose(x);
+}
+""")
+
+    def test_numeric_coercion_int_byte(self):
+        assert_ok("""
+void g(tracked(F) FILE f) [F] {
+    fputb(f, 65);
+}
+""")
+
+
+class TestNestedFunctions:
+    def test_nested_function_closes_over_plain_values(self):
+        assert_ok("""
+int outer(int base) {
+    int helper(int x) {
+        return x + base;
+    }
+    return helper(1) + helper(2);
+}
+""")
+
+    def test_nested_function_cannot_capture_tracked(self):
+        result = codes("""
+void outer() {
+    tracked(R) region rgn = Region.create();
+    void helper() {
+        Region.delete(rgn);
+    }
+    helper();
+    Region.delete(rgn);
+}
+""")
+        assert Code.UNDEFINED_NAME in result
+
+    def test_nested_function_with_own_effect_over_outer_key(self):
+        # Figure 7's RegainIrp shape, distilled.
+        assert_ok("""
+void outer(tracked(F) FILE f) [-F] {
+    KEVENT<F> done = KeInitializeEvent(f);
+    void closer(tracked(F) FILE g) [-F] {
+        KeSignalEvent(done);
+    }
+    closer(f);
+    KeWaitForEvent(done);
+    fclose(f);
+}
+""")
+
+    def test_nested_effect_must_balance(self):
+        assert_rejected("""
+void outer(tracked(F) FILE f) [F] {
+    void bad(tracked(F) FILE g) [F] {
+        fclose(g);
+    }
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+
+class TestModules:
+    def test_module_implements_interface(self):
+        assert_ok("""
+interface COUNTER {
+    int bump(int x);
+}
+module Counter : COUNTER {
+    int bump(int x) {
+        return x + 1;
+    }
+}
+void g() {
+    int v = Counter.bump(3);
+}
+""")
+
+    def test_missing_interface_function(self):
+        assert_rejected("""
+interface COUNTER {
+    int bump(int x);
+}
+module Counter : COUNTER {
+}
+""", Code.UNDEFINED_NAME)
+
+    def test_conformance_signature_mismatch(self):
+        assert_rejected("""
+interface COUNTER {
+    int bump(int x);
+}
+module Counter : COUNTER {
+    int bump(string x) {
+        return 1;
+    }
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_conformance_effect_mismatch(self):
+        assert_rejected("""
+interface CLOSER {
+    void shut(tracked(F) FILE f) [-F];
+}
+module Closer : CLOSER {
+    void shut(tracked(F) FILE f) [F] {
+    }
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_conformance_alpha_renaming_ok(self):
+        assert_ok("""
+interface CLOSER {
+    void shut(tracked(F) FILE f) [-F];
+}
+module Closer : CLOSER {
+    void shut(tracked(G) FILE handle) [-G] {
+        fclose(handle);
+    }
+}
+""")
+
+    def test_duplicate_function_rejected(self):
+        assert_rejected("""
+int f() { return 1; }
+int f() { return 2; }
+""", Code.DUPLICATE_NAME)
+
+    def test_duplicate_type_rejected(self):
+        assert_rejected("""
+struct s { int a; }
+struct s { int b; }
+""", Code.DUPLICATE_NAME)
+
+    def test_unknown_interface(self):
+        assert_rejected("extern module M : NOPE;", Code.UNDEFINED_NAME)
+
+
+class TestReturns:
+    def test_value_from_void_function(self):
+        assert_rejected("void f() { return 3; }", Code.TYPE_MISMATCH)
+
+    def test_missing_value_from_int_function(self):
+        assert_rejected("int f() { return; }", Code.TYPE_MISMATCH)
+
+    def test_wrong_return_type(self):
+        assert_rejected('int f() { return "nope"; }', Code.TYPE_MISMATCH)
+
+    def test_returning_packed_tracked(self):
+        assert_ok("""
+tracked FILE open_anon() {
+    tracked(F) FILE f = fopen("x");
+    return f;
+}
+void g() {
+    tracked(H) FILE h = open_anon();
+    fclose(h);
+}
+""")
+
+    def test_packed_return_requires_live_key(self):
+        assert_rejected("""
+tracked FILE broken() {
+    tracked(F) FILE f = fopen("x");
+    fclose(f);
+    return f;
+}
+""", Code.KEY_NOT_HELD)

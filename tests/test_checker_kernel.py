@@ -1,0 +1,506 @@
+"""Checker tests for the Windows 2000 kernel interface (paper §4):
+IRP ownership, completion routines, events, spin locks, IRQLs,
+paged memory."""
+
+from repro.diagnostics import Code
+
+from conftest import assert_ok, assert_rejected, codes
+
+DISPATCH_EFFECT = "[D, -I, IRQL @ (lvl <= DISPATCH_LEVEL)]"
+
+
+class TestIrpOwnership:
+    def test_complete_consumes(self):
+        assert_ok("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""")
+
+    def test_pass_down_consumes(self):
+        assert_ok("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    IoCopyCurrentIrpStackLocationToNext(irp);
+    return IoCallDriver(dev, irp);
+}
+""")
+
+    def test_pend_does_not_consume_so_must_queue(self):
+        # IoMarkIrpPending keeps the key; just returning its status
+        # leaves the IRP key held — the paper's "neither completed,
+        # passed on, nor pended" family of bugs.
+        assert_rejected("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    return IoMarkIrpPending(irp);
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_pend_then_anonymize_into_queue(self):
+        # Pending legitimately: record the IRP (with its key) in a
+        # keyed container, anonymizing it (paper §4.1: "a driver
+        # consumes the key by storing the IRP on a pending list").
+        assert_ok("""
+variant irpbox [ 'Empty | 'Boxed(tracked IRP) ];
+void enqueue(tracked irpbox b);
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    DSTATUS<I> st = IoMarkIrpPending(irp);
+    tracked irpbox filled = 'Boxed(irp);
+    enqueue(filled);
+    return st;
+}
+""")
+
+    def test_touch_after_complete(self):
+        result = codes("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    DSTATUS<I> st = IoCompleteRequest(irp, STATUS_SUCCESS());
+    IrpSetInformation(irp, 1);
+    return st;
+}
+""")
+        assert Code.KEY_NOT_HELD in result or \
+            Code.KEY_CONSUMED_MISSING in result
+
+    def test_touch_after_call_driver(self):
+        result = codes("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    IoCopyCurrentIrpStackLocationToNext(irp);
+    DSTATUS<I2> st = IoCallDriver(dev, irp);
+    int n = IrpTransferLength(irp);
+    return st;
+}
+""")
+        assert Code.KEY_NOT_HELD in result or \
+            Code.KEY_CONSUMED_MISSING in result
+
+    def test_complete_twice(self):
+        assert_rejected("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    DSTATUS<I> st = IoCompleteRequest(irp, STATUS_SUCCESS());
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_dstatus_must_match_this_irp(self):
+        # Completing a *different* IRP does not produce a DSTATUS for
+        # the request being served.
+        assert_rejected("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp,
+               tracked(J) IRP other) [-I, -J] {
+    DSTATUS<I> st = IoCompleteRequest(irp, STATUS_SUCCESS());
+    return IoCompleteRequest(other, STATUS_SUCCESS());
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_allocate_and_free_irp(self):
+        assert_ok("""
+void f() {
+    tracked(M) IRP mirp = IoAllocateIrp(1);
+    IrpSetInformation(mirp, 0);
+    IoFreeIrp(mirp);
+}
+""")
+
+    def test_allocated_irp_leak(self):
+        assert_rejected("""
+void f() {
+    tracked(M) IRP mirp = IoAllocateIrp(1);
+}
+""", Code.KEY_LEAKED)
+
+
+class TestDeviceQueues:
+    """§4.1's pending list through KDEVICE_QUEUE."""
+
+    def test_pend_and_queue(self):
+        assert_ok("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp, KDEVICE_QUEUE q)
+        [-I] {
+    DSTATUS<I> pended = IoMarkIrpPending(irp);
+    KeInsertDeviceQueue(q, irp);
+    return pended;
+}
+""")
+
+    def test_queue_without_pend_still_consumes(self):
+        # Inserting alone consumes the key; the function then cannot
+        # produce a DSTATUS for the request at all.
+        assert_rejected("""
+DSTATUS<I> Svc(DEVICE_OBJECT dev, tracked(I) IRP irp, KDEVICE_QUEUE q)
+        [-I] {
+    KeInsertDeviceQueue(q, irp);
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_dequeue_forces_empty_case(self):
+        assert_rejected("""
+void drain_one(KDEVICE_QUEUE q, DEVICE_OBJECT dev) {
+    switch (KeRemoveDeviceQueue(q)) {
+        case 'Dequeued(irp):
+            IoCopyCurrentIrpStackLocationToNext(irp);
+            DSTATUS<P> st = IoCallDriver(dev, irp);
+    }
+}
+""", Code.NONEXHAUSTIVE_SWITCH)
+
+    def test_dequeued_irp_must_be_disposed(self):
+        assert_rejected("""
+void drain_one(KDEVICE_QUEUE q) {
+    switch (KeRemoveDeviceQueue(q)) {
+        case 'QueueEmpty:
+            int none = 0;
+        case 'Dequeued(irp):
+            int len = IrpTransferLength(irp);
+    }
+}
+""", Code.JOIN_MISMATCH)
+
+    def test_drain_loop_invariant_inferred(self):
+        assert_ok("""
+void drain(KDEVICE_QUEUE q, DEVICE_OBJECT dev) {
+    while (KeQueueDepth(q) > 0) {
+        switch (KeRemoveDeviceQueue(q)) {
+            case 'QueueEmpty:
+                int none = 0;
+            case 'Dequeued(irp):
+                IoCopyCurrentIrpStackLocationToNext(irp);
+                DSTATUS<P> st = IoCallDriver(dev, irp);
+        }
+    }
+}
+""")
+
+
+class TestCompletionRoutines:
+    def test_figure7_accepted(self):
+        assert_ok("""
+DSTATUS<I> PnpRequest(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    KEVENT<I> irp_is_back = KeInitializeEvent(irp);
+    tracked COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT d,
+                                           tracked(I) IRP i) [-I] {
+        KeSignalEvent(irp_is_back);
+        return 'MoreProcessingRequired;
+    }
+    IoSetCompletionRoutine(irp, RegainIrp);
+    IoCopyCurrentIrpStackLocationToNext(irp);
+    DSTATUS<I2> st = IoCallDriver(IoGetLowerDevice(dev), irp);
+    KeWaitForEvent(irp_is_back);
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""")
+
+    def test_footnote10_finished_after_signal_impossible(self):
+        # Once the key has been signalled away, 'Finished (which
+        # captures the key) cannot be constructed.
+        assert_rejected("""
+DSTATUS<I> Pnp(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    KEVENT<I> ev = KeInitializeEvent(irp);
+    tracked COMPLETION_RESULT<I> Bad(DEVICE_OBJECT d,
+                                     tracked(I) IRP i) [-I] {
+        KeSignalEvent(ev);
+        return 'Finished(0);
+    }
+    IoSetCompletionRoutine(irp, Bad);
+    IoCopyCurrentIrpStackLocationToNext(irp);
+    DSTATUS<I2> st = IoCallDriver(IoGetLowerDevice(dev), irp);
+    KeWaitForEvent(ev);
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_completion_routine_finishing_is_ok(self):
+        # A routine that does NOT signal may return 'Finished — the
+        # key travels inside the result.
+        assert_ok("""
+DSTATUS<I> Pnp(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    tracked COMPLETION_RESULT<I> Done(DEVICE_OBJECT d,
+                                      tracked(I) IRP i) [-I] {
+        return 'Finished(0);
+    }
+    IoSetCompletionRoutine(irp, Done);
+    IoCopyCurrentIrpStackLocationToNext(irp);
+    return IoCallDriver(IoGetLowerDevice(dev), irp);
+}
+""")
+
+    def test_routine_signature_mismatch_rejected(self):
+        assert_rejected("""
+DSTATUS<I> Pnp(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    int NotARoutine(int x) {
+        return x;
+    }
+    IoSetCompletionRoutine(irp, NotARoutine);
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_routine_keeping_key_rejected_at_registration(self):
+        # A routine with effect [K] (keep) does not match the declared
+        # COMPLETION_ROUTINE type, which consumes the key.
+        assert_rejected("""
+DSTATUS<I> Pnp(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+    tracked COMPLETION_RESULT<I> Keeper(DEVICE_OBJECT d,
+                                        tracked(I) IRP i) [I] {
+        return 'MoreProcessingRequired;
+    }
+    IoSetCompletionRoutine(irp, Keeper);
+    return IoCompleteRequest(irp, STATUS_SUCCESS());
+}
+""", Code.TYPE_MISMATCH)
+
+
+class TestEvents:
+    def test_event_transfers_key(self):
+        assert_ok("""
+void f() {
+    tracked(F) FILE file = fopen("x");
+    KEVENT<F> ev = KeInitializeEvent(file);
+    KeSignalEvent(ev);
+    KeWaitForEvent(ev);
+    fclose(file);
+}
+""")
+
+    def test_signal_requires_key(self):
+        assert_rejected("""
+void f() {
+    tracked(F) FILE file = fopen("x");
+    KEVENT<F> ev = KeInitializeEvent(file);
+    fclose(file);
+    KeSignalEvent(ev);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_double_wait_duplicates_key(self):
+        assert_rejected("""
+void f() {
+    tracked(F) FILE file = fopen("x");
+    KEVENT<F> ev = KeInitializeEvent(file);
+    KeSignalEvent(ev);
+    KeWaitForEvent(ev);
+    KeWaitForEvent(ev);
+    fclose(file);
+}
+""", Code.KEY_DUPLICATED)
+
+    def test_access_between_signal_and_wait_rejected(self):
+        assert_rejected("""
+void f() {
+    tracked(F) FILE file = fopen("x");
+    KEVENT<F> ev = KeInitializeEvent(file);
+    KeSignalEvent(ev);
+    fputb(file, 1);
+    KeWaitForEvent(ev);
+    fclose(file);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+
+class TestSpinLocks:
+    GOOD = """
+struct counter { int n; }
+void work() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    c.n++;
+    KeReleaseSpinLock(lock, saved);
+}
+"""
+
+    def test_lock_protocol_accepted(self):
+        assert_ok(self.GOOD)
+
+    def test_access_without_lock(self):
+        assert_rejected("""
+struct counter { int n; }
+void work() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    c.n++;
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    KeReleaseSpinLock(lock, saved);
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_double_acquire(self):
+        assert_rejected("""
+struct counter { int n; }
+void work() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<s1> a = KeAcquireSpinLock(lock);
+    KIRQL<s2> b = KeAcquireSpinLock(lock);
+    KeReleaseSpinLock(lock, b);
+    KeReleaseSpinLock(lock, a);
+}
+""", Code.KEY_DUPLICATED)
+
+    def test_missing_release(self):
+        assert_rejected("""
+struct counter { int n; }
+void work() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    c.n++;
+}
+""", Code.KEY_LEAKED)
+
+    def test_release_without_acquire(self):
+        assert_rejected("""
+struct counter { int n; }
+void work(KSPIN_LOCK<K> lock, KIRQL<S> saved)
+        [IRQL @ DISPATCH_LEVEL] {
+    KeReleaseSpinLock(lock, saved);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_irql_restored_by_release(self):
+        # After release the IRQL must be back at the entry level; a
+        # second acquire/release cycle still works.
+        assert_ok("""
+struct counter { int n; }
+void work() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<s1> a = KeAcquireSpinLock(lock);
+    c.n++;
+    KeReleaseSpinLock(lock, a);
+    KIRQL<s2> b = KeAcquireSpinLock(lock);
+    c.n++;
+    KeReleaseSpinLock(lock, b);
+}
+""")
+
+
+class TestIrql:
+    def test_passive_level_requirement(self):
+        assert_rejected("""
+void f(KTHREAD t) [IRQL @ DISPATCH_LEVEL] {
+    KPRIORITY p = KeSetPriorityThread(t, 3);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_passive_level_satisfied(self):
+        assert_ok("""
+void f(KTHREAD t) [IRQL @ PASSIVE_LEVEL] {
+    KPRIORITY p = KeSetPriorityThread(t, 3);
+}
+""")
+
+    def test_bounded_requirement_from_bounded_context(self):
+        assert_ok("""
+void f(KSEMAPHORE s) [IRQL @ (lvl <= APC_LEVEL)] {
+    int r = KeReleaseSemaphore(s, 1, 0);
+}
+""")
+
+    def test_bounded_requirement_violated(self):
+        assert_rejected("""
+void f(KSEMAPHORE s) [IRQL @ DIRQL] {
+    int r = KeReleaseSemaphore(s, 1, 0);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_unannotated_function_cannot_assume_level(self):
+        assert_rejected("""
+void f(KTHREAD t) {
+    KPRIORITY p = KeSetPriorityThread(t, 3);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_raise_lower_restores(self):
+        assert_ok("""
+void f() [IRQL @ PASSIVE_LEVEL] {
+    KIRQL<old> saved = KeRaiseIrqlToDpcLevel();
+    KeLowerIrql(saved);
+}
+""")
+
+    def test_undeclared_irql_change_rejected(self):
+        assert_rejected("""
+void f() [IRQL @ PASSIVE_LEVEL] {
+    KIRQL<old> saved = KeRaiseIrqlToDpcLevel();
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_declared_irql_transition(self):
+        assert_ok("""
+KIRQL<S> go_up() [IRQL @ (S <= DISPATCH_LEVEL) -> DISPATCH_LEVEL] {
+    return KeRaiseIrqlToDpcLevel();
+}
+void f() [IRQL @ PASSIVE_LEVEL] {
+    KIRQL<old> saved = go_up();
+    KeLowerIrql(saved);
+}
+""")
+
+
+class TestPagedMemory:
+    CONFIG = "struct config { int a; int b; }\n"
+
+    def test_paged_access_at_passive(self):
+        assert_ok(self.CONFIG + """
+int f(paged<config> cfg) [IRQL @ PASSIVE_LEVEL] {
+    return cfg.a + cfg.b;
+}
+""")
+
+    def test_paged_access_at_apc(self):
+        assert_ok(self.CONFIG + """
+int f(paged<config> cfg) [IRQL @ APC_LEVEL] {
+    return cfg.a;
+}
+""")
+
+    def test_paged_access_at_dispatch_rejected(self):
+        assert_rejected(self.CONFIG + """
+int f(paged<config> cfg) [IRQL @ DISPATCH_LEVEL] {
+    return cfg.a;
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_paged_access_with_bounded_apc_ok(self):
+        assert_ok(self.CONFIG + """
+int f(paged<config> cfg) [IRQL @ (lvl <= APC_LEVEL)] {
+    return cfg.a;
+}
+""")
+
+    def test_paged_access_with_bounded_dispatch_rejected(self):
+        # lvl <= DISPATCH does not imply lvl <= APC.
+        assert_rejected(self.CONFIG + """
+int f(paged<config> cfg) [IRQL @ (lvl <= DISPATCH_LEVEL)] {
+    return cfg.a;
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_paged_access_after_acquiring_lock_rejected(self):
+        # Acquiring a spin lock raises to DISPATCH — paged data becomes
+        # untouchable until release.
+        assert_rejected(self.CONFIG + """
+struct counter { int n; }
+int f(paged<config> cfg) [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    int v = cfg.a;
+    KeReleaseSpinLock(lock, saved);
+    return v;
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_paged_access_after_release_ok(self):
+        assert_ok(self.CONFIG + """
+struct counter { int n; }
+int f(paged<config> cfg) [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<old> saved = KeAcquireSpinLock(lock);
+    c.n++;
+    KeReleaseSpinLock(lock, saved);
+    return cfg.a;
+}
+""")

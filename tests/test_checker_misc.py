@@ -1,0 +1,391 @@
+"""Checker edge cases: guarded fields, scoping, misc type errors."""
+
+from repro.diagnostics import Code
+
+from conftest import assert_ok, assert_rejected, codes
+
+
+class TestGuardedStructFields:
+    # The device-extension pattern from the floppy driver, distilled:
+    # a struct field guarded by a key parameter of the struct.
+    SETUP = """
+struct stats { int hits; }
+struct holder<key SK> {
+    KSPIN_LOCK<SK> lock;
+    SK:stats data;
+}
+struct token { int dummy; }
+"""
+
+    def test_field_access_requires_guard(self):
+        assert_rejected(self.SETUP + """
+void f(tracked(D) holder<SK> h) [D, IRQL @ (lvl <= DISPATCH_LEVEL)] {
+    h.data.hits++;
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_field_access_under_lock(self):
+        assert_ok(self.SETUP + """
+void f(tracked(D) holder<SK> h) [D, IRQL @ (lvl <= DISPATCH_LEVEL)] {
+    KIRQL<old> saved = KeAcquireSpinLock(h.lock);
+    h.data.hits++;
+    KeReleaseSpinLock(h.lock, saved);
+}
+""")
+
+    def test_construction_binds_struct_key_param(self):
+        assert_ok(self.SETUP + """
+void build() [IRQL @ PASSIVE_LEVEL] {
+    tracked(SK) token tok = new tracked token { dummy = 0; };
+    KSPIN_LOCK<SK> lock = KeInitializeSpinLock(tok);
+    tracked(D) holder<SK> h = new tracked holder<SK> {
+        lock = lock;
+        data = new stats { hits = 0; };
+    };
+    free(h);
+}
+""")
+
+    def test_allocation_without_type_args_rejected(self):
+        assert_rejected(self.SETUP + """
+void build() {
+    tracked(D) holder h = new tracked holder {};
+    free(h);
+}
+""", Code.ARITY_MISMATCH)
+
+
+class TestTrackedParamStates:
+    def test_param_state_annotation_is_a_precondition(self):
+        assert_rejected("""
+void needs_ready(tracked(S@ready) sock s) [S] {
+    byte[] buf = [0];
+    Socket.receive(s, buf);
+}
+void f() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    needs_ready(s);
+    Socket.close(s);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_param_state_annotation_satisfied(self):
+        assert_ok("""
+void needs_raw(tracked(S@raw) sock s) [S] {
+}
+void f() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    needs_raw(s);
+    Socket.close(s);
+}
+""")
+
+
+class TestScoping:
+    def test_duplicate_variable_in_same_scope(self):
+        assert_rejected("""
+void f() {
+    int x = 1;
+    int x = 2;
+}
+""", Code.DUPLICATE_NAME)
+
+    def test_block_scoped_variable_not_visible_after(self):
+        assert_rejected("""
+void f(bool c) {
+    if (c) {
+        int inner = 1;
+    }
+    int y = inner;
+}
+""", Code.UNDEFINED_NAME)
+
+    def test_switch_binders_scoped_to_case(self):
+        assert_rejected("""
+variant opt [ 'None | 'Some(int) ];
+int f(opt v) {
+    switch (v) {
+        case 'Some(n):
+            int x = n;
+        case 'None:
+            int y = 0;
+    }
+    return n;
+}
+""", Code.UNDEFINED_NAME)
+
+    def test_key_names_scoped_to_block(self):
+        # R bound inside the if-block is not visible after it, and
+        # the guarded declaration has no initializer key to bind from.
+        assert_rejected("""
+void f(bool c) {
+    if (c) {
+        tracked(R) region rgn = Region.create();
+        Region.delete(rgn);
+    }
+    R:int x = 4;
+}
+""", Code.UNDEFINED_KEY)
+
+    def test_guard_binder_aliases_initializer_key(self):
+        # A guarded declaration may *name* the initializer's guard key:
+        # the binder R becomes an alias for the region's key.
+        assert_ok("""
+struct point { int x; int y; }
+void f() {
+    tracked(Q) region rgn = Region.create();
+    R:point p = new(rgn) point {x=1; y=2;};
+    p.x++;
+    Region.delete(rgn);
+}
+""")
+
+    def test_break_outside_loop(self):
+        report_codes = codes("void f() { break; }")
+        assert report_codes
+
+    def test_continue_outside_loop(self):
+        report_codes = codes("void f() { continue; }")
+        assert report_codes
+
+
+class TestMiscTypeErrors:
+    def test_condition_must_be_bool(self):
+        assert_rejected("void f() { if (1) { int x = 0; } }",
+                        Code.TYPE_MISMATCH)
+
+    def test_while_condition_must_be_bool(self):
+        assert_rejected('void f() { while ("yes") { int x = 0; } }',
+                        Code.TYPE_MISMATCH)
+
+    def test_arithmetic_on_strings_rejected(self):
+        assert_rejected('int f() { return "a" * 3; }', Code.TYPE_MISMATCH)
+
+    def test_string_concatenation_allowed(self):
+        assert_ok('string f() { return "a" + "b"; }')
+
+    def test_char_comparisons_allowed(self):
+        assert_ok("""
+bool is_digit(char c) {
+    return c >= '0' && c <= '9';
+}
+""")
+
+    def test_indexing_non_array(self):
+        assert_rejected("int f(int x) { return x[0]; }", Code.TYPE_MISMATCH)
+
+    def test_string_indexing_yields_char(self):
+        assert_ok("""
+char first(string s) {
+    return s[0];
+}
+""")
+
+    def test_field_on_non_struct(self):
+        assert_rejected("int f(int x) { return x.y; }", Code.NOT_A_STRUCT)
+
+    def test_unknown_field(self):
+        assert_rejected("""
+struct point { int x; int y; }
+int f() {
+    point p = new point { x = 1; y = 2; };
+    return p.z;
+}
+""", Code.NO_SUCH_FIELD)
+
+    def test_missing_field_initializer(self):
+        assert_rejected("""
+struct point { int x; int y; }
+void f() {
+    point p = new point { x = 1; };
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_unknown_init_field(self):
+        assert_rejected("""
+struct point { int x; int y; }
+void f() {
+    point p = new point { x = 1; y = 2; z = 3; };
+}
+""", Code.NO_SUCH_FIELD)
+
+    def test_switch_on_non_variant(self):
+        assert_rejected("""
+void f(int x) {
+    switch (x) {
+        case 'One:
+            int y = 1;
+    }
+}
+""", Code.NOT_A_VARIANT)
+
+    def test_assigning_to_rvalue(self):
+        assert_rejected("void f() { 1 = 2; }", Code.NOT_ASSIGNABLE)
+
+    def test_incdec_requires_numeric(self):
+        assert_rejected('void f(string s) { s++; }', Code.TYPE_MISMATCH)
+
+    def test_calling_a_non_function(self):
+        assert_rejected("void f(int x) { x(); }", Code.NOT_A_FUNCTION)
+
+
+class TestCustomProtocol:
+    """A user-defined typestate protocol from scratch (§2.1's open/
+    closed file states, as a library author would write them)."""
+
+    HANDLE = """
+type HANDLE;
+tracked(@closed) HANDLE make();
+void open_it(tracked(H) HANDLE h) [H@closed->open];
+int read_it(tracked(H) HANDLE h) [H@open];
+void close_it(tracked(H) HANDLE h) [H@open->closed];
+void destroy(tracked(H) HANDLE h) [-H@closed];
+"""
+
+    def test_full_cycle(self):
+        assert_ok(self.HANDLE + """
+int use() {
+    tracked(H) HANDLE h = make();
+    open_it(h);
+    int v = read_it(h);
+    close_it(h);
+    open_it(h);
+    int w = read_it(h);
+    close_it(h);
+    destroy(h);
+    return v + w;
+}
+""")
+
+    def test_read_before_open(self):
+        assert_rejected(self.HANDLE + """
+int use() {
+    tracked(H) HANDLE h = make();
+    int v = read_it(h);
+    destroy(h);
+    return v;
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_destroy_while_open(self):
+        assert_rejected(self.HANDLE + """
+void use() {
+    tracked(H) HANDLE h = make();
+    open_it(h);
+    destroy(h);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_double_open(self):
+        assert_rejected(self.HANDLE + """
+void use() {
+    tracked(H) HANDLE h = make();
+    open_it(h);
+    open_it(h);
+    close_it(h);
+    destroy(h);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_guarded_declaration_with_state(self):
+        # The paper's ``K@open: FILE input`` form: the guard requires a
+        # specific key state at every access.
+        assert_rejected(self.HANDLE + """
+void use() {
+    tracked(H) HANDLE h = make();
+    H@open:int cursor = 0;
+    int v = cursor;
+    destroy(h);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_guarded_declaration_with_state_satisfied(self):
+        assert_ok(self.HANDLE + """
+void use() {
+    tracked(H) HANDLE h = make();
+    open_it(h);
+    H@open:int cursor = 0;
+    int v = cursor;
+    close_it(h);
+    destroy(h);
+}
+""")
+
+
+class TestNestedControlFlow:
+    def test_nested_switches_with_keys(self):
+        assert_ok("""
+void f(tracked(A) FILE a, tracked(B) FILE b, bool ca, bool cb) [-A, -B] {
+    tracked opt_key<A> fa;
+    if (ca) { fclose(a); fa = 'NoKey; } else { fa = 'SomeKey{A}; }
+    tracked opt_key<B> fb;
+    if (cb) { fclose(b); fb = 'NoKey; } else { fb = 'SomeKey{B}; }
+    switch (fa) {
+        case 'NoKey:
+            int x = 0;
+        case 'SomeKey:
+            fclose(a);
+    }
+    switch (fb) {
+        case 'NoKey:
+            int y = 0;
+        case 'SomeKey:
+            fclose(b);
+    }
+}
+""")
+
+    def test_loop_inside_switch(self):
+        assert_ok("""
+variant opt [ 'None | 'Some(int) ];
+int f(opt v) {
+    switch (v) {
+        case 'None:
+            return 0;
+        case 'Some(n):
+            int acc = 0;
+            int i = 0;
+            while (i < n) {
+                acc += i;
+                i++;
+            }
+            return acc;
+    }
+}
+""")
+
+    def test_switch_inside_loop_with_stable_keys(self):
+        assert_ok("""
+variant cmd [ 'Stop | 'Add(int) ];
+int f(cmd c, int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+        switch (c) {
+            case 'Stop:
+                acc += 0;
+            case 'Add(k):
+                acc += k;
+        }
+        i++;
+    }
+    return acc;
+}
+""")
+
+    def test_early_return_from_switch_case(self):
+        assert_ok("""
+int f() {
+    sockaddr addr = new sockaddr { host = "h"; port = 1; };
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    switch (Socket.bind_checked(s, addr)) {
+        case 'Error(code):
+            Socket.close(s);
+            return code;
+        case 'Ok:
+            Socket.listen(s, 1);
+            Socket.close(s);
+            return 0;
+    }
+}
+""")

@@ -1,0 +1,253 @@
+"""Checker tests: the region protocol (paper §2.2, Figures 1 & 2)."""
+
+from repro.diagnostics import Code
+
+from conftest import POINT, assert_ok, assert_rejected, codes
+
+
+class TestFigure2:
+    def test_okay_accepted(self):
+        assert_ok(POINT + """
+void okay() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    pt.x++;
+    Region.delete(rgn);
+}
+""")
+
+    def test_dangling_rejected(self):
+        assert_rejected(POINT + """
+void dangling() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    Region.delete(rgn);
+    pt.x++;
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_leaky_rejected(self):
+        assert_rejected(POINT + """
+void leaky() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    pt.x++;
+}
+""", Code.KEY_LEAKED)
+
+
+class TestRegionVariations:
+    def test_double_delete_rejected(self):
+        assert_rejected("""
+void f() {
+    tracked(R) region rgn = Region.create();
+    Region.delete(rgn);
+    Region.delete(rgn);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_two_regions_independent(self):
+        assert_ok(POINT + """
+void f() {
+    tracked(A) region ra = Region.create();
+    tracked(B) region rb = Region.create();
+    A:point pa = new(ra) point {x=1; y=1;};
+    B:point pb = new(rb) point {x=2; y=2;};
+    Region.delete(ra);
+    pb.x++;
+    Region.delete(rb);
+}
+""")
+
+    def test_wrong_region_guard_still_live(self):
+        # Deleting region A invalidates A's objects but not B's.
+        assert_rejected(POINT + """
+void f() {
+    tracked(A) region ra = Region.create();
+    tracked(B) region rb = Region.create();
+    A:point pa = new(ra) point {x=1; y=1;};
+    Region.delete(ra);
+    pa.y++;
+    Region.delete(rb);
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_aliasing_regions_share_one_key(self):
+        # rgn2 = rgn1 gives both names the same singleton type; deleting
+        # through either invalidates both (paper §3.1).
+        assert_rejected("""
+void f() {
+    tracked(R) region rgn1 = Region.create();
+    tracked(R) region rgn2 = rgn1;
+    Region.delete(rgn2);
+    Region.delete(rgn1);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_alias_declared_with_matching_key_ok(self):
+        assert_ok("""
+void f() {
+    tracked(R) region rgn1 = Region.create();
+    tracked(R) region rgn2 = rgn1;
+    Region.delete(rgn2);
+}
+""")
+
+    def test_alias_declared_with_wrong_key_rejected(self):
+        assert_rejected("""
+void f() {
+    tracked(A) region r1 = Region.create();
+    tracked(B) region r2 = Region.create();
+    tracked(A) region r3 = r2;
+    Region.delete(r1);
+    Region.delete(r2);
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_region_passed_to_helper_with_keep_effect(self):
+        assert_ok(POINT + """
+int helper(tracked(R) region rgn) [R] {
+    R:point p = new(rgn) point {x=1; y=2;};
+    return p.x;
+}
+void f() {
+    tracked(R) region rgn = Region.create();
+    int v = helper(rgn);
+    Region.delete(rgn);
+}
+""")
+
+    def test_helper_that_consumes(self):
+        assert_ok("""
+void consume(tracked(R) region rgn) [-R] {
+    Region.delete(rgn);
+}
+void f() {
+    tracked(R) region rgn = Region.create();
+    consume(rgn);
+}
+""")
+
+    def test_use_after_consuming_helper_rejected(self):
+        assert_rejected(POINT + """
+void consume(tracked(R) region rgn) [-R] {
+    Region.delete(rgn);
+}
+void f() {
+    tracked(R) region rgn = Region.create();
+    consume(rgn);
+    R2:point p = new(rgn) point {x=1; y=2;};
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_helper_promising_keep_but_deleting_rejected(self):
+        assert_rejected("""
+void broken(tracked(R) region rgn) [R] {
+    Region.delete(rgn);
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_helper_without_effect_must_not_consume(self):
+        assert_rejected("""
+void broken(tracked(R) region rgn) {
+    Region.delete(rgn);
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_returning_fresh_region(self):
+        assert_ok("""
+tracked(N) region make() [new N] {
+    tracked(R) region rgn = Region.create();
+    return rgn;
+}
+void f() {
+    tracked(R) region rgn = make();
+    Region.delete(rgn);
+}
+""")
+
+    def test_fresh_region_not_returned_is_leak(self):
+        assert_rejected("""
+tracked(N) region make() [new N] {
+    tracked(R) region rgn = Region.create();
+    tracked(S) region extra = Region.create();
+    return rgn;
+}
+""", Code.KEY_LEAKED)
+
+    def test_guarded_object_across_call_boundary(self):
+        assert_ok(POINT + """
+int use(tracked(R) region rgn, R:point p) [R] {
+    return p.x + p.y;
+}
+void f() {
+    tracked(R) region rgn = Region.create();
+    R:point p = new(rgn) point {x=3; y=4;};
+    int v = use(rgn, p);
+    Region.delete(rgn);
+}
+""")
+
+    def test_free_on_tracked_struct(self):
+        assert_ok(POINT + """
+void f() {
+    tracked(K) point p = new tracked point {x=1; y=2;};
+    p.x++;
+    free(p);
+}
+""")
+
+    def test_double_free_rejected(self):
+        assert_rejected(POINT + """
+void f() {
+    tracked(K) point p = new tracked point {x=1; y=2;};
+    free(p);
+    free(p);
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_use_after_free_rejected(self):
+        assert_rejected(POINT + """
+void f() {
+    tracked(K) point p = new tracked point {x=1; y=2;};
+    free(p);
+    p.x++;
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_free_of_abstract_type_rejected(self):
+        assert_rejected("""
+void f() {
+    tracked(R) region rgn = Region.create();
+    free(rgn);
+}
+""", Code.ABSTRACT_TYPE_USE)
+
+    def test_missing_free_is_leak(self):
+        assert_rejected(POINT + """
+void f() {
+    tracked(K) point p = new tracked point {x=1; y=2;};
+    p.x++;
+}
+""", Code.KEY_LEAKED)
+
+    def test_region_size_keeps_key(self):
+        assert_ok("""
+int f() {
+    tracked(R) region rgn = Region.create();
+    int n = Region.size(rgn);
+    Region.delete(rgn);
+    return n;
+}
+""")
+
+    def test_uninitialized_region_variable_rejected(self):
+        report_codes = codes("""
+void f() {
+    tracked(R) region rgn = Region.create();
+    tracked region other;
+    Region.delete(other);
+    Region.delete(rgn);
+}
+""")
+        assert Code.UNDEFINED_NAME in report_codes

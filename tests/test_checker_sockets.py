@@ -1,0 +1,262 @@
+"""Checker tests: the socket protocol (paper §2.3, Figure 3)."""
+
+from repro.diagnostics import Code
+
+from conftest import assert_ok, assert_rejected, codes
+
+ADDR = 'sockaddr addr = new sockaddr { host = "h"; port = 1; };'
+
+
+class TestHappyPath:
+    def test_full_server_setup(self):
+        assert_ok(f"""
+void server() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    Socket.listen(s, 8);
+    tracked(N) sock conn = Socket.accept(s, addr);
+    byte[] buf = [0, 0];
+    int n = Socket.receive(conn, buf);
+    Socket.send(conn, buf);
+    Socket.close(conn);
+    Socket.close(s);
+}}
+""")
+
+    def test_client_connect(self):
+        assert_ok(f"""
+void client() {{
+    {ADDR}
+    tracked(C) sock c = Socket.socket('INET, 'STREAM, 0);
+    Socket.connect(c, addr);
+    byte[] buf = [1, 2, 3];
+    Socket.send(c, buf);
+    Socket.close(c);
+}}
+""")
+
+    def test_close_at_any_state(self):
+        # close's effect [-S] is state-polymorphic.
+        assert_ok(f"""
+void f() {{
+    {ADDR}
+    tracked(A) sock raw_one = Socket.socket('UNIX, 'DGRAM, 0);
+    Socket.close(raw_one);
+    tracked(B) sock named_one = Socket.socket('UNIX, 'DGRAM, 0);
+    Socket.bind(named_one, addr);
+    Socket.close(named_one);
+}}
+""")
+
+
+class TestProtocolViolations:
+    def test_listen_before_bind(self):
+        assert_rejected("""
+void f() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.listen(s, 8);
+    Socket.close(s);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_receive_on_listening_socket(self):
+        assert_rejected(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    Socket.listen(s, 8);
+    byte[] buf = [0];
+    Socket.receive(s, buf);
+    Socket.close(s);
+}}
+""", Code.KEY_WRONG_STATE)
+
+    def test_receive_on_raw_socket(self):
+        assert_rejected("""
+void f() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    byte[] buf = [0];
+    Socket.receive(s, buf);
+    Socket.close(s);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_bind_twice(self):
+        assert_rejected(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    Socket.bind(s, addr);
+    Socket.close(s);
+}}
+""", Code.KEY_WRONG_STATE)
+
+    def test_socket_leak(self):
+        assert_rejected("""
+void f() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+}
+""", Code.KEY_LEAKED)
+
+    def test_accepted_connection_leak(self):
+        assert_rejected(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    Socket.listen(s, 8);
+    tracked(N) sock conn = Socket.accept(s, addr);
+    Socket.close(s);
+}}
+""", Code.KEY_LEAKED)
+
+    def test_use_after_close(self):
+        assert_rejected("""
+void f() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.close(s);
+    Socket.listen(s, 8);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+
+class TestFailureAwareBind:
+    def test_unchecked_status_rejected(self):
+        # Paper §2.3: forgetting to check bind's status means the key
+        # is gone; the following listen cannot typecheck.
+        result = codes(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind_checked(s, addr);
+    Socket.listen(s, 8);
+    Socket.close(s);
+}}
+""")
+        assert Code.KEY_CONSUMED_MISSING in result or \
+            Code.KEY_NOT_HELD in result
+
+    def test_checked_status_accepted(self):
+        assert_ok(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    switch (Socket.bind_checked(s, addr)) {{
+        case 'Ok:
+            Socket.listen(s, 8);
+            Socket.close(s);
+        case 'Error(code):
+            Socket.close(s);
+    }}
+}}
+""")
+
+    def test_error_case_can_retry_bind(self):
+        # In the 'Error case the key is back in state "raw" — a second
+        # bind attempt is legal (paper: "can for example try another
+        # bind operation").
+        assert_ok(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    switch (Socket.bind_checked(s, addr)) {{
+        case 'Ok:
+            Socket.close(s);
+        case 'Error(code):
+            Socket.bind(s, addr);
+            Socket.close(s);
+    }}
+}}
+""")
+
+    def test_error_case_cannot_listen(self):
+        assert_rejected(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    switch (Socket.bind_checked(s, addr)) {{
+        case 'Ok:
+            Socket.close(s);
+        case 'Error(code):
+            Socket.listen(s, 8);
+            Socket.close(s);
+    }}
+}}
+""", Code.KEY_WRONG_STATE)
+
+    def test_ok_case_key_is_named_not_ready(self):
+        assert_rejected(f"""
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    switch (Socket.bind_checked(s, addr)) {{
+        case 'Ok:
+            byte[] buf = [0];
+            Socket.receive(s, buf);
+            Socket.close(s);
+        case 'Error(code):
+            Socket.close(s);
+    }}
+}}
+""", Code.KEY_WRONG_STATE)
+
+
+class TestHelpers:
+    def test_helper_requiring_listening_state(self):
+        assert_ok(f"""
+int serve(tracked(S) sock srv, sockaddr a) [S@listening] {{
+    tracked(N) sock conn = Socket.accept(srv, a);
+    Socket.close(conn);
+    return 0;
+}}
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    Socket.listen(s, 8);
+    int n = serve(s, addr);
+    Socket.close(s);
+}}
+""")
+
+    def test_helper_called_in_wrong_state(self):
+        assert_rejected(f"""
+int serve(tracked(S) sock srv, sockaddr a) [S@listening] {{
+    tracked(N) sock conn = Socket.accept(srv, a);
+    Socket.close(conn);
+    return 0;
+}}
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    int n = serve(s, addr);
+    Socket.close(s);
+}}
+""", Code.KEY_WRONG_STATE)
+
+    def test_state_transition_helper(self):
+        assert_ok(f"""
+void setup(tracked(S) sock s, sockaddr a) [S@raw->listening] {{
+    Socket.bind(s, a);
+    Socket.listen(s, 4);
+}}
+void f() {{
+    {ADDR}
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    setup(s, addr);
+    tracked(N) sock conn = Socket.accept(s, addr);
+    Socket.close(conn);
+    Socket.close(s);
+}}
+""")
+
+    def test_transition_helper_wrong_final_state(self):
+        assert_rejected("""
+void setup(tracked(S) sock s, sockaddr a) [S@raw->listening] {
+    Socket.bind(s, a);
+}
+""", Code.POSTCONDITION_MISMATCH)

@@ -1,0 +1,335 @@
+"""Checker tests: keyed variants and existential anonymization
+(paper §2.1's opt_key example, §2.4 / Figure 4, §3.3)."""
+
+from repro.diagnostics import Code
+
+from conftest import POINT, assert_ok, assert_rejected, codes
+
+REGLIST = ("variant reglist [ 'Nil | 'Cons(tracked region, "
+           "tracked reglist) ];\n")
+
+
+class TestKeyedVariants:
+    def test_paper_foo_example(self):
+        assert_ok("""
+void foo(tracked(F) FILE f, bool close_early) [-F] {
+    tracked opt_key<F> flag;
+    if (close_early) {
+        fclose(f);
+        flag = 'NoKey;
+    } else {
+        flag = 'SomeKey{F};
+    }
+    switch (flag) {
+        case 'NoKey:
+            int x = 0;
+        case 'SomeKey:
+            fclose(f);
+    }
+}
+""")
+
+    def test_forgetting_to_switch_is_a_leak(self):
+        # "forgetting to test the flag would manifest itself by an
+        # extra key at the end of the function" (§2.1).
+        assert_rejected("""
+void foo(tracked(F) FILE f) [-F] {
+    tracked opt_key<F> flag;
+    flag = 'SomeKey{F};
+}
+""", Code.KEY_LEAKED)
+
+    def test_using_key_in_wrong_case(self):
+        # In the 'NoKey case, key F is not restored.
+        assert_rejected("""
+void foo(tracked(F) FILE f, bool early) [-F] {
+    tracked opt_key<F> flag;
+    if (early) {
+        fclose(f);
+        flag = 'NoKey;
+    } else {
+        flag = 'SomeKey{F};
+    }
+    switch (flag) {
+        case 'NoKey:
+            fclose(f);
+        case 'SomeKey:
+            fclose(f);
+    }
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_constructing_somekey_without_key_rejected(self):
+        assert_rejected("""
+void foo(tracked(F) FILE f) [-F] {
+    fclose(f);
+    tracked opt_key<F> flag;
+    flag = 'SomeKey{F};
+    switch (flag) {
+        case 'NoKey:
+            int x = 0;
+        case 'SomeKey:
+            fclose(f);
+    }
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_capture_then_complete_in_case(self):
+        assert_ok("""
+void g(tracked(F) FILE f) [-F] {
+    tracked opt_key<F> flag = 'SomeKey{F};
+    switch (flag) {
+        case 'NoKey:
+            int x = 0;
+        case 'SomeKey:
+            fclose(f);
+    }
+}
+""")
+
+    def test_nonexhaustive_switch_rejected(self):
+        assert_rejected("""
+void g(tracked(F) FILE f) [-F] {
+    tracked opt_key<F> flag = 'SomeKey{F};
+    switch (flag) {
+        case 'SomeKey:
+            fclose(f);
+    }
+}
+""", Code.NONEXHAUSTIVE_SWITCH)
+
+    def test_default_cannot_cover_key_capturing_ctor(self):
+        assert_rejected("""
+void g(tracked(F) FILE f) [-F] {
+    tracked opt_key<F> flag = 'SomeKey{F};
+    switch (flag) {
+        case 'NoKey:
+            fclose(f);
+        default:
+            int x = 0;
+    }
+}
+""", Code.BAD_PATTERN)
+
+    def test_plain_variant_default_allowed(self):
+        assert_ok("""
+variant color [ 'Red | 'Green | 'Blue ];
+int f(color c) {
+    switch (c) {
+        case 'Red:
+            return 1;
+        default:
+            return 0;
+    }
+}
+""")
+
+    def test_plain_variant_values_copyable(self):
+        assert_ok("""
+variant opt_int [ 'NoInt | 'SomeInt(int) ];
+int f() {
+    opt_int a = 'SomeInt(4);
+    opt_int b = a;
+    switch (b) {
+        case 'NoInt:
+            return 0;
+        case 'SomeInt(n):
+            return n;
+    }
+}
+""")
+
+    def test_variant_argument_binding(self):
+        assert_ok("""
+variant opt_int [ 'NoInt | 'SomeInt(int) ];
+int get(opt_int v, int dflt) {
+    switch (v) {
+        case 'NoInt:
+            return dflt;
+        case 'SomeInt(n):
+            return n + 1;
+    }
+}
+""")
+
+    def test_wrong_binder_count_rejected(self):
+        assert_rejected("""
+variant opt_int [ 'NoInt | 'SomeInt(int) ];
+int f(opt_int v) {
+    switch (v) {
+        case 'NoInt:
+            return 0;
+        case 'SomeInt(a, b):
+            return a;
+    }
+}
+""", Code.BAD_PATTERN)
+
+    def test_unknown_ctor_in_switch(self):
+        assert_rejected("""
+variant opt_int [ 'NoInt | 'SomeInt(int) ];
+int f(opt_int v) {
+    switch (v) {
+        case 'NoInt:
+            return 0;
+        case 'Something(n):
+            return n;
+        case 'SomeInt(n):
+            return n;
+    }
+}
+""", Code.UNDEFINED_CONSTRUCTOR)
+
+    def test_unknown_ctor_in_expression(self):
+        assert Code.UNDEFINED_CONSTRUCTOR in codes("""
+void f() {
+    int x = 'Bogus(1);
+}
+""")
+
+
+class TestAnonymization:
+    def test_figure4_key_lost_through_collection(self):
+        # Putting the region on the list anonymizes its key; the point
+        # guarded by R becomes inaccessible.
+        result = codes(POINT + REGLIST + """
+void main() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=4; y=2;};
+    tracked reglist list = 'Cons(rgn, 'Nil);
+    switch (list) {
+        case 'Cons(rgn2, rest):
+            pt.x++;
+            Region.delete(rgn2);
+            free(rest);
+        case 'Nil:
+            int y = 0;
+    }
+}
+""")
+        assert Code.KEY_NOT_HELD in result
+
+    def test_unpacked_region_usable_under_fresh_key(self):
+        assert_ok(REGLIST + """
+void dispose(tracked reglist l) {
+    switch (l) {
+        case 'Nil:
+            int done = 0;
+        case 'Cons(r, rest):
+            Region.delete(r);
+            dispose(rest);
+    }
+}
+void main() {
+    tracked(R) region rgn = Region.create();
+    tracked reglist list = 'Cons(rgn, 'Nil);
+    switch (list) {
+        case 'Cons(rgn2, rest):
+            int n = Region.size(rgn2);
+            Region.delete(rgn2);
+            dispose(rest);
+        case 'Nil:
+            int y = 0;
+    }
+}
+""")
+
+    def test_figure4_fix_with_paired_list(self):
+        # The paper's fix: keep the region and its point together so
+        # the correlation between their keys is preserved.
+        assert_ok(POINT + """
+variant regpt [ 'None | 'Some(tracked region) ];
+void main() {
+    tracked(R) region rgn = Region.create();
+    tracked regpt cell = 'Some(rgn);
+    switch (cell) {
+        case 'Some(rgn2):
+            R2:point pt = new(rgn2) point {x=4; y=2;};
+            pt.x++;
+            Region.delete(rgn2);
+        case 'None:
+            int y = 0;
+    }
+}
+""")
+
+    def test_discarding_tracked_component_is_flagged(self):
+        assert_rejected(REGLIST + """
+void main() {
+    tracked(R) region rgn = Region.create();
+    tracked reglist list = 'Cons(rgn, 'Nil);
+    switch (list) {
+        case 'Cons(_, rest):
+            free(rest);
+        case 'Nil:
+            int y = 0;
+    }
+}
+""", Code.KEY_LEAKED)
+
+    def test_packing_requires_live_key(self):
+        assert_rejected(REGLIST + """
+void main() {
+    tracked(R) region rgn = Region.create();
+    Region.delete(rgn);
+    tracked reglist list = 'Cons(rgn, 'Nil);
+    switch (list) {
+        case 'Cons(r, rest):
+            Region.delete(r);
+            free(rest);
+        case 'Nil:
+            int y = 0;
+    }
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_unbounded_chain(self):
+        assert_ok(REGLIST + """
+void drain(tracked reglist list) {
+    switch (list) {
+        case 'Cons(rgn, rest):
+            Region.delete(rgn);
+            drain(rest);
+        case 'Nil:
+            int done = 0;
+    }
+}
+void main() {
+    tracked(A) region ra = Region.create();
+    tracked(B) region rb = Region.create();
+    tracked reglist list = 'Cons(ra, 'Cons(rb, 'Nil));
+    drain(list);
+}
+""")
+
+    def test_anonymous_tracked_param_is_owned(self):
+        # An anonymous tracked parameter transfers ownership; the
+        # callee must dispose of it.
+        assert_rejected("""
+void keeps(tracked region rgn) {
+    int n = Region.size(rgn);
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_anonymous_tracked_param_disposed_ok(self):
+        assert_ok("""
+void disposes(tracked region rgn) {
+    Region.delete(rgn);
+}
+void main() {
+    tracked(R) region rgn = Region.create();
+    disposes(rgn);
+}
+""")
+
+    def test_caller_loses_key_at_anonymous_transfer(self):
+        assert_rejected("""
+void disposes(tracked region rgn) {
+    Region.delete(rgn);
+}
+void main() {
+    tracked(R) region rgn = Region.create();
+    disposes(rgn);
+    Region.delete(rgn);
+}
+""", Code.KEY_CONSUMED_MISSING)

@@ -1,0 +1,123 @@
+"""CLI tests for ``vaultc``."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+struct point { int x; int y; }
+int main() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    int v = pt.x + pt.y;
+    Region.delete(rgn);
+    return v;
+}
+"""
+
+LEAKY = """
+void main() {
+    tracked(R) region rgn = Region.create();
+}
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.vlt"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def leaky_file(tmp_path):
+    path = tmp_path / "leaky.vlt"
+    path.write_text(LEAKY)
+    return str(path)
+
+
+class TestCheck:
+    def test_check_good(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_leaky(self, leaky_file, capsys):
+        assert main(["check", leaky_file]) == 1
+        assert "V0302" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.vlt"]) == 1
+
+
+class TestRun:
+    def test_run_good(self, good_file, capsys):
+        assert main(["run", good_file]) == 0
+        assert "-> 3" in capsys.readouterr().out
+
+    def test_run_rejects_leaky(self, leaky_file):
+        assert main(["run", leaky_file]) == 1
+
+    def test_run_unchecked_reports_leak(self, leaky_file, capsys):
+        rc = main(["run", leaky_file, "--unchecked"])
+        assert rc == 3
+        assert "leak" in capsys.readouterr().out.lower()
+
+
+class TestCompileEraseStats:
+    def test_compile_to_stdout(self, good_file, capsys):
+        assert main(["compile", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "def main(" in out
+
+    def test_compile_to_file(self, good_file, tmp_path):
+        out_path = str(tmp_path / "out.py")
+        assert main(["compile", good_file, "-o", out_path]) == 0
+        assert os.path.exists(out_path)
+
+    def test_erase(self, good_file, capsys):
+        assert main(["erase", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "tracked" not in out
+        assert "R:" not in out
+
+    def test_stats(self, good_file, capsys):
+        assert main(["stats", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "tokens" in out
+
+    def test_mutate(self, good_file, capsys):
+        assert main(["mutate", good_file, "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Vault checker" in out
+
+    def test_fmt_prints_normalised_source(self, good_file, capsys):
+        assert main(["fmt", good_file]) == 0
+        out = capsys.readouterr().out
+        from repro.syntax import parse_program, pretty
+        assert pretty(parse_program(out)) == out
+
+    def test_fmt_in_place(self, good_file, capsys):
+        assert main(["fmt", good_file, "-i"]) == 0
+        assert main(["check", good_file]) == 0
+
+    def test_cfg_all(self, good_file, capsys):
+        assert main(["cfg", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "cfg main:" in out
+        assert "(entry)" in out
+
+    def test_cfg_single_function(self, good_file, capsys):
+        assert main(["cfg", good_file, "-f", "main"]) == 0
+        assert "cfg main:" in capsys.readouterr().out
+
+    def test_cfg_unknown_function(self, good_file, capsys):
+        assert main(["cfg", good_file, "-f", "nope"]) == 1
+
+    def test_run_monitor_clean(self, good_file, capsys):
+        assert main(["run", good_file, "--monitor"]) == 0
+
+    def test_run_monitor_detects_leak(self, leaky_file, capsys):
+        rc = main(["run", leaky_file, "--unchecked", "--monitor"])
+        assert rc == 3

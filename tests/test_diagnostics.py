@@ -1,0 +1,184 @@
+"""Diagnostics, reporter and API-surface tests."""
+
+import pytest
+
+from repro import (CheckError, Code, check_source, check_source_strict,
+                   error_codes, load_context, parse)
+from repro.diagnostics import (Diagnostic, Pos, Reporter, Severity, Span)
+
+
+class TestSpan:
+    def test_point(self):
+        span = Span.point(3, 7, "f.vlt")
+        assert span.start.line == 3
+        assert str(span) == "f.vlt:3:7"
+
+    def test_merge(self):
+        a = Span(Pos(1, 1), Pos(1, 5), "f")
+        b = Span(Pos(2, 1), Pos(2, 9), "f")
+        merged = a.merge(b)
+        assert merged.start.line == 1
+        assert merged.end.line == 2
+
+    def test_merge_with_unknown(self):
+        a = Span.unknown()
+        b = Span.point(4, 2)
+        assert a.merge(b) is b
+        assert b.merge(a) is b
+
+
+class TestReporter:
+    def test_collects_and_renders(self):
+        source = "line one\nbad line here\n"
+        reporter = Reporter(source, "t.vlt")
+        reporter.error(Code.TYPE_MISMATCH, "something is off",
+                       Span.point(2, 5, "t.vlt"))
+        text = reporter.render()
+        assert "V0200" in text
+        assert "bad line here" in text
+        assert "^" in text
+
+    def test_warning_does_not_fail(self):
+        reporter = Reporter()
+        reporter.warning(Code.TYPE_MISMATCH, "meh", Span.unknown())
+        assert reporter.ok
+        assert len(reporter) == 1
+
+    def test_notes_rendered(self):
+        reporter = Reporter()
+        reporter.error(Code.JOIN_MISMATCH, "sets disagree", Span.unknown(),
+                       notes=["one path holds {}", "the other holds {K}"])
+        assert "note:" in reporter.render()
+
+    def test_raise_if_errors(self):
+        reporter = Reporter()
+        reporter.error(Code.KEY_LEAKED, "leak", Span.unknown())
+        with pytest.raises(CheckError) as exc:
+            reporter.raise_if_errors()
+        assert exc.value.has(Code.KEY_LEAKED)
+
+    def test_extend(self):
+        a, b = Reporter(), Reporter()
+        b.error(Code.KEY_LEAKED, "leak", Span.unknown())
+        a.extend(b)
+        assert a.has(Code.KEY_LEAKED)
+
+
+class TestErrorSpans:
+    def test_dangling_points_at_the_access(self):
+        report = check_source("""
+struct point { int x; int y; }
+void f() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    Region.delete(rgn);
+    pt.x++;
+}
+""")
+        diag = report.errors[0]
+        assert diag.span.start.line == 7
+
+    def test_leak_points_at_the_exit(self):
+        report = check_source("""
+void f() {
+    tracked(R) region rgn = Region.create();
+}
+""")
+        assert report.errors[0].code is Code.KEY_LEAKED
+
+    def test_message_names_the_key(self):
+        report = check_source("""
+void f() {
+    tracked(R) region rgn = Region.create();
+}
+""")
+        assert "R" in report.errors[0].message
+
+
+class TestApiSurface:
+    def test_parse_returns_program(self):
+        program = parse("struct s { int a; }")
+        assert len(program.decls) == 1
+
+    def test_error_codes_helper(self):
+        codes = error_codes("void f() { tracked(R) region r = "
+                            "Region.create(); }")
+        assert Code.KEY_LEAKED in codes
+
+    def test_check_source_strict_raises(self):
+        with pytest.raises(CheckError):
+            check_source_strict(
+                "void f() { tracked(R) region r = Region.create(); }")
+
+    def test_check_source_strict_passes_clean(self):
+        check_source_strict("void f() { }")
+
+    def test_load_context_exposes_tables(self):
+        ctx, reporter = load_context("struct s { int a; }")
+        assert reporter.ok
+        assert ctx.struct("s") is not None
+
+    def test_units_selection(self):
+        # With only the region unit, socket names are unknown.
+        report = check_source(
+            "void f() { tracked(S) sock s = Socket.socket('UNIX, "
+            "'STREAM, 0); Socket.close(s); }",
+            units=["region"])
+        assert not report.ok
+
+
+class TestPaperNotedLimitations:
+    def test_reentrant_locks_not_modelled(self):
+        # Paper §4.2: "This approach however is inadequate to model
+        # reentrant locks."  Re-acquiring a held lock is always a
+        # duplication error, even where a reentrant lock would allow it.
+        report = check_source("""
+struct counter { int n; }
+void outer() [IRQL @ PASSIVE_LEVEL] {
+    tracked(K) counter c = new tracked counter { n = 0; };
+    KSPIN_LOCK<K> lock = KeInitializeSpinLock(c);
+    KIRQL<a> s1 = KeAcquireSpinLock(lock);
+    KIRQL<b> s2 = KeAcquireSpinLock(lock);   // reentrant intent
+    KeReleaseSpinLock(lock, s2);
+    KeReleaseSpinLock(lock, s1);
+}
+""")
+        assert report.has(Code.KEY_DUPLICATED)
+
+    def test_figure5_safe_but_rejected(self):
+        # §2.4: type agreement at join points rejects some safe code.
+        report = check_source("""
+struct point { int x; int y; }
+void main() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=4; y=2;};
+    if (pt.x > 0) {
+        Region.delete(rgn);
+    } else {
+        pt.y = pt.x;
+    }
+    if (pt.x <= 0) {
+        Region.delete(rgn);
+    }
+}
+""")
+        assert report.has(Code.JOIN_MISMATCH)
+
+    def test_anonymization_loses_precision(self):
+        # §2.4: collections anonymize keys by design.
+        report = check_source("""
+variant bag [ 'Empty | 'Full(tracked region) ];
+void f() {
+    tracked(R) region rgn = Region.create();
+    int before = Region.size(rgn);
+    tracked bag b = 'Full(rgn);
+    switch (b) {
+        case 'Empty:
+            int x = 0;
+        case 'Full(r):
+            int after = Region.size(rgn);   // old name: key is gone
+            Region.delete(r);
+    }
+}
+""")
+        assert report.has(Code.KEY_CONSUMED_MISSING)

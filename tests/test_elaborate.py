@@ -1,0 +1,223 @@
+"""Elaboration and program-context tests: surface types to core types
+(Figure 6's internal language), signatures, implicit polymorphism."""
+
+import pytest
+
+from repro import load_context
+from repro.core import (ANY_STATE, AtMostState, CArray, CBase, CFun,
+                        CGuarded, CNamed, CPacked, CTracked, CTypeVar,
+                        ExactState, Key, KeyVarRef, StateVarRef,
+                        signatures_alpha_equal)
+from repro.diagnostics import Code
+
+
+def build(source, units=None):
+    ctx, reporter = load_context(source, units=units or [])
+    assert reporter.ok, reporter.render()
+    return ctx
+
+
+def sig_of(source, name, units=None):
+    return build(source, units).functions[name]
+
+
+class TestSignatureElaboration:
+    def test_tracked_param_gets_key_var(self):
+        sig = sig_of("type FILE; void f(tracked(F) FILE g) [-F];", "f")
+        param = sig.params[0].type
+        assert isinstance(param, CTracked)
+        assert param.key == KeyVarRef("F")
+        assert "F" in sig.key_vars
+
+    def test_implicit_key_generalisation(self):
+        # F never declared via <key F>: bound at first reference (§2.1).
+        sig = sig_of("type FILE; void f(tracked(F) FILE g) [F];", "f")
+        assert sig.key_vars == ("F",)
+
+    def test_anonymous_tracked_param_is_packed(self):
+        sig = sig_of("type region; void f(tracked region r);", "f")
+        assert isinstance(sig.params[0].type, CPacked)
+
+    def test_effect_modes(self):
+        sig = sig_of(
+            "type T; void f(tracked(A) T a, tracked(B) T b) [-A, +B];", "f")
+        modes = {i.key: i.mode for i in sig.effect.items}
+        assert modes == {"A": "consume", "B": "produce"}
+
+    def test_fresh_key_in_return(self):
+        sig = sig_of("type sock; tracked(N) sock mk() [new N@ready];", "mk")
+        assert isinstance(sig.ret, CTracked)
+        item = sig.effect.items[0]
+        assert item.mode == "fresh"
+        assert item.post == ExactState("ready")
+
+    def test_state_transition_effect(self):
+        sig = sig_of("type sock; void bind(tracked(S) sock s) "
+                     "[S@raw->named];", "bind")
+        item = sig.effect.items[0]
+        assert item.pre == ExactState("raw")
+        assert item.post == ExactState("named")
+
+    def test_guarded_param(self):
+        sig = sig_of("""
+type FILE;
+type guarded_int<key K> = K:int;
+void f(tracked(F) FILE g, guarded_int<F> gi) [F];
+""", "f")
+        guarded = sig.params[1].type
+        assert isinstance(guarded, CGuarded)
+        assert guarded.guards[0][0] == KeyVarRef("F")
+        assert guarded.inner == CBase("int")
+
+    def test_alias_expansion_with_type_param(self):
+        sig = sig_of("""
+type box<type T> = T[];
+void f(box<int> b);
+""", "f")
+        assert sig.params[0].type == CArray(CBase("int"))
+
+    def test_bounded_state_effect(self):
+        sig = sig_of("""
+stateset L = [ lo < mid < hi ];
+key GK @ L;
+void f() [GK @ (lvl <= mid)];
+""", "f")
+        item = sig.effect.items[0]
+        assert item.pre == AtMostState("lvl", "mid")
+        assert "lvl" in sig.state_vars
+
+    def test_state_var_flows_into_return_type(self):
+        sig = sig_of("""
+stateset L = [ lo < hi ];
+key GK @ L;
+type SAVED<state S>;
+SAVED<lvl> f() [GK @ (lvl <= hi) -> hi];
+""", "f")
+        ret = sig.ret
+        assert isinstance(ret, CNamed)
+        assert ret.args[0].state == StateVarRef("lvl", "hi")
+
+    def test_param_bound_state_var_resolves_in_effect(self):
+        # KeReleaseSpinLock's shape: the param binds S, the effect's
+        # post-state must refer to the same variable.
+        sig = sig_of("""
+stateset L = [ lo < hi ];
+key GK @ L;
+type SAVED<state S>;
+void f(SAVED<S> old) [GK @ hi -> S];
+""", "f")
+        post = sig.effect.items[0].post
+        assert post == ExactState(StateVarRef("S"))
+
+    def test_funtype_alias_becomes_cfun(self):
+        sig = sig_of("""
+type T;
+type CB = int Fn(int x);
+void register(CB callback);
+""", "register")
+        assert isinstance(sig.params[0].type, CFun)
+
+    def test_global_key_resolves_to_concrete_key(self):
+        ctx = build("""
+stateset L = [ a < b ];
+key GK @ L;
+type cfg;
+type guarded_cfg = GK:cfg;
+void f(guarded_cfg c);
+""")
+        param = ctx.functions["f"].params[0].type
+        assert isinstance(param, CGuarded)
+        assert isinstance(param.guards[0][0], Key)
+
+
+class TestWellFormedness:
+    def error_codes(self, source, units=None):
+        from repro import load_context as lc
+        _ctx, reporter = lc(source, units=units or [])
+        return reporter.codes()
+
+    def test_unknown_type(self):
+        assert Code.UNDEFINED_TYPE in self.error_codes("void f(mystery m);")
+
+    def test_arity_mismatch_on_type(self):
+        assert Code.ARITY_MISMATCH in self.error_codes("""
+type box<type T> = T[];
+void f(box<int, int> b);
+""")
+
+    def test_recursive_alias_rejected(self):
+        assert Code.BAD_TYPE_ARGUMENT in self.error_codes(
+            "type loop = loop;")
+
+    def test_variant_undeclared_attach_key(self):
+        assert Code.UNDEFINED_KEY in self.error_codes(
+            "variant v [ 'C {K} ];")
+
+    def test_duplicate_ctor_across_variants(self):
+        assert Code.DUPLICATE_NAME in self.error_codes("""
+variant a [ 'X ];
+variant b [ 'X ];
+""")
+
+    def test_duplicate_struct_field(self):
+        assert Code.DUPLICATE_NAME in self.error_codes(
+            "struct s { int a; int a; }")
+
+    def test_unknown_stateset_on_key(self):
+        assert Code.UNDEFINED_STATE in self.error_codes("key GK @ NOPE;")
+
+    def test_bound_must_be_in_a_stateset(self):
+        assert Code.UNDEFINED_STATE in self.error_codes("""
+type T;
+void f(tracked(K) T t) [K @ (s <= nowhere)];
+""")
+
+
+class TestAlphaEquality:
+    def sig(self, source, name):
+        return sig_of("type FILE;\n" + source, name)
+
+    def test_renamed_keys_equal(self):
+        a = self.sig("void f(tracked(F) FILE g) [-F];", "f")
+        b = self.sig("void h(tracked(Q) FILE g) [-Q];", "h")
+        assert signatures_alpha_equal(a, b)
+
+    def test_different_modes_not_equal(self):
+        a = self.sig("void f(tracked(F) FILE g) [-F];", "f")
+        b = self.sig("void h(tracked(F) FILE g) [F];", "h")
+        assert not signatures_alpha_equal(a, b)
+
+    def test_different_states_not_equal(self):
+        a = self.sig("void f(tracked(F) FILE g) [F@raw];", "f")
+        b = self.sig("void h(tracked(F) FILE g) [F@named];", "h")
+        assert not signatures_alpha_equal(a, b)
+
+    def test_param_type_matters(self):
+        a = self.sig("void f(int x);", "f")
+        b = self.sig("void h(string x);", "h")
+        assert not signatures_alpha_equal(a, b)
+
+
+class TestStdlibContext:
+    def test_all_units_build_together(self):
+        from repro import load_context as lc
+        ctx, reporter = lc("void nothing() { }")
+        assert reporter.ok
+        assert ctx.function("create", module="Region") is not None
+        assert ctx.function("IoCompleteRequest") is not None
+        assert ctx.variant("COMPLETION_RESULT") is not None
+        assert ctx.global_key("IRQL") is not None
+
+    def test_irql_stateset_order(self):
+        from repro import load_context as lc
+        ctx, _ = lc("void nothing() { }")
+        space = ctx.statespace
+        assert space.leq("PASSIVE_LEVEL", "DISPATCH_LEVEL")
+        assert not space.leq("DIRQL", "APC_LEVEL")
+
+    def test_keyed_variants_registered(self):
+        from repro import load_context as lc
+        ctx, _ = lc("void nothing() { }")
+        assert ctx.variant("status").captures_keys
+        assert ctx.variant("opt_key").captures_keys
+        assert not ctx.variant("domain").captures_keys

@@ -1,0 +1,79 @@
+"""The examples are part of the product: each must run cleanly, and
+the pipeline example must behave identically interpreted and compiled."""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+EXAMPLES = ["quickstart", "sockets_server", "driver_demo",
+            "protocol_lint", "pipeline_compiler"]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    module = load_example(name)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert output.strip()
+    assert "MISMATCH" not in output
+    assert "FAILED" not in output
+
+
+class TestPipelineParity:
+    @pytest.fixture(scope="class")
+    def pipeline_source(self):
+        return load_example("pipeline_compiler").PIPELINE
+
+    def test_pipeline_checks(self, pipeline_source):
+        from repro import check_source
+        report = check_source(pipeline_source)
+        assert report.ok, report.render()
+
+    def test_interpreted_equals_compiled(self, pipeline_source):
+        from repro import load_context, parse
+        from repro.lower import compile_to_python, load_compiled
+        from repro.stdlib.hostimpl import create_host, make_interpreter
+
+        ctx, reporter = load_context(pipeline_source)
+        assert reporter.ok
+        interp = make_interpreter(ctx, create_host())
+        module = load_compiled(compile_to_python(parse(pipeline_source)),
+                               create_host())
+
+        for expr, expected in [
+            ("1 + 1", 2),
+            ("6 * 7", 42),
+            ("2 + 3 * 4", 14),
+            ("(2 + 3) * 4", 20),
+            ("((1 + 2) * (3 + 4)) + 5", 26),
+            ("100", 100),
+        ]:
+            interpreted = interp.call("compile_and_run", [expr, len(expr)])
+            compiled = module["compile_and_run"](expr, len(expr))
+            assert interpreted == compiled == expected, expr
+
+    def test_pipeline_under_monitor(self, pipeline_source):
+        from repro import load_context
+        from repro.runtime.monitor import make_monitored
+        ctx, reporter = load_context(pipeline_source)
+        assert reporter.ok
+        monitored = make_monitored(ctx)
+        assert monitored.call("main") == 17
+        assert monitored.monitor.audit() == []

@@ -1,0 +1,128 @@
+"""GDI protocol tests (the §6 graphics domain): static and dynamic."""
+
+import pytest
+
+from repro.diagnostics import Code, RuntimeProtocolError
+from repro.gfx import GdiSystem
+
+from conftest import assert_ok, assert_rejected, run_program
+
+
+class TestStaticProtocol:
+    def test_full_drawing_session(self):
+        assert_ok("""
+void draw() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    tracked(P) pen red = Gdi.create_pen(0xFF0000);
+    Gdi.select_pen(canvas, red);
+    Gdi.draw_line(canvas, 0, 0, 10, 10);
+    Gdi.draw_line(canvas, 10, 10, 20, 0);
+    Gdi.deselect_pen(canvas, red);
+    Gdi.release_dc(canvas);
+    Gdi.delete_pen(red);
+}
+""")
+
+    def test_draw_without_pen(self):
+        assert_rejected("""
+void draw() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    Gdi.draw_line(canvas, 0, 0, 10, 10);
+    Gdi.release_dc(canvas);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_release_with_pen_selected(self):
+        assert_rejected("""
+void draw() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    tracked(P) pen red = Gdi.create_pen(1);
+    Gdi.select_pen(canvas, red);
+    Gdi.release_dc(canvas);
+    Gdi.delete_pen(red);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_delete_selected_pen(self):
+        assert_rejected("""
+void draw() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    tracked(P) pen red = Gdi.create_pen(1);
+    Gdi.select_pen(canvas, red);
+    Gdi.delete_pen(red);
+    Gdi.deselect_pen(canvas, red);
+    Gdi.release_dc(canvas);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_leaked_dc(self):
+        assert_rejected("""
+void draw() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+}
+""", Code.KEY_LEAKED)
+
+    def test_leaked_pen(self):
+        assert_rejected("""
+void draw() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    tracked(P) pen red = Gdi.create_pen(1);
+    Gdi.release_dc(canvas);
+}
+""", Code.KEY_LEAKED)
+
+    def test_pen_reuse_across_dcs(self):
+        assert_ok("""
+void draw() {
+    tracked(P) pen red = Gdi.create_pen(1);
+    tracked(A) dc first = Gdi.get_dc(1);
+    Gdi.select_pen(first, red);
+    Gdi.draw_line(first, 0, 0, 1, 1);
+    Gdi.deselect_pen(first, red);
+    Gdi.release_dc(first);
+    tracked(B) dc second = Gdi.get_dc(2);
+    Gdi.select_pen(second, red);
+    Gdi.draw_line(second, 2, 2, 3, 3);
+    Gdi.deselect_pen(second, red);
+    Gdi.release_dc(second);
+    Gdi.delete_pen(red);
+}
+""")
+
+
+class TestExecution:
+    def test_lines_recorded_with_pen_color(self):
+        _result, host = run_program("""
+void main() {
+    tracked(D) dc canvas = Gdi.get_dc(1);
+    tracked(P) pen red = Gdi.create_pen(7);
+    Gdi.select_pen(canvas, red);
+    Gdi.draw_line(canvas, 0, 0, 4, 4);
+    Gdi.deselect_pen(canvas, red);
+    Gdi.release_dc(canvas);
+    Gdi.delete_pen(red);
+}
+""")
+        assert host.gdi.total_lines() == 1
+        dc = host.gdi.dcs[0]
+        assert dc.lines[0] == (0, 0, 4, 4, 7)
+        assert host.audit() == []
+
+
+class TestSubstrate:
+    def test_wrong_pen_pairing_caught_at_runtime(self):
+        # The static checker tracks the two keys independently; the
+        # substrate enforces the pairing (documented in gdi.vlt).
+        gdi = GdiSystem()
+        dc1, dc2 = gdi.get_dc(1), gdi.get_dc(2)
+        p1, p2 = gdi.create_pen(1), gdi.create_pen(2)
+        gdi.select_pen(dc1, p1)
+        gdi.select_pen(dc2, p2)
+        with pytest.raises(RuntimeProtocolError):
+            gdi.deselect_pen(dc1, p2)
+
+    def test_audit_reports_unreleased(self):
+        gdi = GdiSystem()
+        gdi.get_dc(1)
+        gdi.create_pen(3)
+        assert len(gdi.audit()) == 2

@@ -1,0 +1,290 @@
+"""Interpreter tests: language semantics and runtime protocol faults."""
+
+import pytest
+
+from repro.api import load_context
+from repro.diagnostics import Code, RuntimeProtocolError
+from repro.runtime.values import VArray, VStruct, VVariant
+from repro.stdlib.hostimpl import create_host, make_interpreter
+
+from conftest import run_program
+
+
+def run(source, entry="main"):
+    result, _host = run_program(source, entry)
+    return result
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run("int main() { return 2 + 3 * 4; }") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert run("int main() { return (0 - 7) / 2; }") == -3
+
+    def test_modulo(self):
+        assert run("int main() { return 17 % 5; }") == 2
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(RuntimeProtocolError):
+            run("int main() { int z = 0; return 1 / z; }")
+
+    def test_comparison_and_logic(self):
+        assert run("bool main() { return 1 < 2 && !(3 <= 2); }") is True
+
+    def test_short_circuit_and(self):
+        # The right operand would divide by zero if evaluated.
+        assert run("""
+bool main() {
+    int z = 0;
+    return false && (1 / z) > 0;
+}
+""") is False
+
+    def test_string_concat(self):
+        assert run('string main() { return "ab" + "cd"; }') == "abcd"
+
+    def test_string_index(self):
+        assert run('char main() { string s = "xyz"; return s[1]; }') == "y"
+
+    def test_unary_ops(self):
+        assert run("int main() { return -(3 + 4); }") == -7
+
+    def test_array_literal_and_index(self):
+        assert run("""
+int main() {
+    byte[] a = [10, 20, 30];
+    a[1] = 25;
+    return a[0] + a[1] + a[2];
+}
+""") == 65
+
+    def test_array_out_of_bounds_faults(self):
+        with pytest.raises(RuntimeProtocolError):
+            run("int main() { byte[] a = [1]; return a[5]; }")
+
+
+class TestStatements:
+    def test_while_loop(self):
+        assert run("""
+int main() {
+    int i = 0;
+    int acc = 0;
+    while (i < 5) { acc += i; i++; }
+    return acc;
+}
+""") == 10
+
+    def test_break_and_continue(self):
+        assert run("""
+int main() {
+    int i = 0;
+    int acc = 0;
+    while (true) {
+        i++;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        acc += i;
+    }
+    return acc;
+}
+""") == 25
+
+    def test_if_else_chain(self):
+        assert run("""
+int classify(int x) {
+    if (x < 0) { return 0 - 1; }
+    else { if (x == 0) { return 0; } else { return 1; } }
+}
+int main() { return classify(5) * 100 + classify(0) * 10 + classify(-3); }
+""") == 100 - 1
+
+    def test_incdec_on_fields(self):
+        assert run("""
+struct point { int x; int y; }
+int main() {
+    point p = new point { x = 1; y = 2; };
+    p.x++;
+    p.y--;
+    return p.x * 10 + p.y;
+}
+""") == 21
+
+    def test_compound_assignment(self):
+        assert run("int main() { int x = 10; x += 5; x -= 3; return x; }") \
+            == 12
+
+
+class TestVariantsAndSwitch:
+    def test_switch_matches_ctor(self):
+        assert run("""
+variant opt [ 'None | 'Some(int) ];
+int main() {
+    opt v = 'Some(7);
+    switch (v) {
+        case 'None: return 0;
+        case 'Some(n): return n;
+    }
+}
+""") == 7
+
+    def test_switch_default(self):
+        assert run("""
+variant color [ 'R | 'G | 'B ];
+int main() {
+    color c = 'G;
+    switch (c) {
+        case 'R: return 1;
+        default: return 9;
+    }
+}
+""") == 9
+
+    def test_variant_equality(self):
+        assert run("""
+variant opt [ 'None | 'Some(int) ];
+bool main() {
+    opt a = 'Some(3);
+    opt b = 'Some(3);
+    return a == b;
+}
+""") is True
+
+    def test_nested_variants(self):
+        assert run("""
+variant lst [ 'Nil | 'Cons(int, lst) ];
+int total(lst l) {
+    switch (l) {
+        case 'Nil: return 0;
+        case 'Cons(h, t): return h + total(t);
+    }
+}
+int main() { return total('Cons(1, 'Cons(2, 'Cons(3, 'Nil)))); }
+""") == 6
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run("""
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }
+""") == 55
+
+    def test_nested_function_closure(self):
+        assert run("""
+int main() {
+    int base = 10;
+    int add(int x) { return x + base; }
+    return add(1) + add(2);
+}
+""") == 23
+
+    def test_function_as_value(self):
+        assert run("""
+int twice(int x) { return x * 2; }
+int apply(int v) {
+    int f(int x) { return twice(x) + 1; }
+    return f(v);
+}
+int main() { return apply(5); }
+""") == 11
+
+    def test_module_function_call(self):
+        assert run("""
+int main() {
+    tracked(R) region rgn = Region.create();
+    int n = Region.size(rgn);
+    Region.delete(rgn);
+    return n;
+}
+""") == 0
+
+
+class TestRuntimeProtocolFaults:
+    def test_dangling_region_access(self):
+        with pytest.raises(RuntimeProtocolError) as exc:
+            run("""
+struct point { int x; int y; }
+int main() {
+    tracked(R) region rgn = Region.create();
+    R:point p = new(rgn) point {x=1; y=2;};
+    Region.delete(rgn);
+    return p.x;
+}
+""")
+        assert exc.value.code is Code.RT_DANGLING
+
+    def test_double_region_delete(self):
+        with pytest.raises(RuntimeProtocolError) as exc:
+            run("""
+void main() {
+    tracked(R) region rgn = Region.create();
+    Region.delete(rgn);
+    Region.delete(rgn);
+}
+""")
+        assert exc.value.code is Code.RT_DOUBLE_FREE
+
+    def test_region_leak_caught_by_audit(self):
+        _result, host = run_program("""
+void main() {
+    tracked(R) region rgn = Region.create();
+}
+""")
+        assert host.audit() == ["region region1"] or host.audit()
+
+    def test_double_free_struct(self):
+        with pytest.raises(RuntimeProtocolError) as exc:
+            run("""
+struct point { int x; int y; }
+void main() {
+    tracked(K) point p = new tracked point {x=1; y=2;};
+    free(p);
+    free(p);
+}
+""")
+        assert exc.value.code is Code.RT_DOUBLE_FREE
+
+    def test_use_after_free_struct(self):
+        with pytest.raises(RuntimeProtocolError) as exc:
+            run("""
+struct point { int x; int y; }
+int main() {
+    tracked(K) point p = new tracked point {x=1; y=2;};
+    free(p);
+    return p.x;
+}
+""")
+        assert exc.value.code is Code.RT_DANGLING
+
+    def test_file_use_after_close(self):
+        with pytest.raises(RuntimeProtocolError):
+            run("""
+int main() {
+    tracked(F) FILE f = fopen("x");
+    fclose(f);
+    return flen(f);
+}
+""")
+
+    def test_socket_protocol_fault(self):
+        with pytest.raises(RuntimeProtocolError) as exc:
+            run("""
+void main() {
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.listen(s, 4);
+    Socket.close(s);
+}
+""")
+        assert exc.value.code is Code.RT_PROTOCOL
+
+    def test_step_budget_stops_infinite_loops(self):
+        ctx, reporter = load_context("void main() { while (true) { } }")
+        host = create_host()
+        interp = make_interpreter(ctx, host)
+        interp.max_steps = 10_000
+        with pytest.raises(RuntimeProtocolError):
+            interp.call("main")

@@ -1,0 +1,108 @@
+"""Kernel-simulator edge cases and multi-request scenarios."""
+
+import pytest
+
+from repro.diagnostics import Code, RuntimeProtocolError
+from repro.drivers import FloppyHarness
+from repro.kernel import (IRP_MJ_READ, IRP_MJ_WRITE, FloppyDevice, Irp,
+                          KernelSim, OWNER_DRIVER,
+                          STATUS_INVALID_DEVICE_REQUEST, STATUS_SUCCESS)
+
+
+class TestKernelRouting:
+    def test_unknown_device_rejected(self):
+        kernel = KernelSim()
+        with pytest.raises(RuntimeProtocolError):
+            kernel.top_device("nothing")
+
+    def test_missing_dispatch_completes_invalid(self):
+        # An FDO without a handler for the major completes the request
+        # with STATUS_INVALID_DEVICE_REQUEST instead of dropping it.
+        kernel = KernelSim()
+        fdo = kernel.create_fdo("bare", extension=None)
+        irp = kernel.submit_request(None, "bare", IRP_MJ_READ)
+        assert irp.completed
+        assert irp.status == STATUS_INVALID_DEVICE_REQUEST
+
+    def test_submit_records_log(self):
+        kernel = KernelSim()
+        kernel.create_fdo("bare", extension=None)
+        kernel.submit_request(None, "bare", IRP_MJ_READ)
+        assert any("submit READ" in line for line in kernel.log)
+
+    def test_audit_flags_dropped_irps(self):
+        kernel = KernelSim()
+        irp = Irp(IRP_MJ_WRITE)
+        irp.give_to(OWNER_DRIVER)
+        kernel.live_irps[irp.id] = irp
+        assert kernel.audit()
+        with pytest.raises(RuntimeProtocolError) as exc:
+            kernel.assert_no_leaks()
+        assert exc.value.code is Code.RT_LEAK
+
+    def test_run_until_complete_detects_starvation(self):
+        kernel = KernelSim()
+        irp = Irp(IRP_MJ_READ)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            kernel.run_until_complete(None, irp, max_ticks=10)
+        assert exc.value.code is Code.RT_DEADLOCK
+
+
+class TestConcurrentRequests:
+    def test_interleaved_reads_and_writes(self):
+        h = FloppyHarness()
+        h.boot()
+        # Submit several transfers; each is fully processed through the
+        # asynchronous PDO path.
+        blobs = {i: bytes([i]) * 128 for i in range(1, 6)}
+        for i, blob in blobs.items():
+            irp = h.write(i * 512, blob)
+            assert irp.status == STATUS_SUCCESS
+        for i, blob in blobs.items():
+            irp, data = h.read(i * 512, len(blob))
+            assert data == blob
+        assert h.audit() == []
+
+    def test_many_requests_accumulate_stats(self):
+        h = FloppyHarness()
+        h.boot()
+        for i in range(10):
+            h.write(i * 512, b"x")
+        assert h.device.writes == 10
+        assert h.stats_total() == 10
+
+    def test_large_transfer_spans_sectors(self):
+        h = FloppyHarness()
+        h.boot()
+        payload = bytes(range(256)) * 8      # 2 KiB = 4 sectors
+        irp = h.write(0, payload)
+        assert irp.information == len(payload)
+        _r, data = h.read(0, len(payload))
+        assert data == payload
+
+    def test_latency_proportional_to_transfer(self):
+        h = FloppyHarness()
+        h.boot()
+        t0 = h.host.kernel.ticks
+        h.write(0, b"z" * 512)
+        small = h.host.kernel.ticks - t0
+        t1 = h.host.kernel.ticks
+        h.write(0, b"z" * (512 * 8))
+        large = h.host.kernel.ticks - t1
+        assert large > small
+
+
+class TestHarnessIsolation:
+    def test_two_harnesses_do_not_share_state(self):
+        a = FloppyHarness()
+        a.boot()
+        b = FloppyHarness()
+        b.boot()
+        a.write(0, b"only-a")
+        _irp, data = b.read(0, 6)
+        assert data != b"only-a"
+
+    def test_fresh_harness_has_no_leaks(self):
+        h = FloppyHarness()
+        h.boot()
+        assert h.audit() == []

@@ -1,0 +1,200 @@
+"""Unit tests for keys, statesets and the held-key set (linearity)."""
+
+import pytest
+
+from repro.core import (CBase, CapabilityError, HeldKeys, Key, StateSet,
+                        StateSpace, StateVar, fresh_key, states_equal)
+from repro.core.keys import DEFAULT_STATE, state_display
+
+
+class TestKeys:
+    def test_fresh_keys_are_distinct(self):
+        a = fresh_key("R")
+        b = fresh_key("R")
+        assert a is not b
+        assert a.uid != b.uid
+
+    def test_key_display_uses_program_name(self):
+        assert fresh_key("R").display() == "R"
+
+    def test_origin_is_recorded(self):
+        assert fresh_key("F", origin="param").origin == "param"
+
+
+class TestStateSet:
+    def setup_method(self):
+        self.levels = StateSet(
+            "IRQ", ("PASSIVE", "APC", "DISPATCH", "DIRQL"),
+            (("PASSIVE", "APC"), ("APC", "DISPATCH"),
+             ("DISPATCH", "DIRQL")))
+
+    def test_membership(self):
+        assert "APC" in self.levels
+        assert "NOPE" not in self.levels
+
+    def test_leq_reflexive(self):
+        assert self.levels.leq("APC", "APC")
+
+    def test_leq_transitive(self):
+        assert self.levels.leq("PASSIVE", "DIRQL")
+
+    def test_leq_not_symmetric(self):
+        assert not self.levels.leq("DISPATCH", "APC")
+
+    def test_lub_on_chain(self):
+        assert self.levels.lub("PASSIVE", "DISPATCH") == "DISPATCH"
+
+    def test_bottom(self):
+        assert self.levels.bottom() == "PASSIVE"
+
+    def test_partial_order_incomparable(self):
+        diamond = StateSet("D", ("a", "b", "c", "top"),
+                           (("a", "b"), ("a", "c"), ("b", "top"),
+                            ("c", "top")))
+        assert not diamond.leq("b", "c")
+        assert not diamond.leq("c", "b")
+        assert diamond.lub("b", "c") == "top"
+
+    def test_no_bottom_in_forest(self):
+        forest = StateSet("F", ("x", "y"), ())
+        assert forest.bottom() is None
+
+
+class TestStateSpace:
+    def setup_method(self):
+        self.space = StateSpace()
+        self.space.add(StateSet("IRQ", ("P", "A", "D"),
+                                (("P", "A"), ("A", "D"))))
+
+    def test_set_of_state(self):
+        assert self.space.set_of_state("A").name == "IRQ"
+        assert self.space.set_of_state("open") is None
+
+    def test_leq_concrete(self):
+        assert self.space.leq("P", "D")
+        assert not self.space.leq("D", "P")
+
+    def test_leq_outside_any_set_only_reflexive(self):
+        assert self.space.leq("open", "open")
+        assert not self.space.leq("open", "closed")
+
+    def test_leq_bounded_var(self):
+        var = StateVar("lvl", "A")
+        assert self.space.leq(var, "D")
+        assert self.space.leq(var, "A")
+        assert not self.space.leq(var, "P")
+
+    def test_leq_unbounded_var_never_proves(self):
+        assert not self.space.leq(StateVar("lvl"), "D")
+
+    def test_states_leq(self):
+        assert self.space.states_leq("A") == {"P", "A"}
+
+
+class TestStatesEqual:
+    def test_concrete_equality(self):
+        assert states_equal("open", "open")
+        assert not states_equal("open", "closed")
+
+    def test_var_identity(self):
+        v = StateVar("s")
+        assert states_equal(v, v)
+        assert not states_equal(v, StateVar("s"))
+
+    def test_var_vs_concrete(self):
+        assert not states_equal(StateVar("s"), "open")
+
+    def test_display(self):
+        assert state_display(DEFAULT_STATE) == "T"
+        assert state_display("raw") == "raw"
+        assert "DISPATCH" in state_display(StateVar("lvl", "DISPATCH"))
+
+
+class TestHeldKeys:
+    def test_add_and_contains(self):
+        held = HeldKeys()
+        key = fresh_key("R")
+        held.add(key, "open")
+        assert key in held
+        assert held.state_of(key) == "open"
+
+    def test_duplicate_add_raises(self):
+        held = HeldKeys()
+        key = fresh_key("R")
+        held.add(key, "a")
+        with pytest.raises(CapabilityError) as exc:
+            held.add(key, "a")
+        assert exc.value.kind == "duplicate"
+
+    def test_remove_returns_info(self):
+        held = HeldKeys()
+        key = fresh_key("R")
+        held.add(key, "a", payload=CBase("int"))
+        info = held.remove(key)
+        assert info.state == "a"
+        assert key not in held
+
+    def test_remove_missing_raises(self):
+        held = HeldKeys()
+        with pytest.raises(CapabilityError) as exc:
+            held.remove(fresh_key("R"))
+        assert exc.value.kind == "missing"
+
+    def test_set_state(self):
+        held = HeldKeys()
+        key = fresh_key("S")
+        held.add(key, "raw")
+        held.set_state(key, "named")
+        assert held.state_of(key) == "named"
+
+    def test_clone_is_independent(self):
+        held = HeldKeys()
+        key = fresh_key("R")
+        held.add(key, "a")
+        snapshot = held.clone()
+        held.set_state(key, "b")
+        assert snapshot.state_of(key) == "a"
+
+    def test_rename(self):
+        held = HeldKeys()
+        old = fresh_key("R")
+        new = fresh_key("J")
+        held.add(old, "a")
+        renamed = held.rename({old: new})
+        assert new in renamed
+        assert old not in renamed
+
+    def test_same_shape(self):
+        a, b = HeldKeys(), HeldKeys()
+        key = fresh_key("R")
+        a.add(key, "x")
+        b.add(key, "x")
+        assert a.same_shape(b)
+        b.set_state(key, "y")
+        assert not a.same_shape(b)
+
+    def test_same_shape_differing_keys(self):
+        a, b = HeldKeys(), HeldKeys()
+        a.add(fresh_key("R"), "x")
+        assert not a.same_shape(b)
+
+    def test_diff_summary_mentions_key(self):
+        a, b = HeldKeys(), HeldKeys()
+        key = fresh_key("R")
+        a.add(key, "x")
+        assert "R" in a.diff_summary(b)
+
+    def test_show_sorted(self):
+        held = HeldKeys()
+        held.add(fresh_key("B"), "s1")
+        held.add(fresh_key("A"), "s2")
+        text = held.show()
+        assert text.index("A@") < text.index("B@")
+
+    def test_len_and_iter(self):
+        held = HeldKeys()
+        keys = [fresh_key(n) for n in "XYZ"]
+        for k in keys:
+            held.add(k, "s")
+        assert len(held) == 3
+        assert set(held) == set(keys)

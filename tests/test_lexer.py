@@ -1,0 +1,142 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.diagnostics import LexError
+from repro.syntax import tokenize
+from repro.syntax.tokens import T
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is T.EOF
+
+    def test_identifier(self):
+        assert kinds("hello") == [T.IDENT]
+
+    def test_identifier_with_underscores_and_digits(self):
+        toks = tokenize("_irp_2 x3")
+        assert toks[0].text == "_irp_2"
+        assert toks[1].text == "x3"
+
+    def test_keywords_are_distinguished(self):
+        assert kinds("tracked key stateset variant") == [
+            T.KW_TRACKED, T.KW_KEY, T.KW_STATESET, T.KW_VARIANT]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("trackedness") == [T.IDENT]
+
+    def test_int_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is T.INT
+        assert toks[0].text == "42"
+
+    def test_hex_literal(self):
+        toks = tokenize("0x1F")
+        assert toks[0].kind is T.INT
+        assert int(toks[0].text, 0) == 31
+
+    def test_float_literal(self):
+        assert kinds("3.25") == [T.FLOAT]
+
+    def test_float_with_exponent(self):
+        assert kinds("1e9 2.5e-3") == [T.FLOAT, T.FLOAT]
+
+    def test_int_then_dot_method_is_not_float(self):
+        # ``1.x`` style: the dot must not glue to the int without digits
+        assert kinds("7 .") == [T.INT, T.DOT]
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind is T.STRING
+        assert toks[0].text == "hello world"
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\nb\tc\\d\"e"')
+        assert toks[0].text == 'a\nb\tc\\d"e'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_constructor_token(self):
+        toks = tokenize("'SomeKey")
+        assert toks[0].kind is T.CTOR
+        assert toks[0].text == "SomeKey"
+
+    def test_char_literal(self):
+        toks = tokenize("'a'")
+        assert toks[0].kind is T.CHAR
+        assert toks[0].text == "a"
+
+    def test_underscore_token(self):
+        assert kinds("_") == [T.UNDERSCORE]
+
+
+class TestOperators:
+    def test_single_char_operators(self):
+        assert kinds("( ) { } [ ] ; , . : @ + - * / % ! < > = |") == [
+            T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.LBRACKET, T.RBRACKET,
+            T.SEMI, T.COMMA, T.DOT, T.COLON, T.AT, T.PLUS, T.MINUS, T.STAR,
+            T.SLASH, T.PERCENT, T.BANG, T.LT, T.GT, T.ASSIGN, T.PIPE]
+
+    def test_two_char_operators(self):
+        assert kinds("-> && || == != <= >= ++ -- += -=") == [
+            T.ARROW, T.AMPAMP, T.PIPEPIPE, T.EQ, T.NE, T.LE, T.GE,
+            T.PLUSPLUS, T.MINUSMINUS, T.PLUSEQ, T.MINUSEQ]
+
+    def test_maximal_munch(self):
+        # ``a->b`` is ARROW, not MINUS GT
+        assert kinds("a->b") == [T.IDENT, T.ARROW, T.IDENT]
+
+    def test_plusplus_vs_plus(self):
+        assert kinds("a+++b") == [T.IDENT, T.PLUSPLUS, T.PLUS, T.IDENT]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [T.IDENT, T.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [T.IDENT, T.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_whitespace_is_skipped(self):
+        assert kinds("  a\t\r\n  b ") == [T.IDENT, T.IDENT]
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert toks[0].span.start.line == 1
+        assert toks[0].span.start.col == 1
+        assert toks[1].span.start.line == 2
+        assert toks[1].span.start.col == 3
+
+    def test_filename_is_carried(self):
+        toks = tokenize("x", filename="foo.vlt")
+        assert toks[0].span.filename == "foo.vlt"
+
+    def test_effect_clause_tokens(self):
+        src = "[K@a->b, -L, +M, new N@c]"
+        assert kinds(src) == [
+            T.LBRACKET, T.IDENT, T.AT, T.IDENT, T.ARROW, T.IDENT, T.COMMA,
+            T.MINUS, T.IDENT, T.COMMA, T.PLUS, T.IDENT, T.COMMA, T.KW_NEW,
+            T.IDENT, T.AT, T.IDENT, T.RBRACKET]

@@ -1,0 +1,185 @@
+"""Erasure and Vault->Python compilation tests (the paper's
+zero-run-time-cost claim)."""
+
+import pytest
+
+from repro import check_source, load_context, parse
+from repro.analysis import CORPUS
+from repro.drivers import driver_source
+from repro.lower import (compile_to_python, erase_program, erase_programs,
+                         load_compiled)
+from repro.stdlib import stdlib_programs
+from repro.stdlib.hostimpl import create_host, make_interpreter
+from repro.syntax import ast, parse_program, pretty
+
+
+class TestErasure:
+    def test_tracked_types_become_plain(self):
+        program = parse_program("void f(tracked(K) FILE g) [-K] { }")
+        erased = erase_program(program)
+        decl = erased.decls[0].decl
+        assert isinstance(decl.params[0].type, ast.NamedType)
+        assert decl.effect is None
+
+    def test_guards_stripped(self):
+        program = parse_program("type g<key K> = K:int;")
+        erased = erase_program(program)
+        assert isinstance(erased.decls[0].rhs, ast.BaseType)
+        assert erased.decls[0].params == []
+
+    def test_stateset_and_key_decls_removed(self):
+        program = parse_program(
+            "stateset L = [a < b]; key GK @ L; struct s { int v; }")
+        erased = erase_program(program)
+        assert len(erased.decls) == 1
+        assert isinstance(erased.decls[0], ast.StructDecl)
+
+    def test_variant_key_attachments_removed(self):
+        program = parse_program(
+            "variant st<key K> [ 'Ok {K@named} | 'Err(int) {K@raw} ];")
+        erased = erase_program(program)
+        variant = erased.decls[0]
+        assert variant.params == []
+        assert all(not c.keys for c in variant.ctors)
+
+    def test_key_args_dropped_at_uses(self):
+        program = parse_program("""
+variant opt<key K, type T> [ 'N | 'S(T) {K} ];
+void f(opt<Q, int> v, tracked(Q) FILE g) [-Q] { fclose(g); }
+""")
+        erased = erase_program(program)
+        use = erased.decls[1].decl.params[0].type
+        assert use.name == "opt"
+        assert len(use.args) == 1          # only the type argument stays
+
+    def test_ctor_key_braces_removed(self):
+        program = parse_program("""
+void f() {
+    flag = 'SomeKey{F};
+}
+""")
+        erased = erase_program(program)
+        text = pretty(erased)
+        assert "{F}" not in text
+
+    def test_erased_program_reparses(self):
+        erased = erase_program(parse_program(driver_source()))
+        reparsed = parse_program(pretty(erased))
+        assert pretty(erase_program(reparsed)) == pretty(erased)
+
+    def test_erased_stdlib_plus_driver_builds(self):
+        from repro.core import build_context
+        from repro.diagnostics import Reporter
+        programs = list(stdlib_programs()) + [parse_program(driver_source())]
+        erased = erase_programs(programs)
+        reporter = Reporter()
+        build_context(erased, reporter)
+        assert reporter.ok, reporter.render()
+
+
+class TestPyGen:
+    def compile_and_load(self, source):
+        report = check_source(source)
+        assert report.ok, report.render()
+        code = compile_to_python(parse(source))
+        host = create_host()
+        return load_compiled(code, host), host, code
+
+    def test_region_program_compiles_and_runs(self):
+        module, host, code = self.compile_and_load("""
+struct point { int x; int y; }
+int main() {
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {x=1; y=2;};
+    pt.x++;
+    int v = pt.x * 10 + pt.y;
+    Region.delete(rgn);
+    return v;
+}
+""")
+        assert module["main"]() == 22
+        host.assert_no_leaks()
+
+    def test_compiled_output_has_no_key_machinery(self):
+        _module, _host, code = self.compile_and_load("""
+void f(tracked(K) FILE g) [-K] {
+    fclose(g);
+}
+""")
+        body = code.split("def f(")[1]
+        assert "key" not in body.lower()
+        assert "guard" not in body.lower()
+
+    def test_switch_compiles(self):
+        module, _host, _code = self.compile_and_load("""
+variant opt [ 'None | 'Some(int) ];
+int pick(opt v) {
+    switch (v) {
+        case 'None: return 0;
+        case 'Some(n): return n * 2;
+    }
+}
+int main() {
+    return pick('Some(21));
+}
+""")
+        assert module["main"]() == 42
+
+    def test_loops_and_recursion_compile(self):
+        module, _host, _code = self.compile_and_load("""
+int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+int main() {
+    int acc = 0;
+    int i = 0;
+    while (i < 4) { acc += fact(i + 1); i++; }
+    return acc;
+}
+""")
+        assert module["main"]() == 1 + 2 + 6 + 24
+
+    def test_nested_functions_compile_to_closures(self):
+        module, _host, _code = self.compile_and_load("""
+int main() {
+    int base = 5;
+    int add(int x) { return x + base; }
+    return add(10);
+}
+""")
+        assert module["main"]() == 15
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_corpus_compiled_matches_interpreted(self, name):
+        program = CORPUS[name]
+        ctx, reporter = load_context(program.source)
+        assert reporter.ok
+
+        host_i = create_host()
+        interp = make_interpreter(ctx, host_i)
+        interpreted = interp.call(program.entry)
+
+        code = compile_to_python(parse(program.source))
+        host_c = create_host()
+        module = load_compiled(code, host_c)
+        compiled = module[program.entry]()
+
+        assert interpreted == compiled
+        host_i.assert_no_leaks()
+        host_c.assert_no_leaks()
+
+    def test_compiled_dangling_faults_at_runtime(self):
+        from repro.diagnostics import RuntimeProtocolError
+        code = compile_to_python(parse("""
+struct point { int x; int y; }
+int main() {
+    tracked(R) region rgn = Region.create();
+    R:point p = new(rgn) point {x=1; y=2;};
+    Region.delete(rgn);
+    return p.x;
+}
+"""))
+        module = load_compiled(code, create_host())
+        with pytest.raises(RuntimeProtocolError):
+            module["main"]()

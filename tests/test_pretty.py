@@ -1,0 +1,95 @@
+"""Pretty-printer tests: output re-parses and is a fixpoint."""
+
+import pytest
+
+from repro.drivers import driver_source
+from repro.stdlib import STDLIB_UNITS, stdlib_source
+from repro.syntax import parse_expr, parse_program, parse_type, pretty
+
+ROUNDTRIP_SOURCES = [
+    "struct point { int x; int y; }",
+    "variant opt_key<key K> [ 'NoKey | 'SomeKey {K} ];",
+    "variant status<key K> [ 'Ok {K@named} | 'Error(int) {K@raw} ];",
+    "stateset L = [ a < b < c ];",
+    "key IRQL @ L;",
+    "type paged<type T> = (IRQL @ (level <= APC_LEVEL)) : T;",
+    "type guarded_int<key K> = K:int;",
+    "interface REGION { type region; tracked(R) region create() [new R]; "
+    "void delete(tracked(R) region r) [-R]; }",
+    "extern module Region : REGION;",
+    "void fclose(tracked(F) FILE f) [-F];",
+    "tracked(N) sock accept(tracked(S) sock s, sockaddr a) "
+    "[S@listening, new N@ready];",
+    "KIRQL<S> acquire(KSPIN_LOCK<K> l) "
+    "[+K, IRQL @ (S <= DISPATCH_LEVEL) -> DISPATCH_LEVEL];",
+    """
+void foo(tracked(F) FILE f, bool early) [-F] {
+    tracked opt_key<F> flag;
+    if (early) {
+        fclose(f);
+        flag = 'NoKey;
+    } else {
+        flag = 'SomeKey{F};
+    }
+    switch (flag) {
+        case 'NoKey:
+            int x = 0;
+        case 'SomeKey:
+            fclose(f);
+    }
+}
+""",
+    """
+int loops(int n) {
+    int i = 0;
+    int acc = 0;
+    while (i < n) {
+        if (acc > 100) {
+            break;
+        }
+        acc += i * 2;
+        i++;
+    }
+    return acc;
+}
+""",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+def test_pretty_reparses(source):
+    program = parse_program(source)
+    text = pretty(program)
+    reparsed = parse_program(text)
+    assert pretty(reparsed) == text
+
+
+@pytest.mark.parametrize("unit", list(STDLIB_UNITS))
+def test_stdlib_pretty_fixpoint(unit):
+    text = pretty(parse_program(stdlib_source(unit)))
+    assert pretty(parse_program(text)) == text
+
+
+def test_driver_pretty_fixpoint():
+    text = pretty(parse_program(driver_source()))
+    assert pretty(parse_program(text)) == text
+
+
+@pytest.mark.parametrize("type_text", [
+    "int", "byte[]", "tracked(R) region", "tracked region",
+    "tracked(@raw) sock", "K:FILE", "K@open:FILE",
+    "(IRQL @ (level <= APC_LEVEL)) : config", "opt_key<K>", "KIRQL<S>",
+])
+def test_type_roundtrip(type_text):
+    printed = pretty(parse_type(type_text))
+    assert pretty(parse_type(printed)) == printed
+
+
+@pytest.mark.parametrize("expr_text", [
+    "1 + 2 * 3", "'SomeKey{F}", "'Cons(rgn, 'Nil)",
+    "new tracked point {x=3; y=4;}", "new(rgn) point {x=1; y=2;}",
+    "buf[i + 1]", "Region.create()", "!(a && b)", "[1, 2, 3]",
+])
+def test_expr_roundtrip(expr_text):
+    printed = pretty(parse_expr(expr_text))
+    assert pretty(parse_expr(printed)) == printed

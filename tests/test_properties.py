@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import check_source, load_context, parse
+from repro.analysis import synthesize_program
+from repro.core import HeldKeys, StateSet, fresh_key
+from repro.diagnostics import LexError, ParseError, VaultError
+from repro.lower import compile_to_python, erase_program, load_compiled
+from repro.stdlib.hostimpl import create_host, make_interpreter
+from repro.syntax import parse_program, pretty, tokenize
+
+SLOW = settings(max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Lexer totality: printable input either tokenizes or raises LexError.
+# ---------------------------------------------------------------------------
+
+@given(st.text(alphabet=string.printable, max_size=200))
+@SLOW
+def test_lexer_never_crashes(source):
+    try:
+        tokens = tokenize(source)
+    except LexError:
+        return
+    assert tokens[-1].kind.name == "EOF"
+
+
+@given(st.text(alphabet=string.printable, max_size=120))
+@SLOW
+def test_parser_never_crashes(source):
+    try:
+        parse_program(source)
+    except (LexError, ParseError):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Held-key set laws.
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["add", "remove", "set"]), max_size=30),
+       st.integers(0, 5))
+@SLOW
+def test_heldkeys_linearity(ops, n_keys):
+    from repro.core import CapabilityError
+    keys = [fresh_key(f"K{i}") for i in range(max(n_keys, 1))]
+    held = HeldKeys()
+    model = {}
+    for i, op in enumerate(ops):
+        key = keys[i % len(keys)]
+        if op == "add":
+            if key in model:
+                try:
+                    held.add(key, "s")
+                    assert False, "duplicate add must raise"
+                except CapabilityError:
+                    pass
+            else:
+                held.add(key, "s")
+                model[key] = "s"
+        elif op == "remove":
+            if key in model:
+                held.remove(key)
+                del model[key]
+            else:
+                try:
+                    held.remove(key)
+                    assert False, "missing remove must raise"
+                except CapabilityError:
+                    pass
+        else:
+            if key in model:
+                held.set_state(key, f"s{i}")
+                model[key] = f"s{i}"
+    assert set(held) == set(model)
+    for key, state in model.items():
+        assert held.state_of(key) == state
+
+
+@given(st.integers(2, 8))
+@SLOW
+def test_stateset_chain_is_total_order(length):
+    states = tuple(f"s{i}" for i in range(length))
+    edges = tuple((states[i], states[i + 1]) for i in range(length - 1))
+    sset = StateSet("chain", states, edges)
+    for i in range(length):
+        for j in range(length):
+            assert sset.leq(states[i], states[j]) == (i <= j)
+    assert sset.bottom() == states[0]
+
+
+# ---------------------------------------------------------------------------
+# Synthetic programs: the checker accepts all clean ones, rejects all
+# fully-buggy ones, and never crashes on either.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(1, 6), st.integers(0, 1000))
+@SLOW
+def test_clean_synthetic_programs_check(n, seed):
+    source = synthesize_program(n, seed=seed)
+    report = check_source(source, units=["region"])
+    assert report.ok, report.render()
+
+
+@given(st.integers(1, 5), st.integers(0, 1000))
+@SLOW
+def test_buggy_synthetic_programs_rejected(n, seed):
+    source = synthesize_program(n, seed=seed, error_rate=1.0)
+    report = check_source(source, units=["region"])
+    assert not report.ok
+
+
+@given(st.integers(1, 5), st.integers(0, 500))
+@SLOW
+def test_synthetic_parse_pretty_fixpoint(n, seed):
+    source = synthesize_program(n, seed=seed)
+    text = pretty(parse_program(source))
+    assert pretty(parse_program(text)) == text
+
+
+@given(st.integers(1, 4), st.integers(0, 500))
+@SLOW
+def test_erasure_is_idempotent(n, seed):
+    source = synthesize_program(n, seed=seed)
+    once = erase_program(parse_program(source))
+    twice = erase_program(parse_program(pretty(once)))
+    assert pretty(twice) == pretty(once)
+
+
+@given(st.integers(1, 3), st.integers(0, 300))
+@SLOW
+def test_interpreter_and_compiler_agree(n, seed):
+    source = synthesize_program(n, seed=seed)
+    ctx, reporter = load_context(source)
+    assert reporter.ok
+    interp = make_interpreter(ctx, create_host())
+    module = load_compiled(compile_to_python(parse(source)), create_host())
+    for i in range(n):
+        name = f"worker_{i}"
+        assert interp.call(name, [seed % 17]) == module[name](seed % 17)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic expression semantics: interpreter matches Python.
+# ---------------------------------------------------------------------------
+
+# ---------------------------------------------------------------------------
+# Robustness: the checker never crashes on any mutant of any corpus
+# program, and detection implies a protocol-relevant diagnostic.
+# ---------------------------------------------------------------------------
+
+from repro.analysis import CORPUS
+from repro.analysis.mutation import generate_mutants
+
+_ALL_MUTANTS = [
+    mutant
+    for program in CORPUS.values()
+    for mutant in generate_mutants(program.source)
+]
+
+
+@given(st.integers(0, max(len(_ALL_MUTANTS) - 1, 0)))
+@SLOW
+def test_checker_total_on_mutants(index):
+    mutant = _ALL_MUTANTS[index]
+    report = check_source(mutant.source)   # must not raise
+    for diag in report.errors:
+        assert diag.code.value.startswith("V0")
+
+
+@given(st.integers(0, max(len(_ALL_MUTANTS) - 1, 0)))
+@SLOW
+def test_erasure_total_on_mutants(index):
+    from repro.analysis.plaincheck import plain_check
+    mutant = _ALL_MUTANTS[index]
+    plain_check(mutant.source)   # must not raise
+
+
+_expr = st.deferred(lambda: st.one_of(
+    st.integers(0, 50).map(str),
+    st.tuples(_expr, st.sampled_from(["+", "-", "*"]), _expr)
+    .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+))
+
+
+@given(_expr)
+@SLOW
+def test_arithmetic_matches_python(expr_text):
+    source = f"int main() {{ return {expr_text}; }}"
+    ctx, reporter = load_context(source, stdlib=False)
+    assert reporter.ok
+    interp = make_interpreter(ctx, create_host())
+    assert interp.call("main") == eval(expr_text)

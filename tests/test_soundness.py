@@ -1,0 +1,189 @@
+"""Adversarial soundness tests: programs that try to forge, duplicate,
+smuggle or launder keys must all be rejected."""
+
+from repro.diagnostics import Code
+
+from conftest import assert_ok, assert_rejected, codes
+
+
+class TestKeySmuggling:
+    def test_guard_key_cannot_escape_via_return(self):
+        # A guarded return type naming a local key would hand the
+        # caller an obligation it can never resolve.
+        assert_rejected("""
+K:int make() {
+    tracked(K) region rgn = Region.create();
+    Region.delete(rgn);
+    return 4;
+}
+""", Code.KEY_ESCAPES_SCOPE)
+
+    def test_tracked_value_cannot_hide_in_plain_field(self):
+        # Storing a tracked handle in an untracked field would let the
+        # program use it after the key is gone.
+        assert_rejected("""
+struct bag { region stash; }
+void f() {
+    tracked(R) region rgn = Region.create();
+    bag b = new bag { stash = rgn; };
+    Region.delete(rgn);
+}
+""", Code.TYPE_MISMATCH)
+
+    def test_anonymous_field_cannot_be_read(self):
+        # A packed field may be written (consuming the key) but reading
+        # it would duplicate the existential.
+        assert_rejected("""
+struct bag { tracked region stash; }
+void f(bag b) {
+    tracked region r = b.stash;
+    Region.delete(r);
+}
+""", Code.TRACKED_COPY)
+
+    def test_same_value_cannot_be_consumed_twice_in_one_call(self):
+        assert_rejected("""
+void both(tracked region a, tracked region b) {
+    Region.delete(a);
+    Region.delete(b);
+}
+void f() {
+    tracked(R) region rgn = Region.create();
+    both(rgn, rgn);
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_variant_cannot_capture_one_key_twice(self):
+        assert_rejected("""
+variant pair<key A, key B> [ 'Both {A, B} ];
+void f(tracked(X) FILE g) [-X] {
+    tracked pair<X, X> p = 'Both{X, X};
+    switch (p) {
+        case 'Both:
+            fclose(g);
+    }
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_distinct_keys_in_pair_accepted(self):
+        assert_ok("""
+variant pair<key A, key B> [ 'Both {A, B} ];
+void f(tracked(X) FILE g, tracked(Y) FILE h) [-X, -Y] {
+    tracked pair<X, Y> p = 'Both{X, Y};
+    switch (p) {
+        case 'Both:
+            fclose(g);
+            fclose(h);
+    }
+}
+""")
+
+    def test_matching_restores_each_key_once(self):
+        # Matching the same variant value twice is impossible: the
+        # switch consumed the wrapper key.
+        assert_rejected("""
+void f(tracked(X) FILE g) [-X] {
+    tracked opt_key<X> flag = 'SomeKey{X};
+    switch (flag) {
+        case 'NoKey:
+            int a = 0;
+        case 'SomeKey:
+            fclose(g);
+    }
+    switch (flag) {
+        case 'NoKey:
+            int b = 0;
+        case 'SomeKey:
+            fclose(g);
+    }
+}
+""", Code.UNDEFINED_NAME)
+
+    def test_cannot_return_consumed_tracked(self):
+        assert_rejected("""
+tracked(N) FILE broken() [new N] {
+    tracked(F) FILE f = fopen("x");
+    fclose(f);
+    return f;
+}
+""", Code.KEY_NOT_HELD)
+
+    def test_effectless_wrapper_cannot_launder_consumption(self):
+        # Wrapping fclose in a helper with no effect clause does not
+        # hide the consumption: the helper itself fails to check.
+        assert_rejected("""
+void sneaky(tracked(F) FILE f) {
+    fclose(f);
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_nested_function_cannot_capture_capability(self):
+        # Closures may not capture tracked values (the closure could
+        # run when the key is gone).
+        result = codes("""
+void outer() {
+    tracked(F) FILE f = fopen("x");
+    int peek() {
+        return flen(f);
+    }
+    fclose(f);
+    int n = peek();
+}
+""")
+        assert Code.UNDEFINED_NAME in result
+
+    def test_produce_cannot_duplicate_held_key(self):
+        # KeWaitForEvent produces the event's key; if the caller still
+        # holds it, that is a duplication.
+        assert_rejected("""
+void f() {
+    tracked(F) FILE file = fopen("x");
+    KEVENT<F> ev = KeInitializeEvent(file);
+    KeWaitForEvent(ev);
+    fclose(file);
+}
+""", Code.KEY_DUPLICATED)
+
+
+class TestStateLaundering:
+    def test_cannot_upgrade_state_via_helper(self):
+        # A helper promising raw->ready without doing the work fails at
+        # its own definition.
+        assert_rejected("""
+void fake_ready(tracked(S) sock s) [S@raw->ready] {
+}
+""", Code.POSTCONDITION_MISMATCH)
+
+    def test_cannot_bypass_bounded_irql(self):
+        # Claiming a tighter IRQL bound than the caller can supply
+        # fails at the call site.
+        assert_rejected("""
+void needs_low(KSEMAPHORE s) [IRQL @ (lvl <= APC_LEVEL)] {
+    int r = KeReleaseSemaphore(s, 1, 0);
+}
+void f(KSEMAPHORE s) [IRQL @ DIRQL] {
+    needs_low(s);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_state_var_cannot_satisfy_exact_requirement(self):
+        # A polymorphic state cannot prove an exact-state precondition.
+        assert_rejected("""
+void any_state(tracked(S) sock s) [S] {
+    Socket.listen(s, 4);
+}
+""", Code.KEY_WRONG_STATE)
+
+    def test_exact_state_flows_through_helpers(self):
+        assert_ok("""
+void at_named(tracked(S) sock s) [S@named->listening] {
+    Socket.listen(s, 4);
+}
+void f() {
+    sockaddr addr = new sockaddr { host = "h"; port = 2; };
+    tracked(S) sock s = Socket.socket('UNIX, 'STREAM, 0);
+    Socket.bind(s, addr);
+    at_named(s);
+    Socket.close(s);
+}
+""")

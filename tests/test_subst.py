@@ -1,0 +1,135 @@
+"""Substitution and signature-instantiation unit tests (§3.2)."""
+
+from repro.core import (ANY_STATE, AtMostState, CArg, CArray, CBase,
+                        CGuarded, CNamed, CPacked, CTracked, CTypeVar,
+                        CoreEffect, CoreEffectItem, ExactState, KeyVarRef,
+                        SigParam, Signature, StateVar, StateVarRef, Subst,
+                        fresh_key)
+
+
+class TestBinding:
+    def test_bind_key_once(self):
+        subst = Subst()
+        key = fresh_key("F")
+        assert subst.bind_key("F", key)
+        assert subst.keys["F"] is key
+
+    def test_conflicting_key_binding_rejected(self):
+        subst = Subst()
+        assert subst.bind_key("F", fresh_key("F"))
+        assert not subst.bind_key("F", fresh_key("F"))
+
+    def test_rebinding_same_key_ok(self):
+        subst = Subst()
+        key = fresh_key("F")
+        assert subst.bind_key("F", key)
+        assert subst.bind_key("F", key)
+
+    def test_bind_state(self):
+        subst = Subst()
+        assert subst.bind_state("S", "raw")
+        assert not subst.bind_state("S", "named")
+        assert subst.bind_state("S", "raw")
+
+    def test_bind_state_var_by_identity(self):
+        subst = Subst()
+        var = StateVar("lvl")
+        assert subst.bind_state("S", var)
+        assert subst.bind_state("S", var)
+        assert not subst.bind_state("S", StateVar("lvl"))
+
+    def test_bind_type(self):
+        subst = Subst()
+        assert subst.bind_type("T", CBase("int"))
+        assert not subst.bind_type("T", CBase("bool"))
+
+
+class TestApplication:
+    def test_tracked_key_substitution(self):
+        key = fresh_key("F")
+        subst = Subst(keys={"F": key})
+        result = subst.ctype(CTracked(KeyVarRef("F"), CBase("int")))
+        assert result.key is key
+
+    def test_unbound_key_var_survives(self):
+        subst = Subst()
+        result = subst.ctype(CTracked(KeyVarRef("F"), CBase("int")))
+        assert result.key == KeyVarRef("F")
+
+    def test_guard_substitution(self):
+        key = fresh_key("K")
+        subst = Subst(keys={"K": key})
+        guarded = CGuarded(((KeyVarRef("K"), ANY_STATE),), CBase("int"))
+        result = subst.ctype(guarded)
+        assert result.guards[0][0] is key
+
+    def test_state_arg_substitution(self):
+        subst = Subst(states={"S": "named"})
+        named = CNamed("KIRQL", (CArg("state", state=StateVarRef("S")),))
+        result = subst.ctype(named)
+        assert result.args[0].state == "named"
+
+    def test_type_var_substitution(self):
+        subst = Subst(types={"T": CBase("byte")})
+        result = subst.ctype(CArray(CTypeVar("T")))
+        assert result == CArray(CBase("byte"))
+
+    def test_packed_state_req(self):
+        subst = Subst(states={"S": "ready"})
+        packed = CPacked(CBase("int"), ExactState(StateVarRef("S")))
+        result = subst.ctype(packed)
+        assert result.state == ExactState("ready")
+
+    def test_atmost_resolved_when_var_bound(self):
+        subst = Subst(states={"lvl": "APC_LEVEL"})
+        req = subst.state_req(AtMostState("lvl", "DISPATCH_LEVEL"))
+        assert req == ExactState("APC_LEVEL")
+
+    def test_atmost_kept_when_unbound(self):
+        subst = Subst()
+        req = subst.state_req(AtMostState("lvl", "DISPATCH_LEVEL"))
+        assert req == AtMostState("lvl", "DISPATCH_LEVEL")
+
+
+class TestEffectSubstitution:
+    def test_effect_key_resolution(self):
+        key = fresh_key("K")
+        subst = Subst(keys={"K": key})
+        eff = CoreEffect((CoreEffectItem("consume", "K"),))
+        result = subst.effect(eff)
+        assert result.items[0].key is key
+
+    def test_effect_unbound_key_stays_a_name(self):
+        subst = Subst()
+        eff = CoreEffect((CoreEffectItem("keep", "IRQL"),))
+        assert subst.effect(eff).items[0].key == "IRQL"
+
+
+class TestSignatureSubstitution:
+    def test_shadowed_vars_untouched(self):
+        # Substituting K must not reach inside a nested signature that
+        # generalises its own K.
+        key = fresh_key("K")
+        inner = Signature(
+            name="cb",
+            params=(SigParam(CTracked(KeyVarRef("K"), CBase("int")), "x"),),
+            ret=CBase("void"),
+            effect=CoreEffect((CoreEffectItem("consume", "K"),)),
+            key_vars=("K",))
+        subst = Subst(keys={"K": key})
+        result = subst.signature(inner)
+        assert result.params[0].type.key == KeyVarRef("K")
+        assert result.effect.items[0].key == "K"
+
+    def test_free_vars_substituted(self):
+        key = fresh_key("I")
+        inner = Signature(
+            name="cb",
+            params=(SigParam(CTracked(KeyVarRef("I"), CBase("int")), "x"),),
+            ret=CBase("void"),
+            effect=CoreEffect((CoreEffectItem("consume", "I"),)),
+            key_vars=())    # I is free: bound by the enclosing signature
+        subst = Subst(keys={"I": key})
+        result = subst.signature(inner)
+        assert result.params[0].type.key is key
+        assert result.effect.items[0].key is key

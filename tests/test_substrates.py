@@ -1,0 +1,297 @@
+"""Substrate simulator tests: regions, sockets and the kernel
+(the paper's testbed equivalents)."""
+
+import pytest
+
+from repro.diagnostics import Code, RuntimeProtocolError
+from repro.kernel import (APC_LEVEL, DISPATCH_LEVEL, DIRQL, FloppyDevice,
+                          IOCTL_EJECT, IOCTL_INSERT, IOCTL_MOTOR_ON,
+                          IRP_MJ_READ, IRP_MJ_WRITE, Irp, IrqlState,
+                          KernelEvent, KernelSim, OWNER_DRIVER,
+                          PASSIVE_LEVEL, PagedObject, PageManager, SpinLock,
+                          STATUS_SUCCESS, leq, level_index)
+from repro.regions import Region, RegionManager
+from repro.sockets import SocketNetwork
+
+
+class TestRegions:
+    def test_create_allocate_delete(self):
+        mgr = RegionManager()
+        region = mgr.create("r")
+        region.allocate(object())
+        assert region.size == 1
+        mgr.delete(region)
+        assert not region.alive
+
+    def test_double_delete(self):
+        mgr = RegionManager()
+        region = mgr.create()
+        mgr.delete(region)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            mgr.delete(region)
+        assert exc.value.code is Code.RT_DOUBLE_FREE
+
+    def test_allocate_from_deleted_region(self):
+        mgr = RegionManager()
+        region = mgr.create()
+        mgr.delete(region)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            region.allocate(object())
+        assert exc.value.code is Code.RT_DANGLING
+
+    def test_audit_lists_live_regions(self):
+        mgr = RegionManager()
+        a = mgr.create("a")
+        b = mgr.create("b")
+        mgr.delete(a)
+        assert mgr.audit() == ["b"]
+
+    def test_assert_no_leaks(self):
+        mgr = RegionManager()
+        mgr.create("leaky")
+        with pytest.raises(RuntimeProtocolError) as exc:
+            mgr.assert_no_leaks()
+        assert exc.value.code is Code.RT_LEAK
+
+
+class TestSockets:
+    def setup_method(self):
+        self.net = SocketNetwork()
+
+    def server(self, port=80):
+        srv = self.net.socket()
+        self.net.bind(srv, "h", port)
+        self.net.listen(srv, 4)
+        return srv
+
+    def test_full_connection(self):
+        srv = self.server()
+        cli = self.net.socket()
+        self.net.connect(cli, "h", 80)
+        conn = self.net.accept(srv)
+        self.net.send(cli, b"ping")
+        assert self.net.receive(conn) == b"ping"
+        self.net.send(conn, b"pong")
+        assert self.net.receive(cli) == b"pong"
+
+    def test_listen_before_bind_faults(self):
+        sock = self.net.socket()
+        with pytest.raises(RuntimeProtocolError):
+            self.net.listen(sock, 4)
+
+    def test_receive_on_raw_faults(self):
+        sock = self.net.socket()
+        with pytest.raises(RuntimeProtocolError):
+            self.net.receive(sock)
+
+    def test_bind_address_in_use(self):
+        self.server(9)
+        other = self.net.socket()
+        with pytest.raises(RuntimeProtocolError):
+            self.net.bind(other, "h", 9)
+
+    def test_bind_checked_returns_error_code(self):
+        self.server(9)
+        other = self.net.socket()
+        assert self.net.bind_checked(other, "h", 9) == 98
+        assert other.state == "raw"
+
+    def test_bind_checked_success(self):
+        sock = self.net.socket()
+        assert self.net.bind_checked(sock, "h", 10) is None
+        assert sock.state == "named"
+
+    def test_connect_refused_without_listener(self):
+        cli = self.net.socket()
+        with pytest.raises(RuntimeProtocolError):
+            self.net.connect(cli, "h", 5555)
+
+    def test_accept_without_pending_connection(self):
+        srv = self.server()
+        with pytest.raises(RuntimeProtocolError):
+            self.net.accept(srv)
+
+    def test_double_close(self):
+        sock = self.net.socket()
+        self.net.close(sock)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            self.net.close(sock)
+        assert exc.value.code is Code.RT_DOUBLE_FREE
+
+    def test_send_to_closed_peer(self):
+        srv = self.server()
+        cli = self.net.socket()
+        self.net.connect(cli, "h", 80)
+        conn = self.net.accept(srv)
+        self.net.close(cli)
+        with pytest.raises(RuntimeProtocolError):
+            self.net.send(conn, b"x")
+
+    def test_audit_reports_unclosed(self):
+        sock = self.net.socket()
+        assert self.net.audit() == [sock.id]
+        self.net.close(sock)
+        assert self.net.audit() == []
+
+    def test_rebind_after_close_frees_address(self):
+        srv = self.server(7)
+        self.net.close(srv)
+        fresh = self.net.socket()
+        self.net.bind(fresh, "h", 7)
+        assert fresh.state == "named"
+
+
+class TestIrql:
+    def test_order(self):
+        assert leq(PASSIVE_LEVEL, DIRQL)
+        assert not leq(DISPATCH_LEVEL, APC_LEVEL)
+        assert level_index(PASSIVE_LEVEL) == 0
+
+    def test_raise_and_lower(self):
+        irql = IrqlState()
+        prev = irql.raise_to(DISPATCH_LEVEL)
+        assert prev == PASSIVE_LEVEL
+        assert irql.level == DISPATCH_LEVEL
+        irql.lower_to(prev)
+        assert irql.level == PASSIVE_LEVEL
+
+    def test_raise_downwards_faults(self):
+        irql = IrqlState(DISPATCH_LEVEL)
+        with pytest.raises(RuntimeProtocolError):
+            irql.raise_to(PASSIVE_LEVEL)
+
+    def test_require(self):
+        irql = IrqlState(DISPATCH_LEVEL)
+        irql.require(DISPATCH_LEVEL, "op")
+        with pytest.raises(RuntimeProtocolError):
+            irql.require(APC_LEVEL, "op")
+
+
+class TestSpinLockAndEvents:
+    def test_lock_raises_irql(self):
+        irql = IrqlState()
+        lock = SpinLock("l")
+        prev = lock.acquire(irql)
+        assert irql.level == DISPATCH_LEVEL
+        lock.release(irql, prev)
+        assert irql.level == PASSIVE_LEVEL
+
+    def test_double_acquire_deadlocks(self):
+        irql = IrqlState()
+        lock = SpinLock()
+        lock.acquire(irql)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            lock.acquire(irql)
+        assert exc.value.code is Code.RT_DEADLOCK
+
+    def test_release_unheld_faults(self):
+        irql = IrqlState(DISPATCH_LEVEL)
+        with pytest.raises(RuntimeProtocolError):
+            SpinLock().release(irql, PASSIVE_LEVEL)
+
+    def test_acquire_at_dirql_faults(self):
+        irql = IrqlState(DIRQL)
+        with pytest.raises(RuntimeProtocolError):
+            SpinLock().acquire(irql)
+
+    def test_event_signal_consume(self):
+        ev = KernelEvent("e")
+        ev.signal()
+        assert ev.signaled
+        ev.consume()
+        assert not ev.signaled
+
+    def test_double_signal_faults(self):
+        ev = KernelEvent()
+        ev.signal()
+        with pytest.raises(RuntimeProtocolError):
+            ev.signal()
+
+
+class TestPaging:
+    def test_resident_access_any_level(self):
+        irql = IrqlState(DIRQL)
+        pages = PageManager(irql)
+        obj = pages.allocate("data", resident=True)
+        assert pages.access(obj) == "data"
+
+    def test_nonresident_access_low_level_pages_in(self):
+        irql = IrqlState(PASSIVE_LEVEL)
+        pages = PageManager(irql)
+        obj = pages.allocate("data", resident=False)
+        assert pages.access(obj) == "data"
+        assert obj.resident
+        assert obj.faults == 1
+
+    def test_nonresident_access_high_level_deadlocks(self):
+        irql = IrqlState(DISPATCH_LEVEL)
+        pages = PageManager(irql)
+        obj = pages.allocate("data", resident=False)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            pages.access(obj)
+        assert exc.value.code is Code.RT_DEADLOCK
+
+    def test_trim_evicts(self):
+        irql = IrqlState()
+        pages = PageManager(irql)
+        obj = pages.allocate("x")
+        pages.trim()
+        assert not obj.resident
+
+
+class TestFloppyDevice:
+    def test_read_write_roundtrip(self):
+        dev = FloppyDevice(sectors=4)
+        dev.write(100, b"hello")
+        assert dev.read(100, 5) == b"hello"
+
+    def test_bounds_clamped(self):
+        dev = FloppyDevice(sectors=1)
+        written = dev.write(500, b"0123456789ABCDEF")
+        assert written == 12  # only 12 bytes fit before the end
+
+    def test_media_checks(self):
+        dev = FloppyDevice()
+        assert dev.check_ready() is None
+        dev.ioctl(IOCTL_EJECT)
+        assert dev.check_ready() is not None
+        dev.ioctl(IOCTL_INSERT)
+        assert dev.check_ready() is None
+
+    def test_motor_ioctl(self):
+        dev = FloppyDevice()
+        dev.ioctl(IOCTL_MOTOR_ON)
+        assert dev.motor_on
+
+    def test_latency_scales_with_size(self):
+        dev = FloppyDevice(seek_ticks=2, transfer_ticks=1)
+        assert dev.latency_for(512) == 3
+        assert dev.latency_for(5 * 512) == 7
+
+    def test_unknown_ioctl_faults(self):
+        with pytest.raises(RuntimeProtocolError):
+            FloppyDevice().ioctl(0x999)
+
+
+class TestIrpOwnershipRuntime:
+    def test_access_requires_ownership(self):
+        irp = Irp(IRP_MJ_READ, length=512)
+        with pytest.raises(RuntimeProtocolError):
+            irp.require_owner(OWNER_DRIVER, "IrpTransferLength")
+        irp.give_to(OWNER_DRIVER)
+        irp.require_owner(OWNER_DRIVER, "IrpTransferLength")
+
+    def test_kernel_dispatch_without_preparing_stack_location(self):
+        # IoCallDriver requires a prepared next stack location.
+        kernel = KernelSim()
+        pdo = kernel.create_pdo("pdo", FloppyDevice())
+        irp = Irp(IRP_MJ_READ, buffer=[0] * 8, length=8)
+        irp.give_to(OWNER_DRIVER)
+        with pytest.raises(RuntimeProtocolError):
+            kernel.io_call_driver(None, pdo, irp)
+
+    def test_complete_requires_driver_ownership(self):
+        kernel = KernelSim()
+        irp = Irp(IRP_MJ_WRITE)
+        with pytest.raises(RuntimeProtocolError):
+            kernel.io_complete_request(None, irp, STATUS_SUCCESS)

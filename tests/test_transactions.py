@@ -1,0 +1,195 @@
+"""Transaction protocol tests: static checking, execution, substrate."""
+
+import pytest
+
+from repro.db import TxStore
+from repro.diagnostics import Code, RuntimeProtocolError
+
+from conftest import assert_ok, assert_rejected, run_program
+
+
+class TestStaticProtocol:
+    def test_begin_use_commit(self):
+        assert_ok("""
+int main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "balance", 100);
+    int v = Tx.get(t, "balance");
+    Tx.commit(t);
+    return v;
+}
+""")
+
+    def test_abort_path(self):
+        assert_ok("""
+void main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "x", 1);
+    Tx.abort(t);
+}
+""")
+
+    def test_forgotten_transaction_is_leak(self):
+        assert_rejected("""
+void main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "x", 1);
+}
+""", Code.KEY_LEAKED)
+
+    def test_use_after_commit(self):
+        assert_rejected("""
+void main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.commit(t);
+    Tx.put(t, "x", 1);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_double_commit(self):
+        assert_rejected("""
+void main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.commit(t);
+    Tx.commit(t);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_commit_then_abort(self):
+        assert_rejected("""
+void main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.commit(t);
+    Tx.abort(t);
+}
+""", Code.KEY_CONSUMED_MISSING)
+
+    def test_conditional_finish_must_cover_both_paths(self):
+        assert_rejected("""
+void main(bool ok) {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "x", 1);
+    if (ok) {
+        Tx.commit(t);
+    }
+}
+""", Code.JOIN_MISMATCH)
+
+    def test_conditional_commit_or_abort_ok(self):
+        assert_ok("""
+void main(bool ok) {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "x", 1);
+    if (ok) {
+        Tx.commit(t);
+    } else {
+        Tx.abort(t);
+    }
+}
+""")
+
+    def test_two_transactions_independent(self):
+        assert_ok("""
+int main() {
+    tracked(A) txn a = Tx.begin();
+    tracked(B) txn b = Tx.begin();
+    Tx.put(a, "x", 1);
+    Tx.put(b, "y", 2);
+    Tx.commit(a);
+    int v = Tx.get(b, "y");
+    Tx.abort(b);
+    return v;
+}
+""")
+
+    def test_helper_with_active_requirement(self):
+        assert_ok("""
+void credit(tracked(T) txn t, int amount) [T@active] {
+    int old = Tx.get(t, "balance");
+    Tx.put(t, "balance", old + amount);
+}
+int main() {
+    tracked(T) txn t = Tx.begin();
+    credit(t, 50);
+    credit(t, 25);
+    int v = Tx.get(t, "balance");
+    Tx.commit(t);
+    return v;
+}
+""")
+
+
+class TestExecution:
+    def test_committed_writes_persist(self):
+        result, host = run_program("""
+int main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "k", 41);
+    Tx.commit(t);
+    tracked(U) txn u = Tx.begin();
+    int v = Tx.get(u, "k") + 1;
+    Tx.commit(u);
+    return v;
+}
+""")
+        assert result == 42
+        assert host.store.data["k"] == 41
+        assert host.audit() == []
+
+    def test_aborted_writes_roll_back(self):
+        result, host = run_program("""
+int main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "k", 99);
+    Tx.abort(t);
+    tracked(U) txn u = Tx.begin();
+    int v = Tx.get(u, "k");
+    Tx.commit(u);
+    return v;
+}
+""")
+        assert result == 0
+        assert "k" not in host.store.data
+
+    def test_snapshot_within_transaction(self):
+        result, _host = run_program("""
+int main() {
+    tracked(T) txn t = Tx.begin();
+    Tx.put(t, "k", 7);
+    int seen = Tx.get(t, "k");
+    Tx.commit(t);
+    return seen;
+}
+""")
+        assert result == 7
+
+
+class TestSubstrate:
+    def test_use_after_commit_faults(self):
+        store = TxStore()
+        txn = store.begin()
+        store.commit(txn)
+        with pytest.raises(RuntimeProtocolError) as exc:
+            store.put(txn, "k", 1)
+        assert exc.value.code is Code.RT_DANGLING
+
+    def test_double_commit_faults(self):
+        store = TxStore()
+        txn = store.begin()
+        store.commit(txn)
+        with pytest.raises(RuntimeProtocolError):
+            store.commit(txn)
+
+    def test_audit_reports_active(self):
+        store = TxStore()
+        txn = store.begin()
+        assert store.audit() == [txn.id]
+        store.abort(txn)
+        assert store.audit() == []
+
+    def test_counters(self):
+        store = TxStore()
+        store.commit(store.begin())
+        store.abort(store.begin())
+        assert store.commits == 1
+        assert store.aborts == 1
