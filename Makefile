@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast CI smoke: runs every benchmark body once (no timing rounds) and
+# refreshes BENCH_checker.json with cold/warm/parallel pipeline timings.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_checker_scaling.py \
+	    benchmarks/bench_incremental.py -q --benchmark-disable
+
+# Full benchmark run, including the 640-function scaling point.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q

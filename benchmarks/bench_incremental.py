@@ -1,0 +1,144 @@
+"""Derived experiment T3 — the incremental/parallel checking pipeline.
+
+Times :class:`repro.pipeline.CheckSession` on the same 160-function
+synthetic workload as ``bench_checker_scaling.py``:
+
+* **baseline** — plain ``check_source`` (cold, no session);
+* **cold** — first ``CheckSession.check`` (fills every cache);
+* **warm** — re-checking the byte-identical source (summary replay);
+* **edit** — re-checking after a one-function edit (one summary
+  invalidated, 159 replayed);
+* **parallel** — a cold check fanned out to 4 fork workers.
+
+All modes must produce byte-identical diagnostic output.  The timings
+are written to ``BENCH_checker.json`` at the repository root so the
+performance trajectory is tracked across PRs.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro import check_source
+from repro.analysis import synthesize_program
+from repro.pipeline import CheckSession
+
+from conftest import banner
+
+N_FUNCTIONS = 160
+UNITS = ["region"]
+JOBS = 4
+
+_BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_checker.json")
+
+
+def _cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _edit(source: str) -> str:
+    """Change one constant inside one function body (no line shift)."""
+    needle = "c.value += "
+    at = source.index(needle, len(source) // 2)
+    end = source.index(";", at)
+    return source[:at] + "c.value += 4242" + source[end:]
+
+
+def _measure():
+    source = synthesize_program(N_FUNCTIONS, seed=42)
+
+    start = time.perf_counter()
+    baseline_report = check_source(source, units=UNITS)
+    baseline = time.perf_counter() - start
+    assert baseline_report.ok
+
+    session = CheckSession(units=UNITS)
+    start = time.perf_counter()
+    cold_report = session.check(source)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_report = session.check(source)
+    warm = time.perf_counter() - start
+
+    start = time.perf_counter()
+    session.check(_edit(source))
+    edit = time.perf_counter() - start
+    edited_functions = list(session.stats.last_checked)
+
+    parallel_session = CheckSession(units=UNITS, jobs=JOBS)
+    start = time.perf_counter()
+    parallel_report = parallel_session.check(source)
+    parallel = time.perf_counter() - start
+
+    rendered = baseline_report.render()
+    assert cold_report.render() == rendered, "session must match check_source"
+    assert warm_report.render() == rendered, "warm replay must be identical"
+    assert parallel_report.render() == rendered, \
+        "parallel diagnostics must be byte-identical to serial"
+
+    return {
+        "workload": {"functions": N_FUNCTIONS, "units": UNITS, "seed": 42},
+        "cpus": _cpu_count(),
+        "jobs": JOBS,
+        "fork_available": _fork_available(),
+        "seconds": {
+            "baseline_check_source": baseline,
+            "cold": cold,
+            "warm": warm,
+            "edit_one_function": edit,
+            "parallel": parallel,
+        },
+        "speedup": {
+            "warm_vs_cold": cold / warm if warm else float("inf"),
+            "edit_vs_cold": cold / edit if edit else float("inf"),
+            "parallel_vs_cold": cold / parallel if parallel else float("inf"),
+        },
+        "edit_rechecked": edited_functions,
+    }
+
+
+def test_incremental_pipeline(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    with open(_BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    sec = result["seconds"]
+    speed = result["speedup"]
+    rows = [
+        f"baseline check_source      {sec['baseline_check_source'] * 1000:8.1f} ms",
+        f"session cold               {sec['cold'] * 1000:8.1f} ms",
+        f"session warm (replay)      {sec['warm'] * 1000:8.1f} ms"
+        f"  ({speed['warm_vs_cold']:.1f}x)",
+        f"one-function edit          {sec['edit_one_function'] * 1000:8.1f} ms"
+        f"  ({speed['edit_vs_cold']:.1f}x, re-checked "
+        f"{result['edit_rechecked']})",
+        f"parallel cold ({result['jobs']} workers)   "
+        f"{sec['parallel'] * 1000:8.1f} ms  "
+        f"({speed['parallel_vs_cold']:.1f}x on {result['cpus']} CPU(s))",
+    ]
+
+    # Warm replay must beat a cold check by a wide margin everywhere.
+    assert speed["warm_vs_cold"] >= 5.0, \
+        "warm-cache re-check should be >=5x faster than cold"
+    # An edit to one function must only re-check that function.
+    assert len(result["edit_rechecked"]) == 1
+
+    if result["cpus"] >= 4 and result["fork_available"]:
+        assert speed["parallel_vs_cold"] >= 2.0, \
+            "4 workers on >=4 CPUs should give >=2x"
+        rows.append("parallel speedup >=2x with 4 workers   VERIFIED")
+    else:
+        rows.append(f"parallel >=2x assertion skipped "
+                    f"({result['cpus']} CPU(s) available; "
+                    f"byte-identity still verified)")
+    rows.append("serial/warm/parallel outputs byte-identical   VERIFIED")
+    banner("T3: incremental + parallel pipeline", rows)

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 from .core import ProgramContext, build_context, check_program
 from .diagnostics import CheckError, Code, Reporter
-from .stdlib import stdlib_programs
+from .stdlib import stdlib_context, stdlib_programs
 from .syntax import ast, parse_program
 
 
@@ -40,14 +40,21 @@ def load_context(source: str, filename: str = "<input>",
                  units: Optional[Sequence[str]] = None,
                  extra: Sequence[ast.Program] = ()
                  ) -> "tuple[ProgramContext, Reporter]":
-    """Parse ``source`` and build its program context (+stdlib)."""
+    """Parse ``source`` and build its program context (+stdlib).
+
+    The stdlib units are elaborated once per process (see
+    :func:`repro.stdlib.stdlib_context`); each call layers the user
+    program (and ``extra``) on a clone of that base.
+    """
     reporter = Reporter(source, filename)
     programs: List[ast.Program] = []
+    base: Optional[ProgramContext] = None
     if stdlib:
-        programs.extend(stdlib_programs(units))
+        base, base_diags = stdlib_context(units)
+        reporter.diagnostics.extend(base_diags)
     programs.extend(extra)
     programs.append(parse_program(source, filename))
-    ctx = build_context(programs, reporter)
+    ctx = build_context(programs, reporter, base=base)
     return ctx, reporter
 
 

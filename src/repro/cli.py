@@ -33,7 +33,12 @@ def _read(path: str) -> str:
 
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    report = check_source(source, filename=args.file)
+    if args.jobs > 1 or args.cache:
+        from .pipeline import CheckSession
+        session = CheckSession(jobs=args.jobs, cache_dir=args.cache)
+        report = session.check(source, filename=args.file)
+    else:
+        report = check_source(source, filename=args.file)
     if report.ok:
         print(f"{args.file}: OK (protocols verified)")
         return 0
@@ -167,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("check", help="parse and protocol-check a file")
     p.add_argument("file")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="check functions with N parallel workers "
+                        "(output is identical to serial mode)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="persist function summaries under DIR so "
+                        "unchanged functions are not re-checked")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("run", help="check then interpret a file")

@@ -2,7 +2,8 @@
 
 from .capability import CapabilityError, HeldKeys, KeyInfo
 from .cfg import CFG, Block, build_cfg, program_cfgs
-from .checker import (Checker, FlowState, FnChecker, check_program,
+from .checker import (Checker, FlowState, FnChecker,
+                      check_function_diagnostics, check_program,
                       match_signatures)
 from .dataflow import (DefiniteAssignment, ForwardAnalysis,
                        dead_statement_count, reachable_statements)
@@ -31,7 +32,8 @@ __all__ = [
     "Key", "KeyInfo", "KeyRef", "KeyVarRef", "ProgramContext", "Scope",
     "SigParam", "Signature", "State", "StateReq", "StateSet", "StateSpace",
     "StateVar", "StateVarRef", "StructInfo", "Subst", "TypeDeclInfo",
-    "TypeVarRef", "VariantInfo", "build_context", "check_program",
+    "TypeVarRef", "VariantInfo", "build_context",
+    "check_function_diagnostics", "check_program",
     "fresh_key", "signatures_alpha_equal", "state_display", "states_equal",
     "strip_guards",
 ]

@@ -95,16 +95,32 @@ class HeldKeys:
             raise CapabilityError(
                 "missing", key,
                 f"key {key.display()} is not in the held-key set")
-        info.state = state
+        # Replace rather than mutate: KeyInfo entries are shared
+        # between clones (see :meth:`clone`).
+        self._entries[key] = KeyInfo(state, info.payload)
+
+    def set_payload(self, key: Key, payload: CType) -> None:
+        """Record the resource type of a held key (replace-on-write)."""
+        info = self._entries.get(key)
+        if info is None:
+            raise CapabilityError(
+                "missing", key,
+                f"key {key.display()} is not in the held-key set")
+        self._entries[key] = KeyInfo(info.state, payload)
 
     # -- structure ---------------------------------------------------------------
 
     def clone(self) -> "HeldKeys":
-        return HeldKeys({k: v.clone() for k, v in self._entries.items()})
+        # KeyInfo values are never mutated in place (all writers go
+        # through :meth:`set_state` / :meth:`set_payload`, which
+        # replace the entry), so clones share them.  Cloning is then
+        # one dict copy instead of one allocation per held key — the
+        # checker clones at every control-flow split.
+        return HeldKeys(self._entries)
 
     def rename(self, mapping: Dict[Key, Key]) -> "HeldKeys":
         """Apply a key renaming (used by the join abstraction, §3)."""
-        return HeldKeys({mapping.get(k, k): v.clone()
+        return HeldKeys({mapping.get(k, k): v
                          for k, v in self._entries.items()})
 
     def same_shape(self, other: "HeldKeys") -> bool:

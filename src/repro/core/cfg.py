@@ -83,6 +83,33 @@ class CFG:
     def edge_count(self) -> int:
         return sum(len(b.succs) for b in self.blocks)
 
+    def reverse_postorder(self) -> List[Block]:
+        """Blocks reachable from the entry, in reverse postorder.
+
+        This is the classic iteration order for forward dataflow: a
+        block's dominators come before it, so most facts are in place
+        by the time a block is visited and fixpoints need fewer sweeps.
+        The traversal follows ``succs`` in declaration order, so the
+        result is deterministic for a given CFG.
+        """
+        order: List[Block] = []
+        seen: Set[int] = {self.entry.id}
+        # Iterative DFS carrying an explicit successor cursor per frame.
+        stack: List[Tuple[Block, int]] = [(self.entry, 0)]
+        while stack:
+            block, idx = stack[-1]
+            if idx < len(block.succs):
+                stack[-1] = (block, idx + 1)
+                target = block.succs[idx][0]
+                if target.id not in seen:
+                    seen.add(target.id)
+                    stack.append((target, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        order.reverse()
+        return order
+
     def back_edges(self) -> List[Tuple[Block, Block]]:
         """Edges labelled as loop back edges."""
         return [(b, t) for b in self.blocks

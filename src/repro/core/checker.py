@@ -69,8 +69,10 @@ class FlowState:
         self.reachable = reachable
 
     def clone(self) -> "FlowState":
-        return FlowState(self.held.clone(),
-                         {k: v.clone() for k, v in self.vars.items()},
+        # VarInfo entries are replaced, never mutated, once stored in
+        # ``vars`` (the checker builds fresh VarInfo objects on every
+        # update), so clones share them and cloning is two dict copies.
+        return FlowState(self.held.clone(), dict(self.vars),
                          self.reachable)
 
 
@@ -221,6 +223,25 @@ def check_program(ctx: ProgramContext, reporter: Reporter,
     for qual, fundef in ctx.defined_functions():
         checker.check_function(qual, fundef)
     return reporter
+
+
+def check_function_diagnostics(ctx: ProgramContext, qual: str,
+                               fundef: ast.FunDef,
+                               join_abstraction: bool = True,
+                               max_loop_iterations: int = MAX_LOOP_ITERATIONS
+                               ) -> list:
+    """Diagnostics from flow-checking one function, in emission order.
+
+    The unit of work of the incremental pipeline
+    (:mod:`repro.pipeline`): equivalent to one iteration of
+    :func:`check_program`'s loop, but collecting into a private
+    reporter so results can be cached and merged deterministically.
+    """
+    reporter = Reporter()
+    checker = Checker(ctx, reporter, join_abstraction=join_abstraction,
+                      max_loop_iterations=max_loop_iterations)
+    checker.check_function(qual, fundef)
+    return reporter.diagnostics
 
 
 class Checker:
@@ -841,8 +862,10 @@ class FnChecker:
                                                 stmt.span)
             else:
                 new_type = value
-            info.ctype = new_type
-            info.initialized = True
+            # VarInfo entries are shared between flow-state clones;
+            # replace instead of mutating.
+            self.state.vars[stmt.target.ident] = VarInfo(
+                new_type, True, info.is_param, info.declared)
             return
 
         # Field / index assignment.
@@ -1091,7 +1114,8 @@ class FnChecker:
                 if isinstance(stmt.scrutinee, ast.Name):
                     info = self.state.vars.get(stmt.scrutinee.ident)
                     if info is not None:
-                        info.initialized = False
+                        self.state.vars[stmt.scrutinee.ident] = VarInfo(
+                            info.ctype, False, info.is_param, info.declared)
         elif isinstance(stripped, CNamed) and self.ctx.variant(stripped.name):
             variant_type = stripped
 
@@ -1914,7 +1938,7 @@ class FnChecker:
         if isinstance(ret, CTracked) and isinstance(ret.key, Key):
             info = self.state.held.get(ret.key)
             if info is not None and info.payload is None:
-                info.payload = ret.inner
+                self.state.held.set_payload(ret.key, ret.inner)
             return ret
         if isinstance(ret, CPacked):
             key = fresh_key("r", origin="unpack", span=span)

@@ -16,6 +16,7 @@ tooling and tests:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Dict, FrozenSet, Generic, List, Optional, Set, TypeVar
 
 from ..syntax import ast
@@ -44,8 +45,20 @@ class ForwardAnalysis(Generic[L]):
         self.bottom = bottom
 
     def solve(self, cfg: CFG) -> Dict[int, L]:
+        """Run the worklist to a fixpoint.
+
+        The worklist is a deque with a membership set (no duplicate
+        entries, O(1) pops — the original used ``list.pop(0)``, which
+        is O(n) per pop and admitted the same block many times over).
+        Blocks are visited in reverse postorder: changed successors
+        are re-enqueued in RPO position, so loop bodies stabilise
+        before their continuations are examined.
+        """
         before: Dict[int, L] = {cfg.entry.id: self.entry_value}
-        worklist: List[Block] = [cfg.entry]
+        rpo = cfg.reverse_postorder()
+        rpo_index = {block.id: i for i, block in enumerate(rpo)}
+        worklist: deque = deque([cfg.entry])
+        pending: Set[int] = {cfg.entry.id}
         iterations = 0
         limit = max(64, 16 * len(cfg.blocks) * (1 + cfg.edge_count()))
         while worklist:
@@ -53,18 +66,26 @@ class ForwardAnalysis(Generic[L]):
             if iterations > limit:
                 raise RuntimeError(
                     f"dataflow for '{cfg.name}' did not converge")
-            block = worklist.pop(0)
+            block = worklist.popleft()
+            pending.discard(block.id)
             if block.id not in before:
                 continue
             out_value = self.transfer(block, before[block.id])
+            changed: List[Block] = []
             for target, _label in block.succs:
                 if target.id not in before:
                     before[target.id] = out_value
-                    worklist.append(target)
+                    changed.append(target)
                 else:
                     joined = self.join(before[target.id], out_value)
                     if joined != before[target.id]:
                         before[target.id] = joined
+                        changed.append(target)
+            if changed:
+                changed.sort(key=lambda b: rpo_index.get(b.id, len(rpo)))
+                for target in changed:
+                    if target.id not in pending:
+                        pending.add(target.id)
                         worklist.append(target)
         return before
 

@@ -143,19 +143,61 @@ class ProgramContext:
     def defined_functions(self) -> List[Tuple[str, ast.FunDef]]:
         return sorted(self.fun_defs.items())
 
+    # -- structure ----------------------------------------------------------
+
+    def clone(self) -> "ProgramContext":
+        """An independent copy that later :func:`build_context` calls can
+        extend without mutating this one.
+
+        Every top-level table is copied; so are the values that
+        ``build_context`` mutates in place (:class:`TypeDeclInfo`, whose
+        ``rhs``/``owner`` are filled in when a module implements an
+        interface's abstract type, and the state space).  Remaining
+        values (signatures, struct/variant infos, parsed ASTs) are
+        shared — nothing writes to them after elaboration.
+        """
+        new = ProgramContext()
+        new.statespace.sets = dict(self.statespace.sets)
+        new.statespace._owner = dict(self.statespace._owner)
+        new.global_keys = dict(self.global_keys)
+        new.type_decls = {
+            name: TypeDeclInfo(info.name, info.kind, list(info.params),
+                               info.rhs, info.owner, info.span)
+            for name, info in self.type_decls.items()}
+        new.structs = dict(self.structs)
+        new.variants = dict(self.variants)
+        new.ctor_index = dict(self.ctor_index)
+        new.interfaces = dict(self.interfaces)
+        new.functions = dict(self.functions)
+        new.fun_defs = dict(self.fun_defs)
+        new.modules = dict(self.modules)
+        return new
+
 
 def build_context(programs: List[ast.Program],
-                  reporter: Reporter) -> ProgramContext:
+                  reporter: Reporter,
+                  base: Optional[ProgramContext] = None) -> ProgramContext:
     """Build the symbol tables from parsed compilation units.
 
     Runs in phases so that mutually-recursive declarations resolve:
     statesets/keys, then type *names*, then type *bodies* (struct
     fields, variant constructors), then function signatures.
+
+    ``base`` extends an already-built context with the declarations of
+    ``programs`` without re-elaborating the base: the stdlib loader
+    builds its units once per process and every ``check_source`` call
+    layers the user program on a clone (see
+    :func:`repro.stdlib.loader.stdlib_context`).
     """
-    ctx = ProgramContext()
+    ctx = base.clone() if base is not None else ProgramContext()
     elab = Elaborator(ctx, reporter)
 
     flat: List[Tuple[Optional[str], ast.Decl]] = []
+    #: modules introduced by *these* programs — interface-conformance
+    #: and abstract-type ownership only run over new modules, so a base
+    #: context's modules are not re-checked (and their extern interface
+    #: functions not re-registered).
+    new_modules: List[ast.ModuleDecl] = []
 
     def walk(decls: List[ast.Decl], module: Optional[str]) -> None:
         for decl in decls:
@@ -169,6 +211,7 @@ def build_context(programs: List[ast.Program],
                       if not isinstance(d, (ast.FunDecl, ast.FunDef))], None)
             elif isinstance(decl, ast.ModuleDecl):
                 ctx.modules[decl.name] = decl
+                new_modules.append(decl)
                 walk(decl.decls, decl.name)
             else:
                 flat.append((module, decl))
@@ -219,7 +262,7 @@ def build_context(programs: List[ast.Program],
 
     # Abstract types declared in an interface belong to implementing
     # modules; record the first implementing module as owner.
-    for mod in ctx.modules.values():
+    for mod in new_modules:
         iface = ctx.interfaces.get(mod.interface) if mod.interface else None
         if iface is None:
             continue
@@ -307,7 +350,7 @@ def build_context(programs: List[ast.Program],
 
     # Extern modules implementing an interface get the interface's
     # signatures as host-provided primitives.
-    for mod in ctx.modules.values():
+    for mod in new_modules:
         iface = ctx.interfaces.get(mod.interface) if mod.interface else None
         if mod.interface is not None and iface is None:
             reporter.error(Code.UNDEFINED_NAME,

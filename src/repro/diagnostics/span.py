@@ -4,32 +4,50 @@ Every token and AST node carries a :class:`Span` so that errors produced
 by the checker point at the offending construct, as the Vault compiler's
 error messages do in the paper's examples (Figure 2's ``dangling`` and
 ``leaky`` functions, etc.).
+
+Both classes are hand-written with ``__slots__`` rather than frozen
+dataclasses: the lexer mints two positions and one span per token, so
+construction cost is on the hot path of every check.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class Pos:
     """A single source position (1-based line, 1-based column)."""
 
-    line: int
-    col: int
-    offset: int = 0
+    __slots__ = ("line", "col", "offset")
+
+    def __init__(self, line: int, col: int, offset: int = 0):
+        self.line = line
+        self.col = col
+        self.offset = offset
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pos):
+            return NotImplemented
+        return (self.line == other.line and self.col == other.col
+                and self.offset == other.offset)
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.col, self.offset))
+
+    def __repr__(self) -> str:
+        return f"Pos(line={self.line}, col={self.col}, offset={self.offset})"
 
     def __str__(self) -> str:
         return f"{self.line}:{self.col}"
 
 
-@dataclass(frozen=True)
 class Span:
     """A half-open region of source text, with the originating file name."""
 
-    start: Pos
-    end: Pos
-    filename: str = "<input>"
+    __slots__ = ("start", "end", "filename")
+
+    def __init__(self, start: Pos, end: Pos, filename: str = "<input>"):
+        self.start = start
+        self.end = end
+        self.filename = filename
 
     @staticmethod
     def unknown() -> "Span":
@@ -49,6 +67,19 @@ class Span:
         lo = min((self.start.line, self.start.col), (other.start.line, other.start.col))
         hi = max((self.end.line, self.end.col), (other.end.line, other.end.col))
         return Span(Pos(lo[0], lo[1]), Pos(hi[0], hi[1]), self.filename)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return (self.start == other.start and self.end == other.end
+                and self.filename == other.filename)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end, self.filename))
+
+    def __repr__(self) -> str:
+        return (f"Span(start={self.start!r}, end={self.end!r}, "
+                f"filename={self.filename!r})")
 
     def __str__(self) -> str:
         return f"{self.filename}:{self.start}"

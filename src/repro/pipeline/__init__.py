@@ -1,0 +1,26 @@
+"""The parallel + incremental checking pipeline.
+
+:class:`CheckSession` is the entry point: a long-lived object whose
+``check(source)`` behaves exactly like :func:`repro.check_source` but
+caches per-function summaries, parsed declaration chunks, and
+elaborated contexts between calls, and can fan uncached function
+checks out to a fork-based process pool.  See ``docs/CHECKER.md``
+("Performance") for the cache key derivation and the determinism
+guarantee.
+"""
+
+from .chunks import Chunk, ChunkError, split_chunks
+from .fingerprint import (collect_names, dependency_renderings,
+                          function_fingerprint)
+from .session import CheckSession, SessionStats
+
+__all__ = [
+    "CheckSession",
+    "Chunk",
+    "ChunkError",
+    "SessionStats",
+    "collect_names",
+    "dependency_renderings",
+    "function_fingerprint",
+    "split_chunks",
+]

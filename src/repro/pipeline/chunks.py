@@ -1,0 +1,150 @@
+"""Splitting a compilation unit into top-level declaration chunks.
+
+The incremental pipeline re-parses only the top-level declarations
+whose text changed.  This module provides the cheap textual scanner
+that finds declaration boundaries: a top-level declaration ends at a
+``;`` or ``}`` at brace depth zero.  The scanner mirrors exactly the
+lexer's treatment of comments, string literals, and Vault's tick
+tokens (``'Name`` constructors vs. ``'x'`` / ``'{'`` char literals) so
+that braces inside those never count toward the depth.
+
+The scanner is deliberately conservative: on anything it cannot
+classify (unterminated comment or string, stray characters) it raises
+:class:`ChunkError` and the caller falls back to parsing the whole
+unit, so error behaviour is identical to the non-incremental path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ChunkError(Exception):
+    """The source cannot be split safely; parse it whole instead."""
+
+
+class Chunk:
+    """One top-level declaration's text plus its position in the unit.
+
+    ``start_line``/``start_col`` are 1-based.  Concatenating the
+    ``text`` of all chunks reproduces the source exactly; leading
+    trivia belongs to the following chunk, trailing trivia to the last.
+    """
+
+    __slots__ = ("text", "start_line", "start_col")
+
+    def __init__(self, text: str, start_line: int, start_col: int):
+        self.text = text
+        self.start_line = start_line
+        self.start_col = start_col
+
+    def __repr__(self) -> str:
+        return (f"Chunk(line={self.start_line}, col={self.start_col}, "
+                f"{len(self.text)} chars)")
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def split_chunks(source: str) -> List[Chunk]:
+    """Split a compilation unit into one chunk per top-level declaration."""
+    chunks: List[Chunk] = []
+    n = len(source)
+    i = 0
+    line = 1
+    line_start = 0
+    # Position of the current chunk's first character.
+    chunk_start = 0
+    chunk_line = 1
+    chunk_col = 1
+    depth = 0
+
+    def close(end: int) -> None:
+        nonlocal chunk_start, chunk_line, chunk_col
+        chunks.append(Chunk(source[chunk_start:end], chunk_line, chunk_col))
+        chunk_start = end
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "/":
+            j = source.find("\n", i)
+            i = n if j == -1 else j
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            j = source.find("*/", i + 2)
+            if j == -1:
+                raise ChunkError("unterminated block comment")
+            nl = source.count("\n", i, j + 2)
+            if nl:
+                line += nl
+                line_start = source.rfind("\n", i, j + 2) + 1
+            i = j + 2
+        elif ch == '"':
+            j = i + 1
+            while j < n:
+                c = source[j]
+                if c == "\\":
+                    j += 2
+                    continue
+                if c == '"':
+                    break
+                if c == "\n":
+                    raise ChunkError("newline in string literal")
+                j += 1
+            if j >= n:
+                raise ChunkError("unterminated string literal")
+            i = j + 1
+        elif ch == "'":
+            # Mirror the lexer: ``'x'``/``'{'`` are char literals (their
+            # payload must not affect brace depth), ``'Name`` is a
+            # constructor token with no closing tick.
+            head = source[i + 1] if i + 1 < n else ""
+            if head.isalpha() or head == "_":
+                j = i + 1
+                while j < n and _is_ident_char(source[j]):
+                    j += 1
+                if j - (i + 1) == 1 and j < n and source[j] == "'":
+                    i = j + 1          # 'x' char literal
+                else:
+                    i = j              # 'Name constructor
+            elif head and i + 2 < n and source[i + 2] == "'":
+                i += 3                 # '{' style char literal
+            else:
+                raise ChunkError("stray tick")
+        elif ch == "{":
+            depth += 1
+            i += 1
+        elif ch == "}":
+            depth -= 1
+            i += 1
+            if depth < 0:
+                raise ChunkError("unbalanced braces")
+            if depth == 0:
+                close(i)
+                chunk_line = line
+                chunk_col = i - line_start + 1
+        elif ch == ";" and depth == 0:
+            i += 1
+            close(i)
+            chunk_line = line
+            chunk_col = i - line_start + 1
+        else:
+            i += 1
+
+    if depth != 0:
+        raise ChunkError("unbalanced braces")
+    if chunk_start < n:
+        # Trailing text after the last terminator: usually pure trivia.
+        # Attach it to the previous chunk so the chunk list stays one
+        # entry per declaration.
+        if chunks:
+            last = chunks[-1]
+            chunks[-1] = Chunk(last.text + source[chunk_start:],
+                               last.start_line, last.start_col)
+        else:
+            close(n)
+    return chunks

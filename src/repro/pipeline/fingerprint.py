@@ -1,0 +1,193 @@
+"""Stable content fingerprints for function summaries.
+
+The checker is modular (paper §3): the result of checking a function
+depends only on the function's own text and on the *declarations* it
+references — callee signatures with their effect clauses, struct and
+variant layouts, statesets with their partial order, and global keys.
+A summary fingerprint hashes exactly that closure, so an edit
+invalidates a cached summary precisely when it could change the
+function's diagnostics:
+
+* editing a function's body or effect clause changes its own text;
+* editing a callee's effect clause changes the callee's rendered
+  signature, which is part of every caller's fingerprint;
+* editing a ``stateset`` changes the rendered stateset, which is part
+  of the fingerprint of every function whose dependency closure
+  reaches it (through a global key, a guard, or an effect clause).
+
+Renderings deliberately avoid ``repr`` of runtime objects (key uids,
+spans), so fingerprints are stable across processes and across
+re-parses — that is what makes on-disk summary persistence sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.program import ProgramContext
+from ..syntax import ast, pretty
+
+_IDENT = re.compile(r"[A-Za-z_]\w*")
+
+#: field-name tuples per AST class (``None`` for non-dataclasses),
+#: excluding ``span`` — computed once instead of per node visit.
+_FIELDS: Dict[type, Optional[Tuple[str, ...]]] = {}
+
+
+def _field_names(cls: type) -> Optional[Tuple[str, ...]]:
+    try:
+        return _FIELDS[cls]
+    except KeyError:
+        names = tuple(f.name for f in dataclasses.fields(cls)
+                      if f.name != "span") \
+            if dataclasses.is_dataclass(cls) else None
+        _FIELDS[cls] = names
+        return names
+
+
+def collect_names(node) -> Set[str]:
+    """Every string embedded in an AST subtree (identifiers, field
+    names, state names, ...).  Over-approximates the set of referenced
+    declarations, which can only over-invalidate, never under-."""
+    names: Set[str] = set()
+    add = names.add
+    stack = [node]
+    push = stack.append
+    while stack:
+        n = stack.pop()
+        cls = n.__class__
+        if cls is str:
+            add(n)
+        elif cls is list or cls is tuple:
+            for item in n:
+                push(item)
+        else:
+            fields = _field_names(cls)
+            if fields:
+                for name in fields:
+                    push(getattr(n, name))
+    return names
+
+
+def _render_struct(info) -> str:
+    fields = ";".join(f"{name}:{ctype.show()}" for name, ctype in info.fields)
+    return f"struct {info.name}<{info.params}>{{{fields}}}"
+
+
+def _render_variant(info) -> str:
+    ctors = ";".join(
+        f"{c.name}({','.join(t.show() for t in c.arg_types)})"
+        f"{{{','.join(f'{k}@{req!s}' for k, req in c.key_attach)}}}"
+        for c in info.ctors)
+    return f"variant {info.name}<{info.params}>{{{ctors}}}"
+
+
+def _render_alias(info) -> str:
+    rhs = pretty(info.rhs) if info.rhs is not None else "<abstract>"
+    return f"type {info.name}<{info.params}>={rhs} owner={info.owner}"
+
+
+def _render_stateset(sset) -> str:
+    return f"stateset {sset.name}{{{sset.states}}} order={sset.edges}"
+
+
+def _render_global_key(info) -> str:
+    return f"key {info.name}:{info.stateset}@{info.initial}"
+
+
+def _sig_show(sig) -> str:
+    """``Signature.show()``, memoised on the signature object (stdlib
+    signatures are shared by every context layered on the cached base,
+    so each renders once per process)."""
+    cached = sig.__dict__.get("_pl_show")
+    if cached is None:
+        cached = sig.show()
+        object.__setattr__(sig, "_pl_show", cached)
+    return cached
+
+
+def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
+                          module: str = "") -> List[str]:
+    """Stable renderings of every declaration the name set can reach.
+
+    Runs a small fixpoint: identifiers appearing in an included
+    rendering (e.g. a type name inside a callee's signature) pull in
+    their own declarations, so deep layout/protocol changes propagate
+    into the fingerprint of every (transitive) user.
+    """
+    rendered: Dict[str, str] = {}
+    initial = set(names)
+    pending = set(initial)
+    seen: Set[str] = set()
+
+    def include(key: str, text: str) -> None:
+        if key not in rendered:
+            rendered[key] = text
+            pending.update(_IDENT.findall(text))
+
+    while pending:
+        name = pending.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        info = ctx.structs.get(name)
+        if info is not None:
+            include(f"s:{name}", _render_struct(info))
+        vinfo = ctx.variants.get(name)
+        if vinfo is not None:
+            include(f"v:{name}", _render_variant(vinfo))
+        vname = ctx.ctor_index.get(name)
+        if vname is not None:
+            include(f"v:{vname}", _render_variant(ctx.variants[vname]))
+        tinfo = ctx.type_decls.get(name)
+        if tinfo is not None and tinfo.kind == "alias":
+            include(f"t:{name}", _render_alias(tinfo))
+        sset = ctx.statespace.sets.get(name)
+        if sset is not None:
+            include(f"ss:{name}", _render_stateset(sset))
+        kinfo = ctx.global_keys.get(name)
+        if kinfo is not None:
+            include(f"k:{name}", _render_global_key(kinfo))
+        sig = ctx.functions.get(name)
+        if sig is not None:
+            include(f"f:{name}", _sig_show(sig))
+        if module:
+            qual = f"{module}.{name}"
+            sig = ctx.functions.get(qual)
+            if sig is not None:
+                include(f"f:{qual}", _sig_show(sig))
+        # Module-qualified calls appear as ``M.f``: the AST walk
+        # collects ``M`` and ``f`` separately, so when this name is a
+        # module, include the signatures of its members that the
+        # function mentions.
+        if name in ctx.modules:
+            prefix = f"{name}."
+            for qual, qsig in ctx.functions.items():
+                if qual.startswith(prefix) and qual[len(prefix):] in initial:
+                    include(f"f:{qual}", _sig_show(qsig))
+    return sorted(rendered.values())
+
+
+def function_fingerprint(ctx: ProgramContext, qual: str, fundef: ast.FunDef,
+                         own_text: str) -> str:
+    """The summary cache key for one function definition."""
+    module = qual.rpartition(".")[0]
+    # The name set is a function of the AST alone; the pipeline's chunk
+    # cache reuses FunDef objects across checks, so memoise it on the
+    # definition itself.
+    names = fundef.__dict__.get("_pl_names")
+    if names is None:
+        names = frozenset(collect_names(fundef))
+        object.__setattr__(fundef, "_pl_names", names)
+    deps = dependency_renderings(ctx, names, module)
+    h = hashlib.sha256()
+    h.update(qual.encode())
+    h.update(b"\x00")
+    h.update(own_text.encode())
+    for dep in deps:
+        h.update(b"\x00")
+        h.update(dep.encode())
+    return h.hexdigest()

@@ -1,0 +1,402 @@
+"""The checking pipeline: incremental, cacheable, parallel.
+
+A :class:`CheckSession` answers repeated ``check(source)`` calls the
+way ``repro.check_source`` does, but re-does only the work an edit
+invalidated:
+
+* **chunked parsing** — the unit is split into top-level declaration
+  chunks (:mod:`repro.pipeline.chunks`); each chunk's AST is cached by
+  content hash and position, so editing one function re-parses one
+  declaration, not the file;
+* **context cache** — the elaborated :class:`ProgramContext` is cached
+  by the tuple of chunk hashes (layered on the process-wide stdlib
+  base context);
+* **summary cache** — per-function diagnostics are cached under a
+  stable content fingerprint of the function and everything it
+  references (:mod:`repro.pipeline.fingerprint`), optionally persisted
+  to disk;
+* **parallel checking** — with ``jobs > 1``, uncached functions are
+  flow-checked by a fork-based process pool; results are merged in
+  source (sorted qualified name) order, so the diagnostic stream is
+  byte-identical to serial mode.
+
+Determinism guarantee: for any ``source``, the reporter returned by
+``check`` contains the same diagnostics in the same order as
+``repro.check_source(source)``, regardless of cache state or worker
+count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import build_context, check_function_diagnostics
+from ..core.checker import MAX_LOOP_ITERATIONS
+from ..diagnostics import Diagnostic, Reporter, VaultError
+from ..stdlib import stdlib_context, stdlib_source
+from ..syntax import ast, parse_program
+from .chunks import Chunk, ChunkError, split_chunks
+from .fingerprint import function_fingerprint
+
+#: caps on the in-memory caches; on overflow the oldest half is evicted.
+_MAX_CONTEXTS = 64
+_MAX_CHUNK_ASTS = 8192
+
+_PICKLE_VERSION = 1
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class SessionStats:
+    """Counters exposed for tests and benchmarks.
+
+    ``last_checked``/``last_replayed`` list the qualified names that
+    were flow-analysed vs. served from the summary cache by the most
+    recent ``check`` call.
+    """
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.context_hits = 0
+        self.context_misses = 0
+        self.chunk_parses = 0
+        self.chunk_hits = 0
+        self.whole_parses = 0
+        self.functions_checked = 0
+        self.functions_replayed = 0
+        self.last_checked: List[str] = []
+        self.last_replayed: List[str] = []
+
+    def __repr__(self) -> str:
+        return (f"SessionStats(checks={self.checks}, "
+                f"ctx={self.context_hits}h/{self.context_misses}m, "
+                f"chunks={self.chunk_hits}h/{self.chunk_parses}m, "
+                f"functions={self.functions_replayed} replayed/"
+                f"{self.functions_checked} checked)")
+
+
+class _Summary:
+    """Cached diagnostics for one function fingerprint.
+
+    A clean result (no diagnostics) replays at any position.  A dirty
+    result carries spans, so it replays only for a definition at the
+    same place in the same file; anywhere else the function is simply
+    re-checked (a cache miss, never a wrong answer).
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        # (filename, start_line) -> tuple of diagnostics; clean results
+        # are stored under the wildcard key None.
+        self.entries: Dict[Optional[Tuple[str, int]],
+                           Tuple[Diagnostic, ...]] = {}
+
+    def lookup(self, filename: str, line: int
+               ) -> Optional[Tuple[Diagnostic, ...]]:
+        if None in self.entries:
+            return self.entries[None]
+        return self.entries.get((filename, line))
+
+    def store(self, filename: str, line: int,
+              diags: Tuple[Diagnostic, ...]) -> None:
+        if not diags:
+            self.entries.clear()
+            self.entries[None] = ()
+        else:
+            self.entries[(filename, line)] = diags
+
+
+class _CtxEntry:
+    __slots__ = ("ctx", "diags", "fn_results")
+
+    def __init__(self, ctx, diags: Tuple[Diagnostic, ...]):
+        self.ctx = ctx
+        self.diags = diags
+        #: per-function diagnostics in merge order, filled in by the
+        #: first check against this context — a later check of the
+        #: byte-identical source replays without touching fingerprints.
+        self.fn_results: Optional[List[Tuple[str, Tuple[Diagnostic, ...]]]] \
+            = None
+
+
+class CheckSession:
+    """A long-lived checking pipeline with summary caching.
+
+    Equivalent to calling :func:`repro.check_source` for every
+    ``check``, but incremental across calls.  ``jobs`` > 1 enables the
+    fork-based process pool (where the platform supports it);
+    ``cache_dir`` persists function summaries across processes.
+    """
+
+    def __init__(self, stdlib: bool = True,
+                 units: Optional[Sequence[str]] = None,
+                 jobs: int = 1,
+                 cache_dir: Optional[str] = None,
+                 join_abstraction: bool = True,
+                 max_loop_iterations: int = MAX_LOOP_ITERATIONS):
+        self.stdlib = stdlib
+        self.units = tuple(units) if units is not None else None
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir
+        self.join_abstraction = join_abstraction
+        self.max_loop_iterations = max_loop_iterations
+        self.stats = SessionStats()
+        self._ast_cache: Dict[Tuple[str, int, int], ast.Program] = {}
+        self._ctx_cache: Dict[tuple, _CtxEntry] = {}
+        self._summaries: Dict[str, _Summary] = {}
+        self._stdlib_lines: Dict[str, List[str]] = {}
+        if cache_dir:
+            self._load_cache()
+
+    # -- public API --------------------------------------------------------
+
+    def check(self, source: str, filename: str = "<input>",
+              jobs: Optional[int] = None) -> Reporter:
+        """Parse, elaborate and protocol-check one compilation unit."""
+        self.stats.last_checked = []
+        self.stats.last_replayed = []
+        self.stats.checks += 1
+        reporter = Reporter(source, filename)
+        base = None
+        if self.stdlib:
+            base, base_diags = stdlib_context(self.units)
+            reporter.diagnostics.extend(base_diags)
+        entry = self._context_for(source, filename, base)
+        reporter.diagnostics.extend(entry.diags)
+        if not reporter.ok:
+            return reporter
+        if entry.fn_results is not None:
+            for qual, diags in entry.fn_results:
+                reporter.diagnostics.extend(diags)
+            self.stats.last_replayed = [q for q, _ in entry.fn_results]
+            self.stats.functions_replayed += len(entry.fn_results)
+            return reporter
+        results = self._check_functions(
+            entry.ctx, source, filename,
+            self.jobs if jobs is None else max(1, int(jobs)))
+        entry.fn_results = results
+        for qual, diags in results:
+            reporter.diagnostics.extend(diags)
+        if self.cache_dir:
+            self._save_cache()
+        return reporter
+
+    def render_check(self, source: str, filename: str = "<input>",
+                     jobs: Optional[int] = None) -> str:
+        """The rendered report for ``source`` (the CLI's output)."""
+        return self.check(source, filename, jobs=jobs).render()
+
+    # -- context construction ----------------------------------------------
+
+    def _context_for(self, source: str, filename: str, base) -> _CtxEntry:
+        try:
+            chunks = split_chunks(source)
+        except ChunkError:
+            chunks = None
+        if chunks:
+            key: tuple = (filename, self.units, self.stdlib,
+                          tuple((_sha(c.text), c.start_line, c.start_col)
+                                for c in chunks))
+        else:
+            key = (filename, self.units, self.stdlib, _sha(source))
+        entry = self._ctx_cache.get(key)
+        if entry is not None:
+            self.stats.context_hits += 1
+            return entry
+        self.stats.context_misses += 1
+        programs = self._parse(source, filename, chunks)
+        sub = Reporter()
+        ctx = build_context(programs, sub, base=base)
+        entry = _CtxEntry(ctx, tuple(sub.diagnostics))
+        if len(self._ctx_cache) >= _MAX_CONTEXTS:
+            self._evict(self._ctx_cache)
+        self._ctx_cache[key] = entry
+        return entry
+
+    def _parse(self, source: str, filename: str,
+               chunks: Optional[List[Chunk]]) -> List[ast.Program]:
+        if not chunks:
+            self.stats.whole_parses += 1
+            return [parse_program(source, filename)]
+        programs: List[ast.Program] = []
+        try:
+            for chunk in chunks:
+                ckey = (_sha(chunk.text), chunk.start_line, chunk.start_col)
+                prog = self._ast_cache.get(ckey)
+                if prog is None:
+                    prog = parse_program(chunk.text, filename,
+                                         first_line=chunk.start_line,
+                                         first_col=chunk.start_col)
+                    self.stats.chunk_parses += 1
+                    if len(self._ast_cache) >= _MAX_CHUNK_ASTS:
+                        self._evict(self._ast_cache)
+                    self._ast_cache[ckey] = prog
+                else:
+                    self.stats.chunk_hits += 1
+                programs.append(prog)
+        except VaultError:
+            # A chunk the scanner mis-split (or a genuine syntax
+            # error): parse the whole unit so errors are reported
+            # exactly as the non-incremental path reports them.
+            self.stats.whole_parses += 1
+            return [parse_program(source, filename)]
+        return programs
+
+    @staticmethod
+    def _evict(cache: dict) -> None:
+        for key in list(cache)[:len(cache) // 2 + 1]:
+            del cache[key]
+
+    # -- function checking -------------------------------------------------
+
+    def _check_functions(self, ctx, source: str, filename: str, jobs: int
+                         ) -> List[Tuple[str, Tuple[Diagnostic, ...]]]:
+        """Diagnostics per function, in serial (sorted-qual) order."""
+        fn_items = ctx.defined_functions()
+        results: Dict[str, Tuple[Diagnostic, ...]] = {}
+        to_check: List[Tuple[str, ast.FunDef, str]] = []  # qual, def, fp
+        source_lines = source.splitlines()
+        for qual, fundef in fn_items:
+            fp = function_fingerprint(
+                ctx, qual, fundef,
+                self._own_text(fundef, source_lines, filename))
+            summary = self._summaries.get(fp)
+            cached = summary.lookup(fundef.span.filename,
+                                    fundef.span.start.line) \
+                if summary is not None else None
+            if cached is not None:
+                results[qual] = cached
+                self.stats.last_replayed.append(qual)
+                self.stats.functions_replayed += 1
+            else:
+                to_check.append((qual, fundef, fp))
+        if to_check:
+            checked = self._run_checks(ctx, to_check, jobs)
+            for (qual, fundef, fp), diags in zip(to_check, checked):
+                results[qual] = diags
+                self._summaries.setdefault(fp, _Summary()).store(
+                    fundef.span.filename, fundef.span.start.line, diags)
+                self.stats.last_checked.append(qual)
+                self.stats.functions_checked += 1
+        return [(qual, results[qual]) for qual, _ in fn_items]
+
+    def _run_checks(self, ctx, to_check, jobs: int
+                    ) -> List[Tuple[Diagnostic, ...]]:
+        if jobs > 1 and len(to_check) > 1 and _fork_available():
+            try:
+                return _check_parallel(ctx, to_check, jobs,
+                                       self.join_abstraction,
+                                       self.max_loop_iterations)
+            except OSError:
+                pass  # fork failure: fall back to serial
+        return [tuple(check_function_diagnostics(
+                    ctx, qual, fundef,
+                    join_abstraction=self.join_abstraction,
+                    max_loop_iterations=self.max_loop_iterations))
+                for qual, fundef, _fp in to_check]
+
+    def _own_text(self, fundef: ast.FunDef, source_lines: List[str],
+                  filename: str) -> str:
+        """The exact source text of one definition (position-free)."""
+        span = fundef.span
+        if span.filename == filename:
+            lines = source_lines
+        elif span.filename.startswith("<stdlib:"):
+            unit = span.filename[len("<stdlib:"):-1]
+            lines = self._stdlib_lines.get(unit)
+            if lines is None:
+                lines = stdlib_source(unit).splitlines()
+                self._stdlib_lines[unit] = lines
+        else:
+            return ""
+        return "\n".join(lines[span.start.line - 1:span.end.line])
+
+    # -- persistence -------------------------------------------------------
+
+    def _cache_path(self) -> str:
+        return os.path.join(self.cache_dir, "summaries.pkl")
+
+    def _load_cache(self) -> None:
+        try:
+            with open(self._cache_path(), "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != _PICKLE_VERSION:
+                return
+            for fp, entries in payload["summaries"].items():
+                summary = _Summary()
+                summary.entries = entries
+                self._summaries[fp] = summary
+        except (OSError, pickle.PickleError, EOFError, KeyError,
+                AttributeError, ImportError):
+            return
+
+    def _save_cache(self) -> None:
+        payload = {
+            "version": _PICKLE_VERSION,
+            "summaries": {fp: s.entries for fp, s in self._summaries.items()},
+        }
+        tmp = self._cache_path() + ".tmp"
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._cache_path())
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parallel checking (fork pool)
+# ---------------------------------------------------------------------------
+
+#: Inherited by forked workers; holds (ctx, items, join_abstraction,
+#: max_loop_iterations) for the duration of one pool run.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _pool_worker(index: int) -> Tuple[int, tuple]:
+    ctx, items, join_abstraction, max_loop_iterations = _WORKER_STATE
+    qual, fundef, _fp = items[index]
+    diags = check_function_diagnostics(
+        ctx, qual, fundef, join_abstraction=join_abstraction,
+        max_loop_iterations=max_loop_iterations)
+    return index, tuple(diags)
+
+
+def _check_parallel(ctx, to_check, jobs: int, join_abstraction: bool,
+                    max_loop_iterations: int
+                    ) -> List[Tuple[Diagnostic, ...]]:
+    """Fan uncached functions out to a fork pool.
+
+    Workers inherit the elaborated context through fork (nothing is
+    pickled on the way in; only diagnostics come back).  Results are
+    reassembled by index, so the output order — and therefore the
+    merged diagnostic stream — is identical to serial execution.
+    """
+    import multiprocessing
+
+    global _WORKER_STATE
+    mp = multiprocessing.get_context("fork")
+    jobs = min(jobs, len(to_check))
+    _WORKER_STATE = (ctx, to_check, join_abstraction, max_loop_iterations)
+    try:
+        with mp.Pool(processes=jobs) as pool:
+            chunksize = max(1, len(to_check) // (jobs * 4))
+            out: List[Optional[tuple]] = [None] * len(to_check)
+            for index, diags in pool.imap_unordered(
+                    _pool_worker, range(len(to_check)), chunksize):
+                out[index] = diags
+    finally:
+        _WORKER_STATE = None
+    return [diags if diags is not None else () for diags in out]

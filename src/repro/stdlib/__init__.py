@@ -1,11 +1,12 @@
 """The standard Vault interface library and its host implementations."""
 
-from .loader import (STDLIB_UNITS, available_units, stdlib_path,
-                     stdlib_programs, stdlib_source)
+from .loader import (STDLIB_UNITS, available_units, stdlib_context,
+                     stdlib_path, stdlib_programs, stdlib_source)
 
 __all__ = [
     "STDLIB_UNITS",
     "available_units",
+    "stdlib_context",
     "stdlib_path",
     "stdlib_programs",
     "stdlib_source",

@@ -48,3 +48,28 @@ def stdlib_programs(units: Optional[Sequence[str]] = None) -> List[ast.Program]:
 def stdlib_source(unit: str) -> str:
     with open(stdlib_path(unit), "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+@lru_cache(maxsize=None)
+def _base_context(units: Tuple[str, ...]):
+    # Imported here: repro.core pulls in the elaborator, which this
+    # module must not import at load time (loader is imported by the
+    # stdlib package before core is fully initialised in some paths).
+    from ..core import build_context
+    from ..diagnostics import Reporter
+    reporter = Reporter(None, "<stdlib>")
+    ctx = build_context([_load_unit(u) for u in units], reporter)
+    return ctx, tuple(reporter.diagnostics)
+
+
+def stdlib_context(units: Optional[Sequence[str]] = None):
+    """A fully elaborated context for the requested stdlib units, plus
+    any diagnostics its elaboration produced (normally none).
+
+    Built once per process per unit tuple; callers must treat the
+    result as immutable and layer their own program on top with
+    ``build_context(..., base=ctx)``.
+    """
+    chosen: Tuple[str, ...] = tuple(units) if units is not None else tuple(
+        u for u in STDLIB_UNITS if os.path.exists(stdlib_path(u)))
+    return _base_context(chosen)

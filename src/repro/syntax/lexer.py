@@ -1,13 +1,21 @@
-"""Hand-written lexer for the Vault surface language.
+"""Lexer for the Vault surface language.
 
 C-style tokens plus Vault's additions: constructor names ``'Name``
 (a tick immediately followed by an identifier), ``@`` for key states,
 and ``->`` inside effect clauses.  Comments are C-style ``//`` and
 ``/* ... */``.
+
+The scanner is a single compiled master regular expression driven by
+:func:`re.Pattern.match`; line/column information is recovered from a
+precomputed table of line-start offsets.  This replaces the original
+character-at-a-time cursor, which dominated whole-pipeline check time
+(every ``check_source`` call lexes the entire compilation unit before
+the flow analysis even starts).
 """
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 from ..diagnostics import LexError, Pos, Span
@@ -20,192 +28,183 @@ _SIMPLE = {
     "*": T.STAR, "|": T.PIPE,
 }
 
+_OPERATORS2 = {
+    "->": T.ARROW, "&&": T.AMPAMP, "||": T.PIPEPIPE, "==": T.EQ,
+    "!=": T.NE, "<=": T.LE, ">=": T.GE, "++": T.PLUSPLUS,
+    "--": T.MINUSMINUS, "+=": T.PLUSEQ, "-=": T.MINUSEQ,
+}
+
+_OPERATORS1 = dict(_SIMPLE)
+_OPERATORS1.update({"=": T.ASSIGN, "+": T.PLUS, "-": T.MINUS,
+                    "/": T.SLASH, "!": T.BANG, "<": T.LT, ">": T.GT})
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"'}
+
+#: One master pattern; alternative order resolves ambiguities the same
+#: way the original cursor did (trivia first, two-char operators before
+#: their one-char prefixes, hex before decimal).
+_MASTER = re.compile(
+    r"""
+    (?P<TRIVIA>(?:[ \t\r\n]+|//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/)+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<NUMBER>0[xX][0-9a-fA-F]*|\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<STRING>"(?:[^"\\\n]|\\[\s\S])*")
+  | (?P<OP2>->|&&|\|\||==|!=|<=|>=|\+\+|--|\+=|-=)
+  | (?P<OP1>[()\{\}\[\];,.:@?%*|=+\-/!<>])
+    """,
+    re.VERBOSE,
+)
+
+_IDENT_CHARS = re.compile(r"[A-Za-z0-9_]*")
+
+_FLOAT_MARK = re.compile(r"[.eE]")
+
+
+def _tokenize(source: str, filename: str, first_line: int = 1,
+              first_col: int = 1) -> List[Token]:
+    tokens: List[Token] = []
+    append = tokens.append
+    match = _MASTER.match
+    n = len(source)
+    i = 0
+    # Line tracking is incremental: no token's text contains a newline
+    # (strings reject them, block comments are trivia), so each token
+    # starts and ends on the current line and only trivia advances it.
+    # ``first_line``/``first_col`` seed the tracker, letting a caller
+    # lex a slice of a larger unit with in-place spans (columns are
+    # computed as ``offset - line_start + 1``, so a negative initial
+    # ``line_start`` shifts the first line's columns).
+    line = first_line
+    line_start = 1 - first_col
+    while i < n:
+        m = match(source, i)
+        if m is None:
+            ch = source[i]
+            start = Pos(line, i - line_start + 1, i)
+            if ch == '"':
+                raise LexError("unterminated string literal",
+                               Span(start, start, filename))
+            if ch == "'":
+                i = _lex_tick(source, i, filename, line, line_start, append)
+                continue
+            raise LexError(f"unexpected character {ch!r}",
+                           Span.point(start.line, start.col, filename))
+        kind = m.lastgroup
+        end = m.end()
+        if kind == "TRIVIA":
+            text = m.group()
+            nl = text.count("\n")
+            if nl:
+                line += nl
+                line_start = i + text.rfind("\n") + 1
+            i = end
+            continue
+        text = m.group()
+        if kind == "IDENT":
+            if text == "_":
+                tok_kind = T.UNDERSCORE
+            else:
+                tok_kind = KEYWORDS.get(text, T.IDENT)
+        elif kind == "NUMBER":
+            if text[:2] in ("0x", "0X"):
+                tok_kind = T.INT
+            else:
+                tok_kind = T.FLOAT if _FLOAT_MARK.search(text) else T.INT
+        elif kind == "STRING":
+            tok_kind = T.STRING
+            body = text[1:-1]
+            if "\\" in body:
+                out: List[str] = []
+                j = 0
+                while j < len(body):
+                    c = body[j]
+                    if c == "\\":
+                        j += 1
+                        esc = body[j]
+                        out.append(_ESCAPES.get(esc, esc))
+                    else:
+                        out.append(c)
+                    j += 1
+                text = "".join(out)
+            else:
+                text = body
+        elif kind == "OP2":
+            tok_kind = _OPERATORS2[text]
+        else:
+            # A bare "/" followed by "*" is an unterminated block
+            # comment: terminated ones were consumed by TRIVIA above.
+            if text == "/" and end < n and source[end] == "*":
+                start = Pos(line, i - line_start + 1, i)
+                raise LexError("unterminated block comment",
+                               Span(start, start, filename))
+            tok_kind = _OPERATORS1[text]
+        append(Token(tok_kind, text,
+                     Span(Pos(line, i - line_start + 1, i),
+                          Pos(line, end - line_start + 1, end), filename)))
+        i = end
+    eof = Pos(line, n - line_start + 1, n)
+    append(Token(T.EOF, "", Span(eof, eof, filename)))
+    return tokens
+
+
+def _lex_tick(source: str, i: int, filename: str, line: int,
+              line_start: int, append) -> int:
+    """Scan a tick-introduced token: ``'Name`` constructors and
+    ``'x'`` / ``'{'`` character literals (same rules as the original
+    cursor lexer)."""
+    start = Pos(line, i - line_start + 1, i)
+    j = i + 1
+    n = len(source)
+    head = source[j] if j < n else ""
+    if not (head.isalpha() or head == "_"):
+        # A tick, one character and a closing tick is a char literal.
+        if head and j + 1 < n and source[j + 1] == "'":
+            append(Token(T.CHAR, head,
+                         Span(start, Pos(line, j + 3 - line_start, j + 2),
+                              filename)))
+            return j + 2
+        raise LexError("expected constructor name after '",
+                       Span.point(line, j - line_start + 1, filename))
+    m = _IDENT_CHARS.match(source, j)
+    end = m.end()
+    # 'x' style char literal: single letter followed by a closing tick.
+    if end - j == 1 and end < n and source[end] == "'":
+        append(Token(T.CHAR, source[j],
+                     Span(start, Pos(line, end + 2 - line_start, end + 1),
+                          filename)))
+        return end + 1
+    append(Token(T.CTOR, source[j:end],
+                 Span(start, Pos(line, end - line_start + 1, end), filename)))
+    return end
+
 
 class Lexer:
-    """Converts Vault source text into a token stream."""
+    """Converts Vault source text into a token stream.
+
+    Kept for API compatibility; :meth:`tokenize` is the fast path and
+    :meth:`next_token` serves the same stream one token at a time.
+    """
 
     def __init__(self, source: str, filename: str = "<input>"):
         self.src = source
         self.filename = filename
-        self.pos = 0
-        self.line = 1
-        self.col = 1
-
-    # -- low-level cursor ---------------------------------------------------
-
-    def _peek(self, ahead: int = 0) -> str:
-        i = self.pos + ahead
-        return self.src[i] if i < len(self.src) else ""
-
-    def _advance(self) -> str:
-        ch = self.src[self.pos]
-        self.pos += 1
-        if ch == "\n":
-            self.line += 1
-            self.col = 1
-        else:
-            self.col += 1
-        return ch
-
-    def _here(self) -> Pos:
-        return Pos(self.line, self.col, self.pos)
-
-    def _span(self, start: Pos) -> Span:
-        return Span(start, self._here(), self.filename)
-
-    def _error(self, message: str) -> LexError:
-        return LexError(message, Span.point(self.line, self.col, self.filename))
-
-    # -- token scanning -----------------------------------------------------
-
-    def _skip_trivia(self) -> None:
-        while self.pos < len(self.src):
-            ch = self._peek()
-            if ch in " \t\r\n":
-                self._advance()
-            elif ch == "/" and self._peek(1) == "/":
-                while self.pos < len(self.src) and self._peek() != "\n":
-                    self._advance()
-            elif ch == "/" and self._peek(1) == "*":
-                start = self._here()
-                self._advance()
-                self._advance()
-                while True:
-                    if self.pos >= len(self.src):
-                        raise LexError("unterminated block comment",
-                                       Span(start, start, self.filename))
-                    if self._peek() == "*" and self._peek(1) == "/":
-                        self._advance()
-                        self._advance()
-                        break
-                    self._advance()
-            else:
-                return
-
-    def _lex_ident(self, start: Pos) -> Token:
-        begin = self.pos
-        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
-            self._advance()
-        text = self.src[begin:self.pos]
-        if text == "_":
-            return Token(T.UNDERSCORE, text, self._span(start))
-        kind = KEYWORDS.get(text, T.IDENT)
-        return Token(kind, text, self._span(start))
-
-    def _lex_number(self, start: Pos) -> Token:
-        begin = self.pos
-        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
-            self._advance()
-            self._advance()
-            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
-                self._advance()
-            return Token(T.INT, self.src[begin:self.pos], self._span(start))
-        while self._peek().isdigit():
-            self._advance()
-        is_float = False
-        if self._peek() == "." and self._peek(1).isdigit():
-            is_float = True
-            self._advance()
-            while self._peek().isdigit():
-                self._advance()
-        if self._peek() and self._peek() in "eE" and (
-                self._peek(1).isdigit()
-                or (self._peek(1) and self._peek(1) in "+-"
-                    and self._peek(2).isdigit())):
-            is_float = True
-            self._advance()
-            if self._peek() in "+-":
-                self._advance()
-            while self._peek().isdigit():
-                self._advance()
-        kind = T.FLOAT if is_float else T.INT
-        return Token(kind, self.src[begin:self.pos], self._span(start))
-
-    def _lex_string(self, start: Pos) -> Token:
-        self._advance()  # opening quote
-        chars: List[str] = []
-        while True:
-            if self.pos >= len(self.src) or self._peek() == "\n":
-                raise LexError("unterminated string literal",
-                               Span(start, start, self.filename))
-            ch = self._advance()
-            if ch == '"':
-                break
-            if ch == "\\":
-                if self.pos >= len(self.src):
-                    raise LexError("unterminated string literal",
-                                   Span(start, start, self.filename))
-                esc = self._advance()
-                chars.append({"n": "\n", "t": "\t", "r": "\r",
-                              "0": "\0", "\\": "\\", '"': '"'}.get(esc, esc))
-            else:
-                chars.append(ch)
-        return Token(T.STRING, "".join(chars), self._span(start))
-
-    def _lex_ctor(self, start: Pos) -> Token:
-        self._advance()  # the tick
-        if not (self._peek().isalpha() or self._peek() == "_"):
-            # A tick followed by one char and a closing tick is a char literal.
-            if self._peek() and self._peek(1) == "'":
-                ch = self._advance()
-                self._advance()
-                return Token(T.CHAR, ch, self._span(start))
-            raise self._error("expected constructor name after '")
-        begin = self.pos
-        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
-            self._advance()
-        # 'x' style char literal: single letter followed by a closing tick
-        if self.pos - begin == 1 and self._peek() == "'":
-            ch = self.src[begin]
-            self._advance()
-            return Token(T.CHAR, ch, self._span(start))
-        return Token(T.CTOR, self.src[begin:self.pos], self._span(start))
-
-    def _lex_operator(self, start: Pos) -> Token:
-        two = self.src[self.pos:self.pos + 2]
-        table2 = {
-            "->": T.ARROW, "&&": T.AMPAMP, "||": T.PIPEPIPE, "==": T.EQ,
-            "!=": T.NE, "<=": T.LE, ">=": T.GE, "++": T.PLUSPLUS,
-            "--": T.MINUSMINUS, "+=": T.PLUSEQ, "-=": T.MINUSEQ,
-        }
-        if two in table2:
-            self._advance()
-            self._advance()
-            return Token(table2[two], two, self._span(start))
-        ch = self._peek()
-        table1 = dict(_SIMPLE)
-        table1.update({"=": T.ASSIGN, "+": T.PLUS, "-": T.MINUS,
-                       "/": T.SLASH, "!": T.BANG, "<": T.LT, ">": T.GT})
-        if ch in table1:
-            self._advance()
-            return Token(table1[ch], ch, self._span(start))
-        raise self._error(f"unexpected character {ch!r}")
-
-    def next_token(self) -> Token:
-        self._skip_trivia()
-        start = self._here()
-        if self.pos >= len(self.src):
-            return Token(T.EOF, "", self._span(start))
-        ch = self._peek()
-        if ch.isalpha() or ch == "_":
-            return self._lex_ident(start)
-        if ch.isdigit():
-            return self._lex_number(start)
-        if ch == '"':
-            return self._lex_string(start)
-        if ch == "'":
-            return self._lex_ctor(start)
-        return self._lex_operator(start)
+        self._tokens: List[Token] = []
+        self._cursor = 0
 
     def tokenize(self) -> List[Token]:
-        out: List[Token] = []
-        while True:
-            tok = self.next_token()
-            out.append(tok)
-            if tok.kind is T.EOF:
-                return out
+        if not self._tokens:
+            self._tokens = _tokenize(self.src, self.filename)
+        return self._tokens
+
+    def next_token(self) -> Token:
+        toks = self.tokenize()
+        tok = toks[min(self._cursor, len(toks) - 1)]
+        if self._cursor < len(toks):
+            self._cursor += 1
+        return tok
 
 
-def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+def tokenize(source: str, filename: str = "<input>", first_line: int = 1,
+             first_col: int = 1) -> List[Token]:
     """Tokenize Vault source, returning a list ending with an EOF token."""
-    return Lexer(source, filename).tokenize()
+    return _tokenize(source, filename, first_line, first_col)

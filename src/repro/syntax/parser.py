@@ -37,15 +37,17 @@ class Parser:
         self.toks = tokens
         self.pos = 0
         self.filename = filename
+        self._last = len(tokens) - 1   # index of the EOF sentinel
 
     # -- token helpers ------------------------------------------------------
 
     def _peek(self, ahead: int = 0) -> Token:
-        i = min(self.pos + ahead, len(self.toks) - 1)
-        return self.toks[i]
+        i = self.pos + ahead
+        return self.toks[i if i < self._last else self._last]
 
     def _at(self, kind: T, ahead: int = 0) -> bool:
-        return self._peek(ahead).kind is kind
+        i = self.pos + ahead
+        return self.toks[i if i < self._last else self._last].kind is kind
 
     def _advance(self) -> Token:
         tok = self.toks[self.pos]
@@ -54,8 +56,12 @@ class Parser:
         return tok
 
     def _accept(self, kind: T) -> Optional[Token]:
-        if self._at(kind):
-            return self._advance()
+        pos = self.pos
+        tok = self.toks[pos if pos < self._last else self._last]
+        if tok.kind is kind:
+            if tok.kind is not T.EOF:
+                self.pos = pos + 1
+            return tok
         return None
 
     def _expect(self, kind: T, what: str = "") -> Token:
@@ -593,57 +599,36 @@ class Parser:
 
     # -- expressions -------------------------------------------------------------
 
+    #: binary operator precedence (all left-associative), replacing the
+    #: or/and/equality/relational/additive/multiplicative cascade: the
+    #: cascade cost six nested calls per operand even for plain
+    #: identifiers, a measurable slice of whole-check time.
+    _BIN_PREC = {
+        T.PIPEPIPE: 1, T.AMPAMP: 2, T.EQ: 3, T.NE: 3,
+        T.LT: 4, T.GT: 4, T.LE: 4, T.GE: 4,
+        T.PLUS: 5, T.MINUS: 5, T.STAR: 6, T.SLASH: 6, T.PERCENT: 6,
+    }
+
     def parse_expr(self) -> ast.Expr:
-        return self.parse_or()
+        return self._parse_binary(self.parse_unary(), 1)
 
-    def parse_or(self) -> ast.Expr:
-        left = self.parse_and()
-        while self._at(T.PIPEPIPE):
-            op = self._advance().text
-            right = self.parse_and()
-            left = ast.Binary(left.span.merge(right.span), op, left, right)
-        return left
-
-    def parse_and(self) -> ast.Expr:
-        left = self.parse_equality()
-        while self._at(T.AMPAMP):
-            op = self._advance().text
-            right = self.parse_equality()
-            left = ast.Binary(left.span.merge(right.span), op, left, right)
-        return left
-
-    def parse_equality(self) -> ast.Expr:
-        left = self.parse_relational()
-        while self._at(T.EQ) or self._at(T.NE):
-            op = self._advance().text
-            right = self.parse_relational()
-            left = ast.Binary(left.span.merge(right.span), op, left, right)
-        return left
-
-    def parse_relational(self) -> ast.Expr:
-        left = self.parse_additive()
-        while (self._at(T.LT) or self._at(T.GT) or self._at(T.LE)
-               or self._at(T.GE)):
-            op = self._advance().text
-            right = self.parse_additive()
-            left = ast.Binary(left.span.merge(right.span), op, left, right)
-        return left
-
-    def parse_additive(self) -> ast.Expr:
-        left = self.parse_multiplicative()
-        while self._at(T.PLUS) or self._at(T.MINUS):
-            op = self._advance().text
-            right = self.parse_multiplicative()
-            left = ast.Binary(left.span.merge(right.span), op, left, right)
-        return left
-
-    def parse_multiplicative(self) -> ast.Expr:
-        left = self.parse_unary()
-        while self._at(T.STAR) or self._at(T.SLASH) or self._at(T.PERCENT):
-            op = self._advance().text
+    def _parse_binary(self, left: ast.Expr, min_prec: int) -> ast.Expr:
+        """Precedence climbing over :data:`_BIN_PREC`."""
+        prec_of = self._BIN_PREC.get
+        while True:
+            tok = self._peek()
+            prec = prec_of(tok.kind)
+            if prec is None or prec < min_prec:
+                return left
+            self._advance()
             right = self.parse_unary()
-            left = ast.Binary(left.span.merge(right.span), op, left, right)
-        return left
+            while True:
+                nxt = prec_of(self._peek().kind)
+                if nxt is None or nxt <= prec:
+                    break
+                right = self._parse_binary(right, prec + 1)
+            left = ast.Binary(left.span.merge(right.span), tok.text,
+                              left, right)
 
     def parse_unary(self) -> ast.Expr:
         tok = self._peek()
@@ -768,9 +753,17 @@ class Parser:
         return ast.New(self._span_from(start), ntype, inits, tracked, region)
 
 
-def parse_program(source: str, filename: str = "<input>") -> ast.Program:
-    """Parse a Vault compilation unit from source text."""
-    return Parser(tokenize(source, filename), filename).parse_program()
+def parse_program(source: str, filename: str = "<input>",
+                  first_line: int = 1, first_col: int = 1) -> ast.Program:
+    """Parse a Vault compilation unit from source text.
+
+    ``first_line``/``first_col`` place the text inside a larger unit,
+    so that spans match a whole-unit parse; the incremental pipeline
+    uses this to parse single declaration chunks in place.
+    """
+    return Parser(tokenize(source, filename, first_line=first_line,
+                           first_col=first_col),
+                  filename).parse_program()
 
 
 def parse_type(source: str, filename: str = "<type>") -> ast.Type:

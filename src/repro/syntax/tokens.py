@@ -10,7 +10,6 @@ declarations (§4.4), and ``interface`` / ``module`` units.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from ..diagnostics import Span
 
@@ -143,11 +142,29 @@ BASE_TYPE_TOKENS = {
 }
 
 
-@dataclass(frozen=True)
 class Token:
-    kind: T
-    text: str
-    span: Span
+    """One lexed token.  A plain ``__slots__`` class (not a dataclass):
+    the lexer mints one per token on the hot path of every check, and a
+    frozen dataclass pays ``object.__setattr__`` per field."""
+
+    __slots__ = ("kind", "text", "span")
+
+    def __init__(self, kind: T, text: str, span: Span):
+        self.kind = kind
+        self.text = text
+        self.span = span
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind is other.kind and self.text == other.text
+                and self.span == other.span)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.span))
+
+    def __repr__(self) -> str:
+        return f"Token(kind={self.kind!r}, text={self.text!r}, span={self.span!r})"
 
     def __str__(self) -> str:
         return f"{self.kind.name}({self.text!r})@{self.span}"
