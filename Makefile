@@ -6,9 +6,12 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Fast CI smoke: runs every benchmark body once (no timing rounds) and
-# refreshes BENCH_checker.json with cold/warm/parallel pipeline timings.
+# Fast CI smoke: asserts jobs>1 is never a pessimisation (tiny
+# workload; the timing gate applies on multi-CPU runners, byte-identity
+# everywhere), then runs the benchmark bodies once (no timing rounds),
+# refreshing BENCH_checker.json with cold/warm/parallel timings.
 bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py
 	$(PYTHON) -m pytest benchmarks/bench_checker_scaling.py \
 	    benchmarks/bench_incremental.py -q --benchmark-disable
 

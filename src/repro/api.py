@@ -22,7 +22,7 @@ the Windows 2000 kernel interface of §4).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from .core import ProgramContext, build_context, check_program
 from .diagnostics import CheckError, Code, Reporter
@@ -61,8 +61,20 @@ def load_context(source: str, filename: str = "<input>",
 def check_source(source: str, filename: str = "<input>",
                  stdlib: bool = True,
                  units: Optional[Sequence[str]] = None,
-                 extra: Sequence[ast.Program] = ()) -> Reporter:
-    """Parse and protocol-check a compilation unit; returns the report."""
+                 extra: Sequence[ast.Program] = (),
+                 jobs: Union[int, str] = 1) -> Reporter:
+    """Parse and protocol-check a compilation unit; returns the report.
+
+    ``jobs`` > 1 (or ``"auto"``, one worker per CPU) checks functions
+    through the pipeline's worker pool; the diagnostic stream is
+    byte-identical to serial mode, and small workloads stay serial
+    (the scheduler's break-even check), so a larger ``jobs`` is never
+    a pessimisation.
+    """
+    if jobs != 1 and not extra:
+        from .pipeline import CheckSession
+        with CheckSession(stdlib=stdlib, units=units, jobs=jobs) as session:
+            return session.check(source, filename)
     ctx, reporter = load_context(source, filename, stdlib, units, extra)
     if reporter.ok:
         check_program(ctx, reporter)

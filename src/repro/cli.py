@@ -31,12 +31,27 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _parse_jobs(value: str) -> "int | str":
+    """``--jobs`` accepts an explicit count or ``auto`` (one worker
+    per CPU available to this process)."""
+    text = value.strip().lower()
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --jobs value {value!r} (expected a count or 'auto')")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    if args.jobs > 1 or args.cache:
+    if args.jobs != 1 or args.cache or args.profile:
         from .pipeline import CheckSession
-        session = CheckSession(jobs=args.jobs, cache_dir=args.cache)
-        report = session.check(source, filename=args.file)
+        with CheckSession(jobs=args.jobs, cache_dir=args.cache) as session:
+            report = session.check(source, filename=args.file)
+            if args.profile:
+                _print_profile(session, file=sys.stderr)
     else:
         report = check_source(source, filename=args.file)
     if report.ok:
@@ -45,6 +60,26 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(report.render())
     print(f"{args.file}: {len(report.errors)} error(s)")
     return 1
+
+
+def _print_profile(session, file) -> int:
+    profile = session.last_profile
+    stats = session.stats
+    print("profile:", file=file)
+    for key in ("context_seconds", "check_seconds"):
+        if key in profile:
+            label = key.replace("_seconds", "")
+            print(f"  {label:<22} {profile[key] * 1000:8.1f} ms", file=file)
+    if "plan" in profile:
+        print(f"  {'schedule':<22} {profile['plan']}", file=file)
+    print(f"  {'functions checked':<22} {stats.functions_checked:8d}",
+          file=file)
+    print(f"  {'functions replayed':<22} {stats.functions_replayed:8d}",
+          file=file)
+    if stats.pool_spawns:
+        print(f"  {'worker pools forked':<22} {stats.pool_spawns:8d}",
+              file=file)
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -172,12 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("check", help="parse and protocol-check a file")
     p.add_argument("file")
-    p.add_argument("--jobs", "-j", type=int, default=1,
-                   help="check functions with N parallel workers "
-                        "(output is identical to serial mode)")
+    p.add_argument("--jobs", "-j", type=_parse_jobs, default=1,
+                   metavar="N|auto",
+                   help="check functions with N parallel workers, or "
+                        "'auto' for one per CPU (output is identical "
+                        "to serial mode; small workloads stay serial)")
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="persist function summaries under DIR so "
                         "unchanged functions are not re-checked")
+    p.add_argument("--profile", action="store_true",
+                   help="print phase timings and the scheduler's "
+                        "verdict to stderr")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("run", help="check then interpret a file")

@@ -43,10 +43,29 @@ class KeyInfo:
 
 
 class HeldKeys:
-    """A mutable held-key set; cloned at control-flow splits."""
+    """A mutable held-key set; cloned at control-flow splits.
 
-    def __init__(self, entries: Optional[Dict[Key, KeyInfo]] = None):
-        self._entries: Dict[Key, KeyInfo] = dict(entries or {})
+    Clones share the entry dict copy-on-write: the checker clones at
+    every split, but most branches never touch the held-key set, so
+    the dict copy is deferred to the first mutation on either side.
+    """
+
+    __slots__ = ("_entries", "_shared")
+
+    def __init__(self, entries: Optional[Dict[Key, KeyInfo]] = None,
+                 _share: bool = False):
+        if _share and entries is not None:
+            self._entries: Dict[Key, KeyInfo] = entries
+            self._shared = True
+        else:
+            self._entries = dict(entries or {})
+            self._shared = False
+
+    def _own(self) -> None:
+        """Copy the entry dict before the first mutation of a clone."""
+        if self._shared:
+            self._entries = dict(self._entries)
+            self._shared = False
 
     # -- basic queries ------------------------------------------------------
 
@@ -78,16 +97,17 @@ class HeldKeys:
             raise CapabilityError(
                 "duplicate", key,
                 f"key {key.display()} introduced twice into the held-key set")
+        self._own()
         self._entries[key] = KeyInfo(state, payload)
 
     def remove(self, key: Key) -> KeyInfo:
         """Consume a key; consuming an absent key is a violation."""
-        info = self._entries.pop(key, None)
-        if info is None:
+        if key not in self._entries:
             raise CapabilityError(
                 "missing", key,
                 f"key {key.display()} is not in the held-key set")
-        return info
+        self._own()
+        return self._entries.pop(key)
 
     def set_state(self, key: Key, state: State) -> None:
         info = self._entries.get(key)
@@ -97,6 +117,7 @@ class HeldKeys:
                 f"key {key.display()} is not in the held-key set")
         # Replace rather than mutate: KeyInfo entries are shared
         # between clones (see :meth:`clone`).
+        self._own()
         self._entries[key] = KeyInfo(state, info.payload)
 
     def set_payload(self, key: Key, payload: CType) -> None:
@@ -106,6 +127,7 @@ class HeldKeys:
             raise CapabilityError(
                 "missing", key,
                 f"key {key.display()} is not in the held-key set")
+        self._own()
         self._entries[key] = KeyInfo(info.state, payload)
 
     # -- structure ---------------------------------------------------------------
@@ -113,10 +135,11 @@ class HeldKeys:
     def clone(self) -> "HeldKeys":
         # KeyInfo values are never mutated in place (all writers go
         # through :meth:`set_state` / :meth:`set_payload`, which
-        # replace the entry), so clones share them.  Cloning is then
-        # one dict copy instead of one allocation per held key — the
-        # checker clones at every control-flow split.
-        return HeldKeys(self._entries)
+        # replace the entry), and the entry dict itself is shared
+        # copy-on-write: both sides mark it shared and the first
+        # mutation on either side copies.  Cloning is then O(1).
+        self._shared = True
+        return HeldKeys(self._entries, _share=True)
 
     def rename(self, mapping: Dict[Key, Key]) -> "HeldKeys":
         """Apply a key renaming (used by the join abstraction, §3)."""
@@ -125,11 +148,21 @@ class HeldKeys:
 
     def same_shape(self, other: "HeldKeys") -> bool:
         """Do both sets hold exactly the same keys in equal states?"""
-        if set(self._entries) != set(other._entries):
+        if self._entries is other._entries:
+            # Copy-on-write clones that were never mutated share the
+            # dict — the common case at joins where neither branch
+            # touched the held-key set.
+            return True
+        if len(self._entries) != len(other._entries):
             return False
-        return all(states_equal(self._entries[k].state,
-                                other._entries[k].state)
-                   for k in self._entries)
+        for k, info in self._entries.items():
+            other_info = other._entries.get(k)
+            if other_info is None:
+                return False
+            if other_info is not info and \
+                    not states_equal(info.state, other_info.state):
+                return False
+        return True
 
     def diff_summary(self, other: "HeldKeys") -> str:
         """Human-readable difference, for join/postcondition diagnostics."""

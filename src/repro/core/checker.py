@@ -149,6 +149,10 @@ def match_signatures(want: Signature, have: Signature,
         return False
 
     def match_type(wt: CType, ht: CType) -> bool:
+        if wt is ht:
+            # Interned declaration types collapse structural equality
+            # to identity when neither side binds variables.
+            return True
         if isinstance(wt, CTypeVar):
             return subst.bind_type(wt.name, ht)
         if isinstance(wt, CBase) and isinstance(ht, CBase):
@@ -739,6 +743,10 @@ class FnChecker:
     def _match_shape(self, declared: CType, actual: CType, subst: Subst,
                      span: Span) -> None:
         """Structural matching for local declarations (keys/states bind)."""
+        if declared is actual and not isinstance(declared, CTypeVar):
+            # Hash-consed types: one object <=> structurally equal,
+            # and with nothing to bind the match is trivially clean.
+            return
         if isinstance(declared, CTypeVar):
             subst.bind_type(declared.name, actual)
             return

@@ -77,8 +77,12 @@ class ForwardAnalysis(Generic[L]):
                     before[target.id] = out_value
                     changed.append(target)
                 else:
-                    joined = self.join(before[target.id], out_value)
-                    if joined != before[target.id]:
+                    current = before[target.id]
+                    joined = self.join(current, out_value)
+                    # Identity first: joins that return one operand
+                    # unchanged (common once a fixpoint nears) skip
+                    # the structural comparison entirely.
+                    if joined is not current and joined != current:
                         before[target.id] = joined
                         changed.append(target)
             if changed:

@@ -19,6 +19,7 @@ some stateset.
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
 
@@ -46,7 +47,13 @@ class Key:
     __slots__ = ("name", "uid", "origin", "span")
 
     def __init__(self, name: str, origin: str = "local", span=None):
-        self.name = name
+        # Key *names* are shared by every key minted for the same
+        # program identifier (skolems re-minted per function, join
+        # keys, ...); interning them keeps per-key memory flat and
+        # makes the name comparisons inside diagnostics fast.  Key
+        # *identity* stays the identity of the object — two keys with
+        # the same name are still two distinct resources.
+        self.name = sys.intern(name)
         self.uid = next(_counter)
         self.origin = origin
         self.span = span
@@ -103,8 +110,8 @@ class StateSet:
 
     def __init__(self, name: str, states: Tuple[str, ...],
                  order: Tuple[Tuple[str, str], ...] = ()):
-        self.name = name
-        self.states: Tuple[str, ...] = states
+        self.name = sys.intern(name)
+        self.states: Tuple[str, ...] = tuple(sys.intern(s) for s in states)
         self.edges = order
         self._leq: Set[Tuple[str, str]] = self._closure(states, order)
 
@@ -191,6 +198,12 @@ class StateSpace:
 
 def states_equal(a: State, b: State) -> bool:
     """Exact equality of two states (symbolic vars by identity)."""
+    if a is b:
+        # Interned state names and shared StateVar objects make this
+        # the common case on the join/exit fast paths.
+        return True
     if isinstance(a, StateVar) and isinstance(b, StateVar):
         return a.uid == b.uid
+    if isinstance(a, StateVar) or isinstance(b, StateVar):
+        return False
     return a == b

@@ -67,6 +67,8 @@ class Subst:
         return value
 
     def state_req(self, req: StateReq) -> StateReq:
+        if not self.states:
+            return req
         if isinstance(req, ExactState):
             return ExactState(self.state_value(req.state))
         if isinstance(req, AtMostState):
@@ -77,6 +79,14 @@ class Subst:
         return req
 
     def ctype(self, ctype: CType) -> CType:
+        if type(self) is Subst and \
+                not (self.keys or self.states or self.types):
+            # The empty substitution is the identity; skipping the
+            # rebuild keeps interned declaration types canonical, so
+            # later comparisons hit the identity fast paths.  (Exact
+            # type check: subclasses may substitute through other
+            # channels, e.g. the checker's key renamer.)
+            return ctype
         if isinstance(ctype, (CBase,)):
             return ctype
         if isinstance(ctype, CTypeVar):

@@ -12,15 +12,27 @@ guarantee.
 from .chunks import Chunk, ChunkError, split_chunks
 from .fingerprint import (collect_names, dependency_renderings,
                           function_fingerprint)
+from .scheduler import (BREAK_EVEN_SECONDS, Plan, available_cpus,
+                        estimate_cost, plan, resolve_jobs)
 from .session import CheckSession, SessionStats
+from .workers import WorkerCrash, WorkerPool, fork_available
 
 __all__ = [
+    "BREAK_EVEN_SECONDS",
     "CheckSession",
     "Chunk",
     "ChunkError",
+    "Plan",
     "SessionStats",
+    "WorkerCrash",
+    "WorkerPool",
+    "available_cpus",
     "collect_names",
     "dependency_renderings",
+    "estimate_cost",
+    "fork_available",
     "function_fingerprint",
+    "plan",
+    "resolve_jobs",
     "split_chunks",
 ]

@@ -109,6 +109,30 @@ def _sig_show(sig) -> str:
     return cached
 
 
+def _declared_names(ctx: ProgramContext) -> frozenset:
+    """Every name that resolves to *something* in this context —
+    including the bare member part of qualified function names, which
+    is how ``M.f`` call sites appear in a collected name set."""
+    names = ctx.__dict__.get("_pl_decl_names")
+    if names is None:
+        collected: Set[str] = set()
+        collected.update(ctx.structs)
+        collected.update(ctx.variants)
+        collected.update(ctx.ctor_index)
+        collected.update(ctx.type_decls)
+        collected.update(ctx.statespace.sets)
+        collected.update(ctx.global_keys)
+        collected.update(ctx.modules)
+        for qual in ctx.functions:
+            collected.add(qual)
+            _, dot, member = qual.rpartition(".")
+            if dot:
+                collected.add(member)
+        names = frozenset(collected)
+        ctx.__dict__["_pl_decl_names"] = names
+    return names
+
+
 def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
                           module: str = "") -> List[str]:
     """Stable renderings of every declaration the name set can reach.
@@ -117,7 +141,23 @@ def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
     rendering (e.g. a type name inside a callee's signature) pull in
     their own declarations, so deep layout/protocol changes propagate
     into the fingerprint of every (transitive) user.
+
+    Memoised per context on the *relevant* name subset: names that
+    resolve to no declaration at all (locals, field names, state
+    literals of undeclared sets) cannot contribute renderings, so two
+    functions whose name sets differ only in such noise share one
+    fixpoint run.  Contexts are immutable once built (the session's
+    context cache hands out finished elaborations), which is what
+    makes caching on the instance sound.
     """
+    relevant = frozenset(names) & _declared_names(ctx)
+    memo: Dict[Tuple[str, frozenset], List[str]] = \
+        ctx.__dict__.setdefault("_pl_dep_memo", {})
+    memo_key = (module, relevant)
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return cached
+    names = relevant
     rendered: Dict[str, str] = {}
     initial = set(names)
     pending = set(initial)
@@ -168,7 +208,9 @@ def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
             for qual, qsig in ctx.functions.items():
                 if qual.startswith(prefix) and qual[len(prefix):] in initial:
                     include(f"f:{qual}", _sig_show(qsig))
-    return sorted(rendered.values())
+    result = sorted(rendered.values())
+    memo[memo_key] = result
+    return result
 
 
 def function_fingerprint(ctx: ProgramContext, qual: str, fundef: ast.FunDef,

@@ -16,9 +16,13 @@ invalidated:
   references (:mod:`repro.pipeline.fingerprint`), optionally persisted
   to disk;
 * **parallel checking** — with ``jobs > 1``, uncached functions are
-  flow-checked by a fork-based process pool; results are merged in
-  source (sorted qualified name) order, so the diagnostic stream is
-  byte-identical to serial mode.
+  packed into cost-balanced batches (:mod:`repro.pipeline.scheduler`)
+  and flow-checked by a persistent fork-server worker pool
+  (:mod:`repro.pipeline.workers`); results are merged in source
+  (sorted qualified name) order, so the diagnostic stream is
+  byte-identical to serial mode.  Below the scheduler's break-even
+  point the session checks serially — ``jobs > 1`` is never slower
+  than serial on small workloads.
 
 Determinism guarantee: for any ``source``, the reporter returned by
 ``check`` contains the same diagnostics in the same order as
@@ -31,7 +35,9 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import build_context, check_function_diagnostics
 from ..core.checker import MAX_LOOP_ITERATIONS
@@ -40,12 +46,17 @@ from ..stdlib import stdlib_context, stdlib_source
 from ..syntax import ast, parse_program
 from .chunks import Chunk, ChunkError, split_chunks
 from .fingerprint import function_fingerprint
+from .scheduler import (BREAK_EVEN_SECONDS, available_cpus,
+                        plan as plan_batches, resolve_jobs)
+from .workers import WorkerCrash, WorkerPool, fork_available
 
 #: caps on the in-memory caches; on overflow the oldest half is evicted.
 _MAX_CONTEXTS = 64
 _MAX_CHUNK_ASTS = 8192
 
-_PICKLE_VERSION = 1
+#: version 2 added per-function cost records ("costs"); version-1
+#: payloads still load (summaries only, costs start empty).
+_PICKLE_VERSION = 2
 
 
 def _sha(text: str) -> str:
@@ -69,6 +80,9 @@ class SessionStats:
         self.whole_parses = 0
         self.functions_checked = 0
         self.functions_replayed = 0
+        self.parallel_runs = 0
+        self.serial_fallbacks = 0
+        self.pool_spawns = 0
         self.last_checked: List[str] = []
         self.last_replayed: List[str] = []
 
@@ -136,38 +150,54 @@ class CheckSession:
 
     def __init__(self, stdlib: bool = True,
                  units: Optional[Sequence[str]] = None,
-                 jobs: int = 1,
+                 jobs: Union[int, str] = 1,
                  cache_dir: Optional[str] = None,
                  join_abstraction: bool = True,
-                 max_loop_iterations: int = MAX_LOOP_ITERATIONS):
+                 max_loop_iterations: int = MAX_LOOP_ITERATIONS,
+                 break_even_seconds: float = BREAK_EVEN_SECONDS):
         self.stdlib = stdlib
         self.units = tuple(units) if units is not None else None
-        self.jobs = max(1, int(jobs))
+        self.jobs = self._resolve_jobs(jobs)
         self.cache_dir = cache_dir
         self.join_abstraction = join_abstraction
         self.max_loop_iterations = max_loop_iterations
+        self.break_even_seconds = break_even_seconds
         self.stats = SessionStats()
+        #: phase timings and the scheduler's verdict for the most
+        #: recent ``check`` call (the CLI's ``--profile`` output).
+        self.last_profile: Dict[str, object] = {}
         self._ast_cache: Dict[Tuple[str, int, int], ast.Program] = {}
         self._ctx_cache: Dict[tuple, _CtxEntry] = {}
         self._summaries: Dict[str, _Summary] = {}
+        self._cost_by_qual: Dict[str, float] = {}
         self._stdlib_lines: Dict[str, List[str]] = {}
+        self._pool: Optional[WorkerPool] = None
         if cache_dir:
             self._load_cache()
+
+    @staticmethod
+    def _resolve_jobs(jobs: Union[int, str]) -> int:
+        if isinstance(jobs, str):
+            return resolve_jobs(jobs)
+        return max(1, int(jobs))
 
     # -- public API --------------------------------------------------------
 
     def check(self, source: str, filename: str = "<input>",
-              jobs: Optional[int] = None) -> Reporter:
+              jobs: Optional[Union[int, str]] = None) -> Reporter:
         """Parse, elaborate and protocol-check one compilation unit."""
         self.stats.last_checked = []
         self.stats.last_replayed = []
         self.stats.checks += 1
+        self.last_profile = {}
+        started = time.perf_counter()
         reporter = Reporter(source, filename)
         base = None
         if self.stdlib:
             base, base_diags = stdlib_context(self.units)
             reporter.diagnostics.extend(base_diags)
         entry = self._context_for(source, filename, base)
+        self.last_profile["context_seconds"] = time.perf_counter() - started
         reporter.diagnostics.extend(entry.diags)
         if not reporter.ok:
             return reporter
@@ -176,10 +206,14 @@ class CheckSession:
                 reporter.diagnostics.extend(diags)
             self.stats.last_replayed = [q for q, _ in entry.fn_results]
             self.stats.functions_replayed += len(entry.fn_results)
+            self.last_profile["plan"] = "replayed whole unit"
             return reporter
+        check_started = time.perf_counter()
         results = self._check_functions(
             entry.ctx, source, filename,
-            self.jobs if jobs is None else max(1, int(jobs)))
+            self.jobs if jobs is None else self._resolve_jobs(jobs))
+        self.last_profile["check_seconds"] = \
+            time.perf_counter() - check_started
         entry.fn_results = results
         for qual, diags in results:
             reporter.diagnostics.extend(diags)
@@ -188,9 +222,22 @@ class CheckSession:
         return reporter
 
     def render_check(self, source: str, filename: str = "<input>",
-                     jobs: Optional[int] = None) -> str:
+                     jobs: Optional[Union[int, str]] = None) -> str:
         """The rendered report for ``source`` (the CLI's output)."""
         return self.check(source, filename, jobs=jobs).render()
+
+    def close(self) -> None:
+        """Shut down the worker pool (the session stays usable; a
+        later parallel check simply spawns a fresh pool)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "CheckSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- context construction ----------------------------------------------
 
@@ -288,18 +335,72 @@ class CheckSession:
 
     def _run_checks(self, ctx, to_check, jobs: int
                     ) -> List[Tuple[Diagnostic, ...]]:
-        if jobs > 1 and len(to_check) > 1 and _fork_available():
+        effective_jobs = jobs if fork_available() else 1
+        if self.break_even_seconds > 0 and available_cpus() < 2:
+            # Workers would time-slice a single core: parallelism can
+            # only lose.  (A zero break-even forces the pool anyway —
+            # the tests' escape hatch for exercising the protocol.)
+            effective_jobs = 1
+        sched = plan_batches([(qual, fundef) for qual, fundef, _fp in
+                              to_check],
+                             effective_jobs, self._cost_by_qual,
+                             self.break_even_seconds)
+        self.last_profile["plan"] = sched.describe()
+        if sched.parallel:
             try:
-                return _check_parallel(ctx, to_check, jobs,
-                                       self.join_abstraction,
-                                       self.max_loop_iterations)
-            except OSError:
-                pass  # fork failure: fall back to serial
-        return [tuple(check_function_diagnostics(
-                    ctx, qual, fundef,
-                    join_abstraction=self.join_abstraction,
-                    max_loop_iterations=self.max_loop_iterations))
-                for qual, fundef, _fp in to_check]
+                return self._run_parallel(ctx, to_check, sched, jobs)
+            except (WorkerCrash, OSError) as exc:
+                # A worker crash (or fork failure) must not change the
+                # diagnostic stream — fall back to serial — but it must
+                # not vanish either: warn, and surface the child
+                # traceback when there is one.
+                self.stats.serial_fallbacks += 1
+                print(f"repro: parallel checking failed ({exc}); "
+                      f"falling back to serial", file=sys.stderr)
+                child_tb = getattr(exc, "child_traceback", "")
+                if child_tb:
+                    print(child_tb, file=sys.stderr, end="")
+                self.close()
+        out: List[Tuple[Diagnostic, ...]] = []
+        for qual, fundef, _fp in to_check:
+            started = time.perf_counter()
+            diags = tuple(check_function_diagnostics(
+                ctx, qual, fundef,
+                join_abstraction=self.join_abstraction,
+                max_loop_iterations=self.max_loop_iterations))
+            self._cost_by_qual[qual] = time.perf_counter() - started
+            out.append(diags)
+        return out
+
+    def _run_parallel(self, ctx, to_check, sched, jobs: int
+                      ) -> List[Tuple[Diagnostic, ...]]:
+        pool = self._pool
+        if pool is None or not pool.matches(ctx, len(sched.batches),
+                                            self.join_abstraction,
+                                            self.max_loop_iterations):
+            if pool is not None:
+                pool.close()
+            # Spawn the full requested width even when this plan has
+            # fewer batches: the pool persists, and a later (larger)
+            # check against the same context reuses it as-is.
+            pool = WorkerPool(ctx, jobs, self.join_abstraction,
+                              self.max_loop_iterations)
+            self._pool = pool
+            self.stats.pool_spawns += 1
+        batches = [[to_check[i][0] for i in batch]
+                   for batch in sched.batches]
+        result_map = pool.check_batches(batches)
+        if len(result_map) != len(to_check):
+            raise WorkerCrash(
+                f"workers returned {len(result_map)} results "
+                f"for {len(to_check)} functions")
+        self.stats.parallel_runs += 1
+        out: List[Tuple[Diagnostic, ...]] = []
+        for qual, _fundef, _fp in to_check:
+            diags, cost = result_map[qual]
+            self._cost_by_qual[qual] = cost
+            out.append(diags)
+        return out
 
     def _own_text(self, fundef: ast.FunDef, source_lines: List[str],
                   filename: str) -> str:
@@ -326,20 +427,23 @@ class CheckSession:
         try:
             with open(self._cache_path(), "rb") as handle:
                 payload = pickle.load(handle)
-            if payload.get("version") != _PICKLE_VERSION:
+            if payload.get("version") not in (1, _PICKLE_VERSION):
                 return
             for fp, entries in payload["summaries"].items():
                 summary = _Summary()
                 summary.entries = entries
                 self._summaries[fp] = summary
+            for qual, cost in payload.get("costs", {}).items():
+                self._cost_by_qual[qual] = float(cost)
         except (OSError, pickle.PickleError, EOFError, KeyError,
-                AttributeError, ImportError):
+                AttributeError, ImportError, TypeError, ValueError):
             return
 
     def _save_cache(self) -> None:
         payload = {
             "version": _PICKLE_VERSION,
             "summaries": {fp: s.entries for fp, s in self._summaries.items()},
+            "costs": dict(self._cost_by_qual),
         }
         tmp = self._cache_path() + ".tmp"
         try:
@@ -349,54 +453,3 @@ class CheckSession:
             os.replace(tmp, self._cache_path())
         except OSError:
             pass
-
-
-# ---------------------------------------------------------------------------
-# Parallel checking (fork pool)
-# ---------------------------------------------------------------------------
-
-#: Inherited by forked workers; holds (ctx, items, join_abstraction,
-#: max_loop_iterations) for the duration of one pool run.
-_WORKER_STATE: Optional[tuple] = None
-
-
-def _fork_available() -> bool:
-    import multiprocessing
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _pool_worker(index: int) -> Tuple[int, tuple]:
-    ctx, items, join_abstraction, max_loop_iterations = _WORKER_STATE
-    qual, fundef, _fp = items[index]
-    diags = check_function_diagnostics(
-        ctx, qual, fundef, join_abstraction=join_abstraction,
-        max_loop_iterations=max_loop_iterations)
-    return index, tuple(diags)
-
-
-def _check_parallel(ctx, to_check, jobs: int, join_abstraction: bool,
-                    max_loop_iterations: int
-                    ) -> List[Tuple[Diagnostic, ...]]:
-    """Fan uncached functions out to a fork pool.
-
-    Workers inherit the elaborated context through fork (nothing is
-    pickled on the way in; only diagnostics come back).  Results are
-    reassembled by index, so the output order — and therefore the
-    merged diagnostic stream — is identical to serial execution.
-    """
-    import multiprocessing
-
-    global _WORKER_STATE
-    mp = multiprocessing.get_context("fork")
-    jobs = min(jobs, len(to_check))
-    _WORKER_STATE = (ctx, to_check, join_abstraction, max_loop_iterations)
-    try:
-        with mp.Pool(processes=jobs) as pool:
-            chunksize = max(1, len(to_check) // (jobs * 4))
-            out: List[Optional[tuple]] = [None] * len(to_check)
-            for index, diags in pool.imap_unordered(
-                    _pool_worker, range(len(to_check)), chunksize):
-                out[index] = diags
-    finally:
-        _WORKER_STATE = None
-    return [diags if diags is not None else () for diags in out]

@@ -1,0 +1,270 @@
+"""A persistent fork-server worker pool for parallel flow checking.
+
+The previous parallel path built a ``multiprocessing.Pool`` inside
+every ``check()`` call and shipped one task per function through the
+pool's queues.  Both ends of that were overhead: the pool spawn cost
+was paid per call, and the per-task round-trips serialised scheduling
+through a single feeder thread.  This pool inverts the design:
+
+* workers are forked **once** per elaborated context and stay warm for
+  subsequent ``check()`` calls against that context — they inherit the
+  context, the interned type tables and the warmed-up bytecode through
+  fork, so nothing is pickled on the way in;
+* the unit of communication is a **batch** (one pipe frame out with a
+  list of qualified names, one frame back with all results), sized by
+  the scheduler so each worker gets one balanced batch per call;
+* frames are length-prefixed pickles over plain ``os.pipe`` pairs —
+  no locks, no feeder threads, no shared queues.
+
+Workers look function definitions up by qualified name in the forked
+context (``ctx.fun_defs``), so the parent never serialises an AST.  A
+worker that dies or raises surfaces as :class:`WorkerCrash` carrying
+the child's traceback; the session logs it and falls back to serial,
+so a pool failure can never change the diagnostic stream.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import struct
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import check_function_diagnostics
+from ..diagnostics import Diagnostic
+
+_HEADER = struct.Struct("!I")
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker exited or raised; carries the child traceback."""
+
+    def __init__(self, message: str, child_traceback: str = ""):
+        super().__init__(message)
+        self.child_traceback = child_traceback
+
+
+def fork_available() -> bool:
+    return hasattr(os, "fork") and hasattr(os, "pipe")
+
+
+# -- framed pipe I/O ---------------------------------------------------------
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, n: int) -> Optional[bytes]:
+    parts: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = os.read(fd, remaining)
+        if not chunk:
+            return None          # EOF: the other end is gone
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def _write_frame(fd: int, obj: object) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    _write_all(fd, _HEADER.pack(len(payload)) + payload)
+
+
+def _read_frame(fd: int) -> Optional[object]:
+    header = _read_exact(fd, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    payload = _read_exact(fd, length)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+# -- the worker side ---------------------------------------------------------
+
+def _worker_loop(ctx, cmd_fd: int, result_fd: int,
+                 join_abstraction: bool, max_loop_iterations: int) -> None:
+    """Runs in the forked child until told to exit (never returns)."""
+    import traceback
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        message = _read_frame(cmd_fd)
+        if message is None or message[0] == "exit":
+            os._exit(0)
+        _tag, quals = message
+        results: List[Tuple[str, Tuple[Diagnostic, ...], float]] = []
+        qual = "<none>"
+        try:
+            for qual in quals:
+                started = time.perf_counter()
+                diags = check_function_diagnostics(
+                    ctx, qual, ctx.fun_defs[qual],
+                    join_abstraction=join_abstraction,
+                    max_loop_iterations=max_loop_iterations)
+                results.append((qual, tuple(diags),
+                                time.perf_counter() - started))
+            _write_frame(result_fd, ("ok", results))
+        except BaseException:
+            try:
+                _write_frame(result_fd,
+                             ("err", qual, traceback.format_exc()))
+            except BaseException:
+                os._exit(1)
+
+
+class _Worker:
+    __slots__ = ("pid", "cmd_fd", "result_fd")
+
+    def __init__(self, pid: int, cmd_fd: int, result_fd: int):
+        self.pid = pid
+        self.cmd_fd = cmd_fd
+        self.result_fd = result_fd
+
+
+# -- the parent side ---------------------------------------------------------
+
+class WorkerPool:
+    """``jobs`` forked checkers bound to one elaborated context.
+
+    The pool holds a strong reference to the context it was forked
+    with: the session reuses the pool only while checking against the
+    *same* context object and discards it when the context changes (an
+    edit produced a new elaboration the children have never seen).
+    """
+
+    def __init__(self, ctx, jobs: int,
+                 join_abstraction: bool, max_loop_iterations: int):
+        self.ctx = ctx
+        self.jobs = jobs
+        self.join_abstraction = join_abstraction
+        self.max_loop_iterations = max_loop_iterations
+        self._workers: List[_Worker] = []
+        self._closed = False
+        try:
+            for _ in range(jobs):
+                self._spawn_one()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn_one(self) -> None:
+        cmd_r, cmd_w = os.pipe()
+        result_r, result_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # Child: drop the parent ends — ours and every previously
+            # spawned sibling's, so a sibling's pipes see EOF as soon
+            # as the parent alone closes them.
+            try:
+                os.close(cmd_w)
+                os.close(result_r)
+                for sibling in self._workers:
+                    os.close(sibling.cmd_fd)
+                    os.close(sibling.result_fd)
+                _worker_loop(self.ctx, cmd_r, result_w,
+                             self.join_abstraction,
+                             self.max_loop_iterations)
+            finally:
+                os._exit(1)
+        os.close(cmd_r)
+        os.close(result_w)
+        self._workers.append(_Worker(pid, cmd_w, result_r))
+
+    def matches(self, ctx, jobs: int, join_abstraction: bool,
+                max_loop_iterations: int) -> bool:
+        """Can this pool serve a request with these parameters?"""
+        return (not self._closed
+                and ctx is self.ctx
+                and jobs <= len(self._workers)
+                and join_abstraction == self.join_abstraction
+                and max_loop_iterations == self.max_loop_iterations)
+
+    def close(self) -> None:
+        """Shut workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                _write_frame(worker.cmd_fd, ("exit",))
+            except OSError:
+                pass
+            for fd in (worker.cmd_fd, worker.result_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        for worker in self._workers:
+            self._reap(worker)
+        self._workers = []
+
+    @staticmethod
+    def _reap(worker: _Worker) -> None:
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                pid, _status = os.waitpid(worker.pid, os.WNOHANG)
+            except ChildProcessError:
+                return
+            if pid:
+                return
+            time.sleep(0.01)
+        try:
+            os.kill(worker.pid, signal.SIGKILL)
+            os.waitpid(worker.pid, 0)
+        except (ChildProcessError, ProcessLookupError, OSError):
+            pass
+
+    def __del__(self):  # best-effort; explicit close() is the API
+        try:
+            self.close()
+        except BaseException:
+            pass
+
+    # -- checking ------------------------------------------------------------
+
+    def check_batches(self, batches: Sequence[Sequence[str]]
+                      ) -> Dict[str, Tuple[Tuple[Diagnostic, ...], float]]:
+        """Run one batch per worker; map qual -> (diagnostics, seconds).
+
+        All command frames go out before any reply is read, so the
+        workers run concurrently; replies are then drained in worker
+        order (each worker sends exactly one frame per batch, so there
+        is nothing to poll for).
+        """
+        if self._closed:
+            raise WorkerCrash("worker pool is closed")
+        if len(batches) > len(self._workers):
+            raise WorkerCrash(
+                f"{len(batches)} batches for {len(self._workers)} workers")
+        engaged = self._workers[:len(batches)]
+        try:
+            for worker, quals in zip(engaged, batches):
+                _write_frame(worker.cmd_fd, ("batch", list(quals)))
+        except OSError as exc:
+            raise WorkerCrash(f"worker pipe write failed: {exc}") from exc
+        results: Dict[str, Tuple[Tuple[Diagnostic, ...], float]] = {}
+        for worker, quals in zip(engaged, batches):
+            reply = _read_frame(worker.result_fd)
+            if reply is None:
+                raise WorkerCrash(
+                    f"checker worker (pid {worker.pid}) exited "
+                    f"unexpectedly while checking {len(quals)} functions")
+            if reply[0] == "err":
+                _tag, qual, child_tb = reply
+                raise WorkerCrash(
+                    f"checker worker (pid {worker.pid}) crashed "
+                    f"while checking '{qual}'", child_tb)
+            for qual, diags, cost in reply[1]:
+                results[qual] = (diags, cost)
+        return results

@@ -181,8 +181,15 @@ class TestSessionEquivalence:
     def test_parallel_output_byte_identical(self, seed, error_rate):
         source = synthesize_program(30, seed=seed, error_rate=error_rate)
         expected = check_source(source, units=UNITS).render()
-        session = fresh_session(jobs=2)
-        assert session.check(source).render() == expected
+        # A zero break-even forces the worker pool even though the
+        # scheduler would stay serial for a workload this small.
+        with fresh_session(jobs=2, break_even_seconds=0.0) as session:
+            assert session.check(source).render() == expected
+            assert session.stats.parallel_runs == 1
+            # The pool persists: a second cold context against new
+            # source forks fresh workers; identical source replays.
+            assert session.check(source).render() == expected
+            assert session.stats.pool_spawns == 1
 
     def test_syntax_error_behaves_like_check_source(self):
         source = "void f() { int x = ; }"
