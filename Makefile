@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Observability smoke: `vaultc check --trace` over the examples corpus
+# (plus a forced worker pool) must emit schema-valid Chrome trace JSON
+# with one track per process.
+trace-smoke:
+	$(PYTHON) benchmarks/trace_smoke.py
 
 # Fast CI smoke: asserts jobs>1 is never a pessimisation (tiny
 # workload; the timing gate applies on multi-CPU runners, byte-identity

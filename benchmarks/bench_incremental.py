@@ -4,7 +4,9 @@ Times :class:`repro.pipeline.CheckSession` on the same 160-function
 synthetic workload as ``bench_checker_scaling.py``:
 
 * **baseline** — plain ``check_source`` (cold, no session), with a
-  per-phase breakdown (lex/parse/elaborate/check);
+  per-phase breakdown (lex/parse/elaborate/check) sourced from the
+  observability tracer's spans, so the benchmark and ``--trace``
+  report the same numbers;
 * **cold** — first ``CheckSession.check`` (fills every cache);
 * **warm** — re-checking the byte-identical source (summary replay);
 * **edit** — re-checking after a one-function edit (one summary
@@ -30,12 +32,8 @@ import time
 
 from repro import check_source
 from repro.analysis import synthesize_program
-from repro.core import build_context, check_function_diagnostics
-from repro.diagnostics import Reporter
+from repro.obs import Telemetry
 from repro.pipeline import CheckSession, fork_available
-from repro.stdlib import stdlib_context
-from repro.syntax import parse_program
-from repro.syntax.lexer import tokenize
 
 from conftest import banner
 
@@ -68,27 +66,35 @@ def _edit(source: str) -> str:
 
 
 def _phase_timings(source: str) -> dict:
-    """One serial pass with each pipeline phase timed separately."""
-    start = time.perf_counter()
-    tokenize(source)
-    lex = time.perf_counter() - start
+    """Per-phase breakdown of one cold check, read off the tracer.
 
-    start = time.perf_counter()
-    program = parse_program(source)
-    parse = time.perf_counter() - start
+    The span totals are the same data ``vaultc check --trace`` writes,
+    so the benchmark's phase numbers and a trace viewer's agree by
+    construction.
+    """
+    telemetry = Telemetry(trace=True)
+    session = CheckSession(units=UNITS, telemetry=telemetry)
+    session.check(source)
+    totals = telemetry.tracer.phase_totals()
+    return {"lex": totals.get("lex", 0.0),
+            "parse": totals.get("parse", 0.0),
+            "elaborate": totals.get("elaborate", 0.0),
+            "check": totals.get("check_function", 0.0),
+            "fingerprint": totals.get("fingerprint", 0.0)}
 
-    base, _diags = stdlib_context(tuple(UNITS))
-    start = time.perf_counter()
-    ctx = build_context([program], Reporter(), base=base)
-    elaborate = time.perf_counter() - start
 
-    start = time.perf_counter()
-    for qual, fundef in ctx.defined_functions():
-        check_function_diagnostics(ctx, qual, fundef)
-    check = time.perf_counter() - start
-
-    return {"lex": lex, "parse": parse, "elaborate": elaborate,
-            "check": check}
+def _cache_hit_rates(metrics) -> dict:
+    """Per-cache-layer hit rates from a session's metrics registry."""
+    snapshot = metrics.snapshot()
+    rates = {}
+    for layer in ("chunk_ast", "context", "summary", "stdlib_base",
+                  "unit_replay"):
+        hits = snapshot.get(f"cache.{layer}.hits", {}).get("value", 0)
+        misses = snapshot.get(f"cache.{layer}.misses", {}).get("value", 0)
+        if hits + misses:
+            rates[layer] = {"hits": hits, "misses": misses,
+                            "rate": hits / (hits + misses)}
+    return rates
 
 
 def _measure():
@@ -102,7 +108,7 @@ def _measure():
 
     phases = _phase_timings(source)
 
-    session = CheckSession(units=UNITS)
+    session = CheckSession(units=UNITS, telemetry=Telemetry(metrics=True))
     start = time.perf_counter()
     cold_report = session.check(source)
     cold = time.perf_counter() - start
@@ -115,6 +121,7 @@ def _measure():
     session.check(_edit(source))
     edit = time.perf_counter() - start
     edited_functions = list(session.stats.last_checked)
+    cache_hit_rates = _cache_hit_rates(session.telemetry.metrics)
 
     rendered = baseline_report.render()
     assert cold_report.render() == rendered, "session must match check_source"
@@ -183,6 +190,7 @@ def _measure():
                 small_serial / small_parallel if small_parallel
                 else float("inf"),
         },
+        "cache_hit_rates": cache_hit_rates,
         "parallel_skipped": parallel_skipped,
         "small_workload_forked_workers": small_forked,
         "edit_rechecked": edited_functions,
@@ -210,6 +218,9 @@ def test_incremental_pipeline(benchmark):
         f"one-function edit          {sec['edit_one_function'] * 1000:8.1f} ms"
         f"  ({speed['edit_vs_cold']:.1f}x, re-checked "
         f"{result['edit_rechecked']})",
+        "cache hit rates (cold+warm+edit): " + ", ".join(
+            f"{layer} {data['rate']:.0%}"
+            for layer, data in sorted(result["cache_hit_rates"].items())),
     ]
 
     # Warm replay must beat a cold check by a wide margin everywhere.

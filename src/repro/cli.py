@@ -46,12 +46,30 @@ def _parse_jobs(value: str) -> "int | str":
 
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    if args.jobs != 1 or args.cache or args.profile:
+    instrumented = args.trace or args.metrics
+    if args.jobs != 1 or args.cache or args.profile or instrumented \
+            or args.break_even is not None:
+        from .obs import Telemetry
         from .pipeline import CheckSession
-        with CheckSession(jobs=args.jobs, cache_dir=args.cache) as session:
-            report = session.check(source, filename=args.file)
+        from .pipeline.scheduler import BREAK_EVEN_SECONDS
+        telemetry = Telemetry(trace=bool(args.trace),
+                              metrics=bool(args.metrics))
+        break_even = BREAK_EVEN_SECONDS if args.break_even is None \
+            else args.break_even / 1000.0
+        with CheckSession(jobs=args.jobs, cache_dir=args.cache,
+                          telemetry=telemetry,
+                          break_even_seconds=break_even) as session:
+            try:
+                report = session.check(source, filename=args.file)
+            finally:
+                # The trace is most valuable for the run that failed:
+                # write whatever was recorded even on a crash.
+                if args.trace:
+                    telemetry.tracer.export(args.trace)
             if args.profile:
                 _print_profile(session, file=sys.stderr)
+            if args.metrics:
+                _write_metrics(telemetry, args.metrics)
     else:
         report = check_source(source, filename=args.file)
     if report.ok:
@@ -60,6 +78,19 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(report.render())
     print(f"{args.file}: {len(report.errors)} error(s)")
     return 1
+
+
+def _write_metrics(telemetry, destination: str) -> None:
+    """``--metrics -`` renders a table to stderr; any other value is
+    a path that receives the snapshot as JSON."""
+    if destination == "-":
+        print("metrics:", file=sys.stderr)
+        print(telemetry.metrics.render(), file=sys.stderr)
+        return
+    import json
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(telemetry.metrics.snapshot(), handle, indent=2)
+        handle.write("\n")
 
 
 def _print_profile(session, file) -> int:
@@ -155,6 +186,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(format_table(
             ["function", "blocks", "edges", "loops", "unreachable"],
             cfg_rows))
+
+    # A metrics-instrumented check of the same file: the session's
+    # telemetry snapshot (cache traffic, scheduler verdict, diagnostic
+    # code counts) as one more stats table.
+    from .obs import Telemetry
+    from .pipeline import CheckSession
+    telemetry = Telemetry(metrics=True)
+    with CheckSession(telemetry=telemetry) as session:
+        session.check(source, filename=args.file)
+    metric_rows = [[name, value]
+                   for name, value in telemetry.metrics.render_rows()]
+    if metric_rows:
+        print()
+        print("checker metrics (one cold check):")
+        print(format_table(["metric", "value"], metric_rows))
     return 0
 
 
@@ -218,6 +264,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print phase timings and the scheduler's "
                         "verdict to stderr")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record a span trace of the check and write "
+                        "Chrome trace-event JSON to FILE (load it in "
+                        "chrome://tracing or ui.perfetto.dev; pool "
+                        "workers appear as separate tracks)")
+    p.add_argument("--metrics", default=None, metavar="FILE|-",
+                   help="record pipeline metrics (cache hit rates, "
+                        "scheduler verdicts, diagnostic-code counts); "
+                        "'-' prints a table to stderr, anything else "
+                        "is a path that receives JSON")
+    p.add_argument("--break-even", type=float, default=None, metavar="MS",
+                   help="override the scheduler's break-even threshold "
+                        "in milliseconds (0 forces the worker pool; "
+                        "default 50)")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("run", help="check then interpret a file")

@@ -1,0 +1,84 @@
+"""A structured event log — the pipeline's and runtime monitor's bus.
+
+Anything that used to be a bare ``print(..., file=sys.stderr)`` —
+worker crashes above all — becomes an :class:`Event`: a kind, a
+human-readable message, and a dict of structured fields (child pid,
+batch function names, tracebacks) that stay queryable after the run.
+The runtime :class:`~repro.runtime.monitor.KeyMonitor` publishes its
+key mints/transitions/leaks on the same bus, so one event stream holds
+both the static checker's operational record and the dynamic monitor's
+protocol record — the paper's static-vs-dynamic cost comparison read
+off a single log.
+
+Events are plain picklable data; pool workers ship theirs back to the
+parent in the result frames they already send.  Subscribers (callbacks
+taking one :class:`Event`) see events as they are emitted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+#: cap on retained records; the oldest half is dropped on overflow so
+#: a long-lived session cannot grow without bound.
+_MAX_RECORDS = 8192
+
+
+@dataclass
+class Event:
+    """One structured record."""
+
+    kind: str
+    message: str
+    fields: Dict[str, object] = field(default_factory=dict)
+    ts: float = 0.0
+    pid: int = 0
+
+    def render(self) -> str:
+        extras = " ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items())
+                          if k != "traceback")
+        return f"[{self.kind}] {self.message}" + (f" ({extras})" if extras
+                                                  else "")
+
+
+class EventLog:
+    """An append-only event record with subscribers."""
+
+    def __init__(self) -> None:
+        self.records: List[Event] = []
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    def emit(self, kind: str, message: str = "", **fields) -> Event:
+        event = Event(kind, message, fields, ts=time.time(), pid=os.getpid())
+        self._record(event)
+        return event
+
+    def _record(self, event: Event) -> None:
+        if len(self.records) >= _MAX_RECORDS:
+            del self.records[:_MAX_RECORDS // 2]
+        self.records.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.append(callback)
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.records if e.kind == kind]
+
+    # -- cross-process hand-off ----------------------------------------------
+
+    def drain(self) -> List[Event]:
+        """Take (and clear) the records — the worker side of the pool
+        protocol."""
+        records, self.records = self.records, []
+        return records
+
+    def absorb(self, records: List[Event]) -> None:
+        """Merge events recorded by another process (subscribers fire
+        for each, same as a local emit)."""
+        for event in records:
+            self._record(event)

@@ -1,0 +1,240 @@
+"""A span-based tracer exporting Chrome trace-event JSON.
+
+The checker's phases (lex → parse → elaborate → check), per-function
+flow checks, scheduler decisions and worker-pool round-trips are
+wrapped in **spans**; a finished trace loads directly into
+``chrome://tracing`` or https://ui.perfetto.dev.  Design constraints:
+
+* **zero overhead when disabled** — callsites hold a
+  :data:`NULL_TRACER` singleton whose ``span``/``instant`` are no-ops
+  returning a shared null context manager, and hot paths may guard on
+  ``tracer.enabled`` (a plain attribute) before building span
+  arguments;
+* **fork-safe timestamps** — events are stamped with
+  ``time.perf_counter()`` (CLOCK_MONOTONIC on the platforms the worker
+  pool exists on), so spans recorded in forked pool workers line up
+  with the parent's timeline without any clock hand-off;
+* **one track per process** — each event carries the recording
+  process's pid, which the trace viewers render as separate tracks;
+  workers :meth:`~Tracer.drain` their events into the result frames
+  they already send (see :mod:`repro.pipeline.workers`) and the parent
+  :meth:`~Tracer.absorb`\\ s them.
+
+The module also owns the *active tracer*: instrumented code deep in
+the pipeline (the parser's lex/parse phases, for instance) fetches the
+tracer installed by the enclosing :class:`~repro.pipeline.CheckSession`
+via :func:`current_tracer` instead of threading it through every
+signature.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: event fields every exporter consumer relies on (the trace-smoke
+#: schema check validates these).
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid")
+
+
+class _NullSpan:
+    """The shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; emits a complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[dict]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        now = time.perf_counter()
+        self._tracer._complete(self.name, self._start, now, self.args)
+        return False
+
+
+class Tracer:
+    """Records trace events for one process.
+
+    ``span(name, **args)`` is a context manager timing one operation;
+    ``instant(name, **args)`` marks a point in time.  ``export(path)``
+    writes the Chrome trace-event JSON object format.
+    """
+
+    enabled = True
+
+    def __init__(self, process_name: str = "vaultc",
+                 pid: Optional[int] = None):
+        self.process_name = process_name
+        self.pid = pid if pid is not None else os.getpid()
+        self.events: List[dict] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **args) -> _Span:
+        return _Span(self, name, args or None)
+
+    def instant(self, name: str, **args) -> None:
+        event = {"name": name, "ph": "i", "s": "p",
+                 "ts": time.perf_counter() * 1e6,
+                 "pid": self.pid, "tid": 0}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def _complete(self, name: str, start: float, end: float,
+                  args: Optional[dict]) -> None:
+        event = {"name": name, "ph": "X",
+                 "ts": start * 1e6, "dur": (end - start) * 1e6,
+                 "pid": self.pid, "tid": 0}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def _append(self, event: dict) -> None:
+        if not self.events:
+            self.events.append({"name": "process_name", "ph": "M", "ts": 0,
+                                "pid": self.pid, "tid": 0,
+                                "args": {"name": self.process_name}})
+        self.events.append(event)
+
+    # -- cross-process hand-off ----------------------------------------------
+
+    def drain(self) -> List[dict]:
+        """Take (and clear) the recorded events — the worker side of
+        the pool protocol ships these back in its result frames."""
+        events, self.events = self.events, []
+        return events
+
+    def absorb(self, events: List[dict]) -> None:
+        """Merge events recorded by another process (its pid keeps its
+        spans on a separate track)."""
+        if events:
+            if not self.events:
+                self._append(events[0])
+                events = events[1:]
+            self.events.extend(events)
+
+    # -- reporting -----------------------------------------------------------
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total seconds per span name, summed over all tracks."""
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            if event.get("ph") == "X":
+                name = event["name"]
+                totals[name] = totals.get(name, 0.0) \
+                    + event.get("dur", 0.0) / 1e6
+        return totals
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+            handle.write("\n")
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    events: tuple = ()
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, **args) -> None:
+        pass
+
+    def drain(self) -> List[dict]:
+        return []
+
+    def absorb(self, events: List[dict]) -> None:
+        pass
+
+    def phase_totals(self) -> Dict[str, float]:
+        return {}
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> None:
+        raise RuntimeError("cannot export a trace: tracing is disabled")
+
+
+NULL_TRACER = NullTracer()
+
+#: the tracer instrumented library code reports to; installed by the
+#: session (or any caller) via :func:`activate`.
+_ACTIVE: "Tracer | NullTracer" = NULL_TRACER
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    return _ACTIVE
+
+
+@contextmanager
+def activate(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]:
+    """Install ``tracer`` as the process's active tracer for the
+    duration of the block (restores the previous one on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Schema-check a Chrome trace object; returns the violations.
+
+    Used by the trace-smoke gate and the CLI tests: every event must
+    carry :data:`REQUIRED_EVENT_KEYS`, phases must be known, and
+    complete events need a non-negative duration.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["top level must be an object with a 'traceEvents' list"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"event {i}: missing required key {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M", "C"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+        if ph == "X" and event.get("dur", 0) < 0:
+            problems.append(f"event {i}: negative duration")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"event {i}: pid must be an integer")
+    return problems

@@ -42,7 +42,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core import build_context, check_function_diagnostics
 from ..core.checker import MAX_LOOP_ITERATIONS
 from ..diagnostics import Diagnostic, Reporter, VaultError
+from ..obs import Telemetry
+from ..obs.trace import activate as activate_tracer
 from ..stdlib import stdlib_context, stdlib_source
+from ..stdlib.loader import base_context_cache_info
 from ..syntax import ast, parse_program
 from .chunks import Chunk, ChunkError, split_chunks
 from .fingerprint import function_fingerprint
@@ -154,7 +157,8 @@ class CheckSession:
                  cache_dir: Optional[str] = None,
                  join_abstraction: bool = True,
                  max_loop_iterations: int = MAX_LOOP_ITERATIONS,
-                 break_even_seconds: float = BREAK_EVEN_SECONDS):
+                 break_even_seconds: float = BREAK_EVEN_SECONDS,
+                 telemetry: Optional[Telemetry] = None):
         self.stdlib = stdlib
         self.units = tuple(units) if units is not None else None
         self.jobs = self._resolve_jobs(jobs)
@@ -163,9 +167,11 @@ class CheckSession:
         self.max_loop_iterations = max_loop_iterations
         self.break_even_seconds = break_even_seconds
         self.stats = SessionStats()
-        #: phase timings and the scheduler's verdict for the most
-        #: recent ``check`` call (the CLI's ``--profile`` output).
-        self.last_profile: Dict[str, object] = {}
+        #: the session's observability bundle; ``Telemetry()`` (the
+        #: default) records nothing beyond rare events — pass
+        #: ``Telemetry(trace=True, metrics=True)`` to instrument.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.stats = self.stats
         self._ast_cache: Dict[Tuple[str, int, int], ast.Program] = {}
         self._ctx_cache: Dict[tuple, _CtxEntry] = {}
         self._summaries: Dict[str, _Summary] = {}
@@ -181,6 +187,13 @@ class CheckSession:
             return resolve_jobs(jobs)
         return max(1, int(jobs))
 
+    @property
+    def last_profile(self) -> Dict[str, object]:
+        """Phase timings and the scheduler's verdict for the most
+        recent ``check`` call (compatibility shim; the data lives on
+        :attr:`telemetry`)."""
+        return self.telemetry.profile
+
     # -- public API --------------------------------------------------------
 
     def check(self, source: str, filename: str = "<input>",
@@ -189,36 +202,80 @@ class CheckSession:
         self.stats.last_checked = []
         self.stats.last_replayed = []
         self.stats.checks += 1
-        self.last_profile = {}
+        self.telemetry.profile = {}
+        profile = self.telemetry.profile
         started = time.perf_counter()
+        tracer = self.telemetry.tracer
+        try:
+            with activate_tracer(tracer), \
+                    tracer.span("check_unit", filename=filename):
+                return self._check_inner(source, filename, jobs, profile,
+                                         started)
+        except BaseException as exc:
+            # A crash mid-check must not masquerade as a clean (empty)
+            # profile: mark it, so post-hoc consumers can tell a
+            # partial record from a fast one.
+            profile["aborted"] = True
+            profile["error"] = f"{type(exc).__name__}: {exc}"
+            self.telemetry.events.emit(
+                "check_aborted", f"check of {filename} raised: {exc}",
+                filename=filename, error=profile["error"])
+            raise
+        finally:
+            profile["total_seconds"] = time.perf_counter() - started
+
+    def _check_inner(self, source: str, filename: str,
+                     jobs: Optional[Union[int, str]],
+                     profile: Dict[str, object],
+                     started: float) -> Reporter:
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         reporter = Reporter(source, filename)
         base = None
         if self.stdlib:
-            base, base_diags = stdlib_context(self.units)
+            with tracer.span("stdlib_base"):
+                builds_before = base_context_cache_info().misses
+                base, base_diags = stdlib_context(self.units)
+            if metrics.enabled:
+                if base_context_cache_info().misses == builds_before:
+                    metrics.counter("cache.stdlib_base.hits").inc()
+                else:
+                    metrics.counter("cache.stdlib_base.misses").inc()
             reporter.diagnostics.extend(base_diags)
         entry = self._context_for(source, filename, base)
-        self.last_profile["context_seconds"] = time.perf_counter() - started
+        profile["context_seconds"] = time.perf_counter() - started
         reporter.diagnostics.extend(entry.diags)
         if not reporter.ok:
-            return reporter
+            return self._finish(reporter)
         if entry.fn_results is not None:
             for qual, diags in entry.fn_results:
                 reporter.diagnostics.extend(diags)
             self.stats.last_replayed = [q for q, _ in entry.fn_results]
             self.stats.functions_replayed += len(entry.fn_results)
-            self.last_profile["plan"] = "replayed whole unit"
-            return reporter
+            if metrics.enabled:
+                metrics.counter("cache.unit_replay.hits").inc(
+                    len(entry.fn_results))
+            profile["plan"] = "replayed whole unit"
+            return self._finish(reporter)
         check_started = time.perf_counter()
-        results = self._check_functions(
-            entry.ctx, source, filename,
-            self.jobs if jobs is None else self._resolve_jobs(jobs))
-        self.last_profile["check_seconds"] = \
-            time.perf_counter() - check_started
+        with tracer.span("check_functions"):
+            results = self._check_functions(
+                entry.ctx, source, filename,
+                self.jobs if jobs is None else self._resolve_jobs(jobs))
+        profile["check_seconds"] = time.perf_counter() - check_started
         entry.fn_results = results
         for qual, diags in results:
             reporter.diagnostics.extend(diags)
         if self.cache_dir:
             self._save_cache()
+        return self._finish(reporter)
+
+    def _finish(self, reporter: Reporter) -> Reporter:
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            for diag in reporter.diagnostics:
+                metrics.counter(
+                    f"diagnostics.{diag.code.value}").inc()
         return reporter
 
     def render_check(self, source: str, filename: str = "<input>",
@@ -242,10 +299,12 @@ class CheckSession:
     # -- context construction ----------------------------------------------
 
     def _context_for(self, source: str, filename: str, base) -> _CtxEntry:
-        try:
-            chunks = split_chunks(source)
-        except ChunkError:
-            chunks = None
+        metrics = self.telemetry.metrics
+        with self.telemetry.tracer.span("split_chunks"):
+            try:
+                chunks = split_chunks(source)
+            except ChunkError:
+                chunks = None
         if chunks:
             key: tuple = (filename, self.units, self.stdlib,
                           tuple((_sha(c.text), c.start_line, c.start_col)
@@ -255,11 +314,16 @@ class CheckSession:
         entry = self._ctx_cache.get(key)
         if entry is not None:
             self.stats.context_hits += 1
+            if metrics.enabled:
+                metrics.counter("cache.context.hits").inc()
             return entry
         self.stats.context_misses += 1
+        if metrics.enabled:
+            metrics.counter("cache.context.misses").inc()
         programs = self._parse(source, filename, chunks)
         sub = Reporter()
-        ctx = build_context(programs, sub, base=base)
+        with self.telemetry.tracer.span("elaborate"):
+            ctx = build_context(programs, sub, base=base)
         entry = _CtxEntry(ctx, tuple(sub.diagnostics))
         if len(self._ctx_cache) >= _MAX_CONTEXTS:
             self._evict(self._ctx_cache)
@@ -268,6 +332,7 @@ class CheckSession:
 
     def _parse(self, source: str, filename: str,
                chunks: Optional[List[Chunk]]) -> List[ast.Program]:
+        metrics = self.telemetry.metrics
         if not chunks:
             self.stats.whole_parses += 1
             return [parse_program(source, filename)]
@@ -281,11 +346,15 @@ class CheckSession:
                                          first_line=chunk.start_line,
                                          first_col=chunk.start_col)
                     self.stats.chunk_parses += 1
+                    if metrics.enabled:
+                        metrics.counter("cache.chunk_ast.misses").inc()
                     if len(self._ast_cache) >= _MAX_CHUNK_ASTS:
                         self._evict(self._ast_cache)
                     self._ast_cache[ckey] = prog
                 else:
                     self.stats.chunk_hits += 1
+                    if metrics.enabled:
+                        metrics.counter("cache.chunk_ast.hits").inc()
                 programs.append(prog)
         except VaultError:
             # A chunk the scanner mis-split (or a genuine syntax
@@ -305,24 +374,33 @@ class CheckSession:
     def _check_functions(self, ctx, source: str, filename: str, jobs: int
                          ) -> List[Tuple[str, Tuple[Diagnostic, ...]]]:
         """Diagnostics per function, in serial (sorted-qual) order."""
+        metrics = self.telemetry.metrics
         fn_items = ctx.defined_functions()
         results: Dict[str, Tuple[Diagnostic, ...]] = {}
         to_check: List[Tuple[str, ast.FunDef, str]] = []  # qual, def, fp
         source_lines = source.splitlines()
-        for qual, fundef in fn_items:
-            fp = function_fingerprint(
-                ctx, qual, fundef,
-                self._own_text(fundef, source_lines, filename))
-            summary = self._summaries.get(fp)
-            cached = summary.lookup(fundef.span.filename,
-                                    fundef.span.start.line) \
-                if summary is not None else None
-            if cached is not None:
-                results[qual] = cached
-                self.stats.last_replayed.append(qual)
-                self.stats.functions_replayed += 1
-            else:
-                to_check.append((qual, fundef, fp))
+        with self.telemetry.tracer.span("fingerprint",
+                                        functions=len(fn_items)):
+            for qual, fundef in fn_items:
+                fp = function_fingerprint(
+                    ctx, qual, fundef,
+                    self._own_text(fundef, source_lines, filename))
+                summary = self._summaries.get(fp)
+                cached = summary.lookup(fundef.span.filename,
+                                        fundef.span.start.line) \
+                    if summary is not None else None
+                if cached is not None:
+                    results[qual] = cached
+                    self.stats.last_replayed.append(qual)
+                    self.stats.functions_replayed += 1
+                else:
+                    to_check.append((qual, fundef, fp))
+        if metrics.enabled:
+            replayed = len(fn_items) - len(to_check)
+            if replayed:
+                metrics.counter("cache.summary.hits").inc(replayed)
+            if to_check:
+                metrics.counter("cache.summary.misses").inc(len(to_check))
         if to_check:
             checked = self._run_checks(ctx, to_check, jobs)
             for (qual, fundef, fp), diags in zip(to_check, checked):
@@ -335,17 +413,23 @@ class CheckSession:
 
     def _run_checks(self, ctx, to_check, jobs: int
                     ) -> List[Tuple[Diagnostic, ...]]:
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         effective_jobs = jobs if fork_available() else 1
         if self.break_even_seconds > 0 and available_cpus() < 2:
             # Workers would time-slice a single core: parallelism can
             # only lose.  (A zero break-even forces the pool anyway —
             # the tests' escape hatch for exercising the protocol.)
             effective_jobs = 1
-        sched = plan_batches([(qual, fundef) for qual, fundef, _fp in
-                              to_check],
-                             effective_jobs, self._cost_by_qual,
-                             self.break_even_seconds)
+        with tracer.span("schedule", functions=len(to_check),
+                         jobs=effective_jobs):
+            sched = plan_batches([(qual, fundef) for qual, fundef, _fp in
+                                  to_check],
+                                 effective_jobs, self._cost_by_qual,
+                                 self.break_even_seconds)
         self.last_profile["plan"] = sched.describe()
+        if metrics.enabled:
+            self._record_plan_metrics(sched)
         if sched.parallel:
             try:
                 return self._run_parallel(ctx, to_check, sched, jobs)
@@ -355,6 +439,12 @@ class CheckSession:
                 # not vanish either: warn, and surface the child
                 # traceback when there is one.
                 self.stats.serial_fallbacks += 1
+                if metrics.enabled:
+                    metrics.counter("workers.serial_fallbacks").inc()
+                self.telemetry.events.emit(
+                    "serial_fallback",
+                    f"parallel checking failed ({exc}); "
+                    f"falling back to serial", error=str(exc))
                 print(f"repro: parallel checking failed ({exc}); "
                       f"falling back to serial", file=sys.stderr)
                 child_tb = getattr(exc, "child_traceback", "")
@@ -364,16 +454,38 @@ class CheckSession:
         out: List[Tuple[Diagnostic, ...]] = []
         for qual, fundef, _fp in to_check:
             started = time.perf_counter()
-            diags = tuple(check_function_diagnostics(
-                ctx, qual, fundef,
-                join_abstraction=self.join_abstraction,
-                max_loop_iterations=self.max_loop_iterations))
-            self._cost_by_qual[qual] = time.perf_counter() - started
+            with tracer.span("check_function", function=qual):
+                diags = tuple(check_function_diagnostics(
+                    ctx, qual, fundef,
+                    join_abstraction=self.join_abstraction,
+                    max_loop_iterations=self.max_loop_iterations))
+            cost = time.perf_counter() - started
+            self._cost_by_qual[qual] = cost
+            if metrics.enabled:
+                metrics.histogram("check.function_seconds").observe(cost)
             out.append(diags)
         return out
 
+    def _record_plan_metrics(self, sched) -> None:
+        metrics = self.telemetry.metrics
+        if sched.parallel:
+            metrics.counter("scheduler.parallel_plans").inc()
+            metrics.counter("scheduler.batches").inc(len(sched.batches))
+            loads = sched.batch_costs
+            if loads and min(loads) > 0:
+                from ..obs.metrics import RATIO_BUCKETS
+                metrics.histogram("scheduler.batch_skew",
+                                  RATIO_BUCKETS).observe(
+                    max(loads) / min(loads))
+        elif "break-even" in sched.reason:
+            metrics.counter("scheduler.break_even_serial").inc()
+        else:
+            metrics.counter("scheduler.serial_plans").inc()
+
     def _run_parallel(self, ctx, to_check, sched, jobs: int
                       ) -> List[Tuple[Diagnostic, ...]]:
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         pool = self._pool
         if pool is None or not pool.matches(ctx, len(sched.batches),
                                             self.join_abstraction,
@@ -383,13 +495,18 @@ class CheckSession:
             # Spawn the full requested width even when this plan has
             # fewer batches: the pool persists, and a later (larger)
             # check against the same context reuses it as-is.
-            pool = WorkerPool(ctx, jobs, self.join_abstraction,
-                              self.max_loop_iterations)
+            with tracer.span("pool_spawn", jobs=jobs):
+                pool = WorkerPool(ctx, jobs, self.join_abstraction,
+                                  self.max_loop_iterations,
+                                  telemetry=self.telemetry)
             self._pool = pool
             self.stats.pool_spawns += 1
+            if metrics.enabled:
+                metrics.counter("workers.pool_spawns").inc()
         batches = [[to_check[i][0] for i in batch]
                    for batch in sched.batches]
-        result_map = pool.check_batches(batches)
+        with tracer.span("pool_round_trip", batches=len(batches)):
+            result_map = pool.check_batches(batches)
         if len(result_map) != len(to_check):
             raise WorkerCrash(
                 f"workers returned {len(result_map)} results "
@@ -399,6 +516,8 @@ class CheckSession:
         for qual, _fundef, _fp in to_check:
             diags, cost = result_map[qual]
             self._cost_by_qual[qual] = cost
+            if metrics.enabled:
+                metrics.histogram("check.function_seconds").observe(cost)
             out.append(diags)
         return out
 

@@ -19,8 +19,16 @@ through a single feeder thread.  This pool inverts the design:
 Workers look function definitions up by qualified name in the forked
 context (``ctx.fun_defs``), so the parent never serialises an AST.  A
 worker that dies or raises surfaces as :class:`WorkerCrash` carrying
-the child's traceback; the session logs it and falls back to serial,
-so a pool failure can never change the diagnostic stream.
+the child's traceback; the pool publishes a structured
+``worker_crash`` event (child pid, batch function names, traceback)
+on the session's event log, and the session falls back to serial, so
+a pool failure can never change the diagnostic stream.
+
+When the session's telemetry is enabled, each worker records its own
+spans (per-function ``check_function``) and metric deltas and ships
+them back as a third element of the ``ok`` result frame; the parent
+absorbs them, so one Chrome trace shows the main process and every
+worker as separate pid tracks.
 """
 
 from __future__ import annotations
@@ -34,6 +42,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import check_function_diagnostics
 from ..diagnostics import Diagnostic
+from ..obs import (EventLog, MetricsRegistry, NULL_METRICS, NULL_TRACER,
+                   Telemetry, Tracer)
+from ..obs.trace import activate as activate_tracer
 
 _HEADER = struct.Struct("!I")
 
@@ -90,34 +101,53 @@ def _read_frame(fd: int) -> Optional[object]:
 # -- the worker side ---------------------------------------------------------
 
 def _worker_loop(ctx, cmd_fd: int, result_fd: int,
-                 join_abstraction: bool, max_loop_iterations: int) -> None:
+                 join_abstraction: bool, max_loop_iterations: int,
+                 trace: bool, metrics_on: bool) -> None:
     """Runs in the forked child until told to exit (never returns)."""
     import traceback
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    while True:
-        message = _read_frame(cmd_fd)
-        if message is None or message[0] == "exit":
-            os._exit(0)
-        _tag, quals = message
-        results: List[Tuple[str, Tuple[Diagnostic, ...], float]] = []
-        qual = "<none>"
-        try:
-            for qual in quals:
-                started = time.perf_counter()
-                diags = check_function_diagnostics(
-                    ctx, qual, ctx.fun_defs[qual],
-                    join_abstraction=join_abstraction,
-                    max_loop_iterations=max_loop_iterations)
-                results.append((qual, tuple(diags),
-                                time.perf_counter() - started))
-            _write_frame(result_fd, ("ok", results))
-        except BaseException:
+    pid = os.getpid()
+    tracer = Tracer(process_name=f"checker worker {pid}") if trace \
+        else NULL_TRACER
+    metrics = MetricsRegistry() if metrics_on else NULL_METRICS
+    events = EventLog()
+    with activate_tracer(tracer):
+        while True:
+            message = _read_frame(cmd_fd)
+            if message is None or message[0] == "exit":
+                os._exit(0)
+            _tag, quals = message
+            results: List[Tuple[str, Tuple[Diagnostic, ...], float]] = []
+            qual = "<none>"
             try:
-                _write_frame(result_fd,
-                             ("err", qual, traceback.format_exc()))
+                with tracer.span("worker_batch", functions=len(quals)):
+                    for qual in quals:
+                        started = time.perf_counter()
+                        with tracer.span("check_function", function=qual):
+                            diags = check_function_diagnostics(
+                                ctx, qual, ctx.fun_defs[qual],
+                                join_abstraction=join_abstraction,
+                                max_loop_iterations=max_loop_iterations)
+                        cost = time.perf_counter() - started
+                        if metrics.enabled:
+                            metrics.counter(
+                                "workers.functions_checked").inc()
+                            metrics.histogram(
+                                "check.function_seconds").observe(cost)
+                        results.append((qual, tuple(diags), cost))
+                obs = None
+                if trace or metrics_on or events.records:
+                    obs = {"events": events.drain(),
+                           "spans": tracer.drain(),
+                           "metrics": metrics.drain()}
+                _write_frame(result_fd, ("ok", results, obs))
             except BaseException:
-                os._exit(1)
+                try:
+                    _write_frame(result_fd,
+                                 ("err", qual, traceback.format_exc()))
+                except BaseException:
+                    os._exit(1)
 
 
 class _Worker:
@@ -141,11 +171,13 @@ class WorkerPool:
     """
 
     def __init__(self, ctx, jobs: int,
-                 join_abstraction: bool, max_loop_iterations: int):
+                 join_abstraction: bool, max_loop_iterations: int,
+                 telemetry: Optional[Telemetry] = None):
         self.ctx = ctx
         self.jobs = jobs
         self.join_abstraction = join_abstraction
         self.max_loop_iterations = max_loop_iterations
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._workers: List[_Worker] = []
         self._closed = False
         try:
@@ -173,7 +205,9 @@ class WorkerPool:
                     os.close(sibling.result_fd)
                 _worker_loop(self.ctx, cmd_r, result_w,
                              self.join_abstraction,
-                             self.max_loop_iterations)
+                             self.max_loop_iterations,
+                             self.telemetry.tracer.enabled,
+                             self.telemetry.metrics.enabled)
             finally:
                 os._exit(1)
         os.close(cmd_r)
@@ -257,14 +291,35 @@ class WorkerPool:
         for worker, quals in zip(engaged, batches):
             reply = _read_frame(worker.result_fd)
             if reply is None:
+                self._crash_event(worker.pid, quals, "",
+                                  "worker exited unexpectedly")
                 raise WorkerCrash(
                     f"checker worker (pid {worker.pid}) exited "
                     f"unexpectedly while checking {len(quals)} functions")
             if reply[0] == "err":
                 _tag, qual, child_tb = reply
+                self._crash_event(worker.pid, quals, child_tb,
+                                  f"worker raised while checking '{qual}'")
                 raise WorkerCrash(
                     f"checker worker (pid {worker.pid}) crashed "
                     f"while checking '{qual}'", child_tb)
             for qual, diags, cost in reply[1]:
                 results[qual] = (diags, cost)
+            obs = reply[2] if len(reply) > 2 else None
+            if obs:
+                self.telemetry.events.absorb(obs.get("events") or [])
+                self.telemetry.tracer.absorb(obs.get("spans") or [])
+                self.telemetry.metrics.merge(obs.get("metrics"))
         return results
+
+    def _crash_event(self, pid: int, quals: Sequence[str],
+                     child_traceback: str, reason: str) -> None:
+        """Publish a structured record of a worker failure — the
+        post-hoc attribution the old bare stderr warning lacked."""
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("workers.crashes").inc()
+        self.telemetry.events.emit(
+            "worker_crash",
+            f"checker worker (pid {pid}) failed: {reason}",
+            pid=pid, functions=list(quals), reason=reason,
+            traceback=child_traceback)

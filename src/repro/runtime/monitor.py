@@ -18,6 +18,14 @@ Violations raise :class:`~repro.diagnostics.RuntimeProtocolError` with
 the corresponding ``RT_*`` code.  Compared to the static checker the
 monitor is *late* (the fault must execute) and *costly* (every call
 pays bookkeeping) — the two costs the paper's approach eliminates.
+
+The monitor publishes its lifecycle on an :class:`~repro.obs.EventLog`
+(``key_mint`` / ``key_transition`` / ``key_consume`` / ``key_leak``);
+pass the same bus a :class:`~repro.pipeline.CheckSession`'s telemetry
+uses and the static checker's operational record and the dynamic
+monitor's protocol record land in one queryable stream.  Each key
+remembers the Vault function executing when it was minted, so a leak
+report names the function that created the leaked resource.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from ..core import (AnyState, AtMostState, CoreEffect, ExactState,
                     strip_guards)
 from ..core.keys import DEFAULT_STATE
 from ..diagnostics import Code, RuntimeProtocolError
+from ..obs import EventLog
 from .interp import Interpreter
 from .values import VHandle, VStruct
 
@@ -44,29 +53,59 @@ class RuntimeKey:
     id: int
     label: str
     state: str
+    #: the Vault function executing when the key was minted (leak
+    #: reports attribute the leaked resource to its creator).
+    origin: Optional[str] = None
 
     def __repr__(self) -> str:
         return f"rtkey{self.id}:{self.label}@{self.state}"
+
+    def describe(self) -> str:
+        if self.origin:
+            return f"{self!r} (created in {self.origin})"
+        return repr(self)
 
 
 class KeyMonitor:
     """The run-time held-key table."""
 
-    def __init__(self, statespace) -> None:
+    def __init__(self, statespace,
+                 events: Optional[EventLog] = None) -> None:
         self.statespace = statespace
         self.held: Dict[int, RuntimeKey] = {}
         #: id(resource) -> RuntimeKey (alive or not)
         self._by_resource: Dict[int, RuntimeKey] = {}
         self.violations: List[str] = []
         self.checks = 0
+        #: the shared observability bus key lifecycle events go to.
+        self.events = events if events is not None else EventLog()
+        #: stack of Vault function names currently executing (the
+        #: monitored interpreter pushes/pops around defined calls).
+        self._fn_stack: List[str] = []
+
+    # -- execution context --------------------------------------------------
+
+    @property
+    def current_function(self) -> Optional[str]:
+        return self._fn_stack[-1] if self._fn_stack else None
+
+    def enter_function(self, name: str) -> None:
+        self._fn_stack.append(name)
+
+    def exit_function(self) -> None:
+        if self._fn_stack:
+            self._fn_stack.pop()
 
     # -- key lifecycle ------------------------------------------------------
 
     def mint(self, resource: Any, label: str,
              state: str = DEFAULT_STATE) -> RuntimeKey:
-        key = RuntimeKey(next(_rt_key_ids), label, state)
+        key = RuntimeKey(next(_rt_key_ids), label, state,
+                         origin=self.current_function)
         self.held[key.id] = key
         self._by_resource[id(resource)] = key
+        self.events.emit("key_mint", f"minted {key!r}", key_id=key.id,
+                         label=label, state=state, origin=key.origin)
         return key
 
     def key_of(self, resource: Any) -> Optional[RuntimeKey]:
@@ -109,6 +148,9 @@ class KeyMonitor:
             self._fail(Code.RT_DOUBLE_FREE,
                        f"{what}: key {key!r} consumed twice")
         del self.held[key.id]
+        self.events.emit("key_consume", f"{what} consumed {key!r}",
+                         key_id=key.id, label=key.label, by=what,
+                         origin=key.origin)
 
     def produce(self, resource: Any, label: str, state: str,
                 what: str) -> None:
@@ -121,16 +163,35 @@ class KeyMonitor:
             self._fail(Code.RT_PROTOCOL,
                        f"{what}: key {key!r} produced while already held "
                        f"(double acquire)")
+        previous = key.state
         key.state = state
         self.held[key.id] = key
+        self.events.emit("key_transition",
+                         f"{what} re-produced {key!r}",
+                         key_id=key.id, label=key.label,
+                         from_state=previous, to_state=state, by=what,
+                         origin=key.origin)
 
     def set_state(self, key: RuntimeKey, state: str) -> None:
+        if state != key.state:
+            self.events.emit("key_transition",
+                             f"{key.label} {key.state} -> {state}",
+                             key_id=key.id, label=key.label,
+                             from_state=key.state, to_state=state,
+                             origin=key.origin)
         key.state = state
 
     # -- audits ---------------------------------------------------------------
 
     def audit(self) -> List[str]:
-        return [repr(key) for key in self.held.values()]
+        """Keys still held — each with the function that created it;
+        every call publishes one ``key_leak`` event per leaked key."""
+        leaked = list(self.held.values())
+        for key in leaked:
+            self.events.emit("key_leak", f"leaked {key.describe()}",
+                             key_id=key.id, label=key.label,
+                             state=key.state, origin=key.origin)
+        return [key.describe() for key in leaked]
 
     def assert_no_leaks(self) -> None:
         leaked = self.audit()
@@ -156,9 +217,19 @@ class MonitoredInterpreter(Interpreter):
     the transitions are applied.
     """
 
-    def __init__(self, ctx: ProgramContext, host=None, **kwargs):
+    def __init__(self, ctx: ProgramContext, host=None,
+                 events: Optional[EventLog] = None, **kwargs):
         super().__init__(ctx, host, **kwargs)
-        self.monitor = KeyMonitor(ctx.statespace)
+        self.monitor = KeyMonitor(ctx.statespace, events=events)
+
+    def _call_def(self, fundef, args, captured):
+        # Track which Vault function is executing so minted keys can
+        # name their creator (leak attribution).
+        self.monitor.enter_function(fundef.decl.name)
+        try:
+            return super()._call_def(fundef, args, captured)
+        finally:
+            self.monitor.exit_function()
 
     # The interpreter resolves calls in several places; the narrow
     # waist is host/extern dispatch plus defined-function calls, both
@@ -293,10 +364,14 @@ class MonitoredInterpreter(Interpreter):
         super()._free(value, span)
 
 
-def make_monitored(ctx: ProgramContext, host=None) -> MonitoredInterpreter:
-    """A monitored interpreter wired to a (fresh) host."""
+def make_monitored(ctx: ProgramContext, host=None,
+                   events: Optional[EventLog] = None
+                   ) -> MonitoredInterpreter:
+    """A monitored interpreter wired to a (fresh) host; ``events``
+    lets the caller share one observability bus (e.g. a check
+    session's) between the static and dynamic sides."""
     from ..stdlib.hostimpl import create_host
     host = host or create_host()
-    interp = MonitoredInterpreter(ctx, host.env)
+    interp = MonitoredInterpreter(ctx, host.env, events=events)
     interp.vault_host = host
     return interp

@@ -62,6 +62,13 @@ def _base_context(units: Tuple[str, ...]):
     return ctx, tuple(reporter.diagnostics)
 
 
+def base_context_cache_info():
+    """Hit/miss statistics for the process-wide base-context cache
+    (the pipeline's telemetry reads this to attribute stdlib-layer
+    hits without re-deriving the cache key)."""
+    return _base_context.cache_info()
+
+
 def stdlib_context(units: Optional[Sequence[str]] = None):
     """A fully elaborated context for the requested stdlib units, plus
     any diagnostics its elaboration produced (normally none).

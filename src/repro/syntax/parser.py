@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..diagnostics import ParseError, Span
+from ..obs.trace import current_tracer
 from . import ast
 from .lexer import tokenize
 from .tokens import BASE_TYPE_TOKENS, T, Token
@@ -761,6 +762,13 @@ def parse_program(source: str, filename: str = "<input>",
     so that spans match a whole-unit parse; the incremental pipeline
     uses this to parse single declaration chunks in place.
     """
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span("lex", filename=filename):
+            tokens = tokenize(source, filename, first_line=first_line,
+                              first_col=first_col)
+        with tracer.span("parse", filename=filename):
+            return Parser(tokens, filename).parse_program()
     return Parser(tokenize(source, filename, first_line=first_line,
                            first_col=first_col),
                   filename).parse_program()

@@ -1,5 +1,6 @@
 """CLI tests for ``vaultc``."""
 
+import json
 import os
 
 import pytest
@@ -121,3 +122,70 @@ class TestCompileEraseStats:
     def test_run_monitor_detects_leak(self, leaky_file, capsys):
         rc = main(["run", leaky_file, "--unchecked", "--monitor"])
         assert rc == 3
+
+    def test_stats_includes_checker_metrics(self, good_file, capsys):
+        assert main(["stats", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "checker metrics (one cold check):" in out
+        assert "cache.context.misses" in out
+
+
+class TestObservability:
+    def test_profile_output_shape(self, good_file, capsys):
+        assert main(["check", good_file, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "profile:" in err
+        assert "context" in err and "ms" in err
+        assert "check" in err
+        assert "functions checked" in err
+        assert "functions replayed" in err
+
+    def test_trace_emits_valid_chrome_json(self, good_file, tmp_path,
+                                           capsys):
+        from repro.obs import validate_chrome_trace
+        trace_path = str(tmp_path / "trace.json")
+        assert main(["check", good_file, "--trace", trace_path]) == 0
+        with open(trace_path) as handle:
+            payload = json.load(handle)
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        for event in events:
+            for key in ("name", "ph", "ts", "pid"):
+                assert key in event
+        names = {e["name"] for e in events}
+        assert {"check_unit", "lex", "parse", "elaborate"} <= names
+
+    def test_trace_written_even_for_rejected_program(self, leaky_file,
+                                                     tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+        trace_path = str(tmp_path / "trace.json")
+        assert main(["check", leaky_file, "--trace", trace_path]) == 1
+        with open(trace_path) as handle:
+            assert validate_chrome_trace(json.load(handle)) == []
+
+    def test_metrics_table_on_stderr(self, good_file, capsys):
+        assert main(["check", good_file, "--metrics", "-"]) == 0
+        err = capsys.readouterr().err
+        assert "metrics:" in err
+        assert "cache.context.misses" in err
+        assert "diagnostics" not in err  # clean program: no codes counted
+
+    def test_metrics_json_file(self, leaky_file, tmp_path, capsys):
+        metrics_path = str(tmp_path / "metrics.json")
+        assert main(["check", leaky_file, "--metrics", metrics_path]) == 1
+        with open(metrics_path) as handle:
+            snap = json.load(handle)
+        assert snap["cache.context.misses"]["value"] == 1
+        assert snap["diagnostics.V0302"]["value"] >= 1
+        assert snap["check.function_seconds"]["type"] == "histogram"
+
+    def test_disabled_instrumentation_records_nothing(self, good_file):
+        from repro.pipeline import CheckSession
+        session = CheckSession()
+        with open(good_file) as handle:
+            report = session.check(handle.read())
+        assert report.ok
+        assert session.telemetry.metrics.snapshot() == {}
+        assert list(session.telemetry.tracer.events) == []
+        snap = session.telemetry.snapshot()
+        assert snap["metrics"] == {}

@@ -179,3 +179,75 @@ int main() {
         m = monitored(source)
         assert m.call("main") == 50
         assert m.monitor.checks >= 52   # one per effectful call
+
+
+class TestLeakAttribution:
+    LEAK_IN_HELPER = """
+void helper() {
+    tracked(F) FILE f = fopen("x");
+}
+
+void main() {
+    helper();
+}
+"""
+
+    def test_audit_names_the_minting_function(self):
+        m = monitored(self.LEAK_IN_HELPER)
+        m.call("main")
+        reports = m.monitor.audit()
+        assert len(reports) == 1
+        assert "(created in helper)" in reports[0]
+
+    def test_leak_event_carries_origin(self):
+        m = monitored(self.LEAK_IN_HELPER)
+        m.call("main")
+        m.monitor.audit()
+        leaks = m.monitor.events.by_kind("key_leak")
+        assert len(leaks) == 1
+        assert leaks[0].fields["origin"] == "helper"
+        assert leaks[0].fields["state"]
+        mints = m.monitor.events.by_kind("key_mint")
+        assert len(mints) == 1
+        assert mints[0].fields["origin"] == "helper"
+
+    def test_shared_event_bus(self):
+        from repro.obs import EventLog
+        from repro.api import load_context
+        from repro.runtime.monitor import make_monitored
+        bus = EventLog()
+        kinds = []
+        bus.subscribe(lambda e: kinds.append(e.kind))
+        ctx, reporter = load_context("""
+void main() {
+    tracked(F) FILE f = fopen("x");
+    fclose(f);
+}
+""")
+        assert reporter.ok
+        m = make_monitored(ctx, events=bus)
+        m.call("main")
+        assert m.monitor.audit() == []
+        assert "key_mint" in kinds
+        assert "key_consume" in kinds
+
+    def test_origin_tracks_nested_calls(self):
+        m = monitored("""
+void inner() {
+    tracked(F) FILE f = fopen("inner");
+}
+
+void outer() {
+    tracked(F) FILE g = fopen("outer");
+    inner();
+}
+
+void main() {
+    outer();
+}
+""")
+        m.call("main")
+        reports = sorted(m.monitor.audit())
+        assert len(reports) == 2
+        assert any("(created in inner)" in r for r in reports)
+        assert any("(created in outer)" in r for r in reports)

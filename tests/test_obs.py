@@ -1,0 +1,197 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (EventLog, MetricsRegistry, NULL_METRICS, NULL_TRACER,
+                       RATIO_BUCKETS, Telemetry, Tracer, activate,
+                       current_tracer, validate_chrome_trace)
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        tracer = Tracer(process_name="t", pid=123)
+        with tracer.span("work", function="f"):
+            pass
+        spans = [e for e in tracer.events if e["ph"] == "X"]
+        assert len(spans) == 1
+        event = spans[0]
+        assert event["name"] == "work"
+        assert event["pid"] == 123
+        assert event["dur"] >= 0
+        assert event["args"] == {"function": "f"}
+
+    def test_first_event_emits_process_name_metadata(self):
+        tracer = Tracer(process_name="my proc", pid=7)
+        tracer.instant("mark")
+        assert tracer.events[0]["ph"] == "M"
+        assert tracer.events[0]["args"]["name"] == "my proc"
+
+    def test_export_is_loadable_chrome_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = str(tmp_path / "trace.json")
+        tracer.export(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert validate_chrome_trace(payload) == []
+        assert payload["displayTimeUnit"] == "ms"
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "outer" in names and "inner" in names
+
+    def test_drain_and_absorb_merge_tracks(self):
+        worker = Tracer(process_name="worker", pid=1000)
+        with worker.span("child_work"):
+            pass
+        parent = Tracer(process_name="main", pid=1)
+        with parent.span("parent_work"):
+            pass
+        parent.absorb(worker.drain())
+        assert worker.events == []
+        pids = {e["pid"] for e in parent.events}
+        assert pids == {1, 1000}
+
+    def test_phase_totals_sums_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("lex"):
+                pass
+        totals = tracer.phase_totals()
+        assert totals["lex"] >= 0
+        assert set(totals) == {"lex"}
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", arg=1):
+            pass
+        NULL_TRACER.instant("x")
+        assert NULL_TRACER.drain() == []
+        assert NULL_TRACER.phase_totals() == {}
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.export("/nonexistent/nope.json")
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        assert current_tracer() is NULL_TRACER
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_validate_rejects_malformed_events(self):
+        bad = {"traceEvents": [{"ph": "X"}, {"name": "a", "ph": "?",
+                                             "ts": 0, "pid": 1}]}
+        problems = validate_chrome_trace(bad)
+        assert any("missing required key" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+        assert validate_chrome_trace({}) != []
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        hist = reg.histogram("h")
+        hist.observe(0.0002)
+        hist.observe(100.0)   # overflow bucket
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3}
+        assert snap["g"]["value"] == 1.5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["bucket_counts"][-1] == 1
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        a.histogram("h", RATIO_BUCKETS).observe(1.07)
+        b.histogram("h", RATIO_BUCKETS).observe(1.07)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["n"]["value"] == 3
+        assert snap["h"]["count"] == 2
+        assert sum(snap["h"]["bucket_counts"]) == 2
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b.histogram("h", (5.0, 6.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_drain_resets(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        assert reg.drain()["c"]["value"] == 1
+        assert reg.snapshot() == {}
+
+    def test_null_metrics_records_nothing(self):
+        assert not NULL_METRICS.enabled
+        NULL_METRICS.counter("c").inc()
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(1)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.render_rows() == []
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(4)
+        reg.histogram("lat").observe(0.2)
+        text = reg.render()
+        assert "hits" in text and "4" in text
+        assert "lat" in text and "count=1" in text
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit("worker_crash", "boom", pid=42, functions=["f", "g"])
+        log.emit("other", "fine")
+        crashes = log.by_kind("worker_crash")
+        assert len(crashes) == 1
+        assert crashes[0].fields["pid"] == 42
+        assert crashes[0].pid > 0 and crashes[0].ts > 0
+        assert "boom" in crashes[0].render()
+
+    def test_subscribers_fire_on_emit_and_absorb(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("a", "one")
+        other = EventLog()
+        other.emit("b", "two")
+        log.absorb(other.drain())
+        assert [e.kind for e in seen] == ["a", "b"]
+        assert other.records == []
+        assert [e.kind for e in log.records] == ["a", "b"]
+
+
+class TestTelemetry:
+    def test_default_is_disabled(self):
+        tele = Telemetry()
+        assert not tele.enabled
+        assert tele.tracer is NULL_TRACER
+        assert tele.metrics is NULL_METRICS
+        assert tele.events.records == []
+
+    def test_enabled_bundle_snapshot(self):
+        tele = Telemetry(trace=True, metrics=True)
+        assert tele.enabled
+        with tele.tracer.span("s"):
+            pass
+        tele.metrics.counter("c").inc()
+        tele.events.emit("k", "msg")
+        snap = tele.snapshot()
+        assert snap["metrics"]["c"]["value"] == 1
+        assert snap["events"][0]["kind"] == "k"
+        assert isinstance(snap["profile"], dict)

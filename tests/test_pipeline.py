@@ -283,3 +283,63 @@ int f(int n) {
         forward = sum(1 for b in rpo for t, _ in b.succs
                       if index[b.id] < index.get(t.id, -1))
         assert forward > 0
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+class TestTelemetry:
+    def test_last_profile_is_a_view_of_telemetry(self):
+        session = fresh_session()
+        session.check(PROTO)
+        assert session.last_profile is session.telemetry.profile
+        assert session.telemetry.stats is session.stats
+        assert "total_seconds" in session.last_profile
+        assert "aborted" not in session.last_profile
+
+    def test_aborted_check_marks_profile(self, monkeypatch):
+        session = fresh_session()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected abort")
+
+        monkeypatch.setattr(session, "_context_for", boom)
+        with pytest.raises(RuntimeError, match="injected abort"):
+            session.check(PROTO)
+        profile = session.last_profile
+        assert profile["aborted"] is True
+        assert profile["error"] == "RuntimeError: injected abort"
+        assert profile["total_seconds"] >= 0.0
+        aborts = session.telemetry.events.by_kind("check_aborted")
+        assert len(aborts) == 1
+        assert "injected abort" in aborts[0].fields["error"]
+        # The session recovers: the next check starts a fresh profile.
+        monkeypatch.undo()
+        report = session.check(PROTO)
+        assert report.ok
+        assert "aborted" not in session.last_profile
+
+    def test_forced_pool_trace_has_worker_tracks(self):
+        from repro.obs import Telemetry, validate_chrome_trace
+        from repro.pipeline import fork_available
+        if not fork_available():
+            pytest.skip("needs os.fork")
+        source = synthesize_program(24, seed=17)
+        telemetry = Telemetry(trace=True, metrics=True)
+        with CheckSession(units=UNITS, jobs=2, break_even_seconds=0.0,
+                          telemetry=telemetry) as session:
+            report = session.check(source)
+        assert report.ok
+        payload = telemetry.tracer.to_chrome()
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert len(pids) >= 3  # main process + two pool workers
+        names = {e["name"] for e in events}
+        assert "pool_round_trip" in names
+        assert "worker_batch" in names
+        # Worker metric deltas fold into the parent registry.
+        snap = telemetry.metrics.snapshot()
+        assert snap["workers.functions_checked"]["value"] == 24
+        assert session.stats.pool_spawns == 1

@@ -197,3 +197,24 @@ class TestWorkerCrash:
         err = capfd.readouterr().err
         assert "falling back to serial" in err
         assert "injected worker failure" in err  # the child's traceback
+
+    def test_crash_emits_structured_event(self, monkeypatch, capfd):
+        import repro.pipeline.workers as workers
+
+        def boom(ctx, qual, fundef, **kwargs):
+            raise RuntimeError("injected worker failure")
+
+        monkeypatch.setattr(workers, "check_function_diagnostics", boom)
+        source = synthesize_program(12, seed=3, error_rate=0.3)
+        with CheckSession(units=UNITS, jobs=2,
+                          break_even_seconds=0.0) as session:
+            session.check(source)
+        crashes = session.telemetry.events.by_kind("worker_crash")
+        assert crashes
+        event = crashes[0]
+        assert event.fields["pid"] > 0  # the child's pid
+        assert event.fields["functions"]  # the batch it was checking
+        assert all(isinstance(q, str) for q in event.fields["functions"])
+        assert "injected worker failure" in event.fields["traceback"]
+        assert len(session.telemetry.events.by_kind("serial_fallback")) == 1
+        capfd.readouterr()  # the stderr warning still fires; discard
