@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke trace-smoke
+.PHONY: test bench bench-smoke trace-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,13 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py
 	$(PYTHON) -m pytest benchmarks/bench_checker_scaling.py \
 	    benchmarks/bench_incremental.py -q --benchmark-disable
+
+# Resilience smoke: the acceptance chaos scenario (two workers killed,
+# one hung, --jobs 4) must recover without serial fallback and with
+# byte-identical diagnostics; a corrupted summary cache must be
+# quarantined and rebuilt.
+chaos-smoke:
+	$(PYTHON) benchmarks/chaos_smoke.py
 
 # Full benchmark run, including the 640-function scaling point.
 bench:

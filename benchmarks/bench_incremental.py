@@ -97,9 +97,21 @@ def _cache_hit_rates(metrics) -> dict:
     return rates
 
 
+_RESILIENCE_COUNTERS = ("respawns", "retries", "bisections", "timeouts",
+                        "poisoned", "cache_quarantines", "serial_fallbacks")
+
+
 def _measure():
     source = synthesize_program(N_FUNCTIONS, seed=42)
     cpus = _available_cpus()
+    # Recovery activity summed over every session this run creates —
+    # a no-fault benchmark must report all zeros, so regressions that
+    # make the supervisor fire spuriously show up in BENCH_checker.json.
+    resilience = {name: 0 for name in _RESILIENCE_COUNTERS}
+
+    def _tally(sess):
+        for name in _RESILIENCE_COUNTERS:
+            resilience[name] += getattr(sess.stats, name, 0)
 
     start = time.perf_counter()
     baseline_report = check_source(source, units=UNITS)
@@ -148,6 +160,7 @@ def _measure():
             start = time.perf_counter()
             parallel_report = psession.check(big_source)
             parallel = time.perf_counter() - start
+        _tally(psession)
         assert parallel_report.render() == serial_big_report.render(), \
             "parallel diagnostics must be byte-identical to serial"
         parallel_vs_cold = cold_big / parallel if parallel else float("inf")
@@ -164,6 +177,10 @@ def _measure():
         small_parallel = time.perf_counter() - start
         small_forked = small_session.stats.pool_spawns
     assert small_parallel_report.render() == small_serial_report.render()
+    _tally(session)
+    _tally(small_session)
+    assert not any(resilience.values()), \
+        f"recovery machinery fired during a no-fault run: {resilience}"
 
     return {
         "workload": {"functions": N_FUNCTIONS, "units": UNITS, "seed": 42,
@@ -191,6 +208,7 @@ def _measure():
                 else float("inf"),
         },
         "cache_hit_rates": cache_hit_rates,
+        "resilience": resilience,
         "parallel_skipped": parallel_skipped,
         "small_workload_forked_workers": small_forked,
         "edit_rechecked": edited_functions,

@@ -1,0 +1,125 @@
+"""A fast resilience smoke check (the ``make chaos-smoke`` gate).
+
+Runs the ISSUE's acceptance scenario in a few seconds: a 120-function
+corpus checked with ``--jobs 4`` while a seeded fault plan kills two
+workers and hangs a third.  The run must complete *without* falling
+back to serial, with diagnostics byte-identical to a serial check, and
+with the recovery counters showing exactly the injected faults (two
+respawns from crashes, one from the watchdog kill).  A second round
+corrupts the on-disk summary cache and asserts quarantine-and-rebuild.
+Finally the same scenario is driven end-to-end through the ``vaultc``
+CLI (``--inject-faults`` / ``--batch-timeout`` / ``--profile``).
+
+Where ``os.fork`` is unavailable the pool cannot exist, so the gate
+reports itself skipped rather than passing vacuously.
+
+Usable both as a script (``python benchmarks/chaos_smoke.py``) and as
+a pytest module.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro import check_source                           # noqa: E402
+from repro.analysis import synthesize_program            # noqa: E402
+from repro.pipeline import (CheckSession, FaultPlan,     # noqa: E402
+                            fork_available)
+
+N_FUNCTIONS = 120
+UNITS = ["region"]
+FAULT_SPEC = "crash@0,crash@1,hang@2"
+BATCH_TIMEOUT = 1.0
+
+
+def test_supervised_pool_survives_chaos():
+    if not fork_available():
+        print("chaos-smoke: skipped (fork not available)")
+        return
+    source = synthesize_program(N_FUNCTIONS, seed=13, error_rate=0.2)
+    expected = check_source(source, units=UNITS).render()
+
+    start = time.perf_counter()
+    with CheckSession(units=UNITS, jobs=4, break_even_seconds=0.0,
+                      batch_timeout=BATCH_TIMEOUT,
+                      fault_plan=FaultPlan.parse(FAULT_SPEC)) as session:
+        rendered = session.check(source).render()
+    elapsed = time.perf_counter() - start
+
+    assert rendered == expected, \
+        "diagnostics under injected faults must be byte-identical to serial"
+    stats = session.stats
+    assert stats.serial_fallbacks == 0, \
+        "the pool must recover in place, not abandon parallelism"
+    assert stats.respawns == 3, f"expected 3 respawns, got {stats.respawns}"
+    assert stats.timeouts == 1, f"expected 1 watchdog kill, got " \
+        f"{stats.timeouts}"
+    print(f"chaos-smoke: {N_FUNCTIONS} fns, faults [{FAULT_SPEC}]: "
+          f"recovered in {elapsed * 1000:.1f} ms "
+          f"(respawns={stats.respawns}, timeouts={stats.timeouts}, "
+          f"retries={stats.retries}, fallbacks={stats.serial_fallbacks})")
+    print("chaos-smoke: byte-identity under worker faults   OK")
+
+
+def test_corrupt_cache_is_quarantined():
+    source = synthesize_program(20, seed=17)
+    expected = check_source(source, units=UNITS).render()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with CheckSession(units=UNITS, cache_dir=cache_dir) as writer:
+            writer.check(source)
+        path = os.path.join(cache_dir, "summaries.pkl")
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(len(data) // 2)
+            handle.write(bytes([data[len(data) // 2] ^ 0x40]))
+
+        with CheckSession(units=UNITS, cache_dir=cache_dir) as victim:
+            rendered = victim.check(source).render()
+        assert rendered == expected
+        assert victim.stats.cache_quarantines == 1
+        assert os.path.exists(path + ".corrupt"), \
+            "the corrupt original must be preserved for post-mortems"
+
+        with CheckSession(units=UNITS, cache_dir=cache_dir) as reader:
+            reader.check(source)
+        assert reader.stats.cache_quarantines == 0
+        assert reader.stats.functions_checked == 0, \
+            "the rebuilt cache must replay on the next run"
+    print("chaos-smoke: cache quarantine + rebuild   OK")
+
+
+def test_cli_chaos_run():
+    if not fork_available():
+        print("chaos-smoke: CLI round skipped (fork not available)")
+        return
+    source = synthesize_program(40, seed=19)
+    with tempfile.TemporaryDirectory() as work:
+        target = os.path.join(work, "prog.vlt")
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__),
+                                         os.pardir, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "check", target,
+             "--jobs", "4", "--break-even", "0",
+             "--batch-timeout", str(BATCH_TIMEOUT),
+             "--inject-faults", "crash@0", "--profile"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0, \
+            f"CLI chaos run failed:\n{proc.stderr}"
+        out = proc.stdout + proc.stderr
+        assert "worker respawns" in out, \
+            "--profile must surface the resilience counters"
+    print("chaos-smoke: CLI --inject-faults round   OK")
+
+
+if __name__ == "__main__":
+    test_supervised_pool_survives_chaos()
+    test_corrupt_cache_is_quarantined()
+    test_cli_chaos_run()
+    print("chaos-smoke: PASS")

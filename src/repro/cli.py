@@ -13,6 +13,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -44,21 +45,39 @@ def _parse_jobs(value: str) -> "int | str":
             f"invalid --jobs value {value!r} (expected a count or 'auto')")
 
 
+def _fault_plan(spec: "str | None"):
+    """Parse ``--inject-faults`` / ``VAULTC_FAULTS`` (test use only)."""
+    if not spec:
+        return None
+    from .pipeline.faults import FaultError, FaultPlan
+    try:
+        return FaultPlan.parse(spec)
+    except FaultError as exc:
+        raise VaultError(f"bad fault spec: {exc}") from None
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
     instrumented = args.trace or args.metrics
+    faults = args.inject_faults or os.environ.get("VAULTC_FAULTS")
     if args.jobs != 1 or args.cache or args.profile or instrumented \
-            or args.break_even is not None:
+            or args.break_even is not None \
+            or args.batch_timeout is not None or faults:
         from .obs import Telemetry
         from .pipeline import CheckSession
-        from .pipeline.scheduler import BREAK_EVEN_SECONDS
+        from .pipeline.scheduler import (BREAK_EVEN_SECONDS,
+                                         DEFAULT_BATCH_TIMEOUT)
         telemetry = Telemetry(trace=bool(args.trace),
                               metrics=bool(args.metrics))
         break_even = BREAK_EVEN_SECONDS if args.break_even is None \
             else args.break_even / 1000.0
+        batch_timeout = DEFAULT_BATCH_TIMEOUT \
+            if args.batch_timeout is None else args.batch_timeout
         with CheckSession(jobs=args.jobs, cache_dir=args.cache,
                           telemetry=telemetry,
-                          break_even_seconds=break_even) as session:
+                          break_even_seconds=break_even,
+                          batch_timeout=batch_timeout,
+                          fault_plan=_fault_plan(faults)) as session:
             try:
                 report = session.check(source, filename=args.file)
             finally:
@@ -110,6 +129,16 @@ def _print_profile(session, file) -> int:
     if stats.pool_spawns:
         print(f"  {'worker pools forked':<22} {stats.pool_spawns:8d}",
               file=file)
+    recovered = [(label, getattr(stats, name, 0)) for label, name in
+                 (("worker respawns", "respawns"),
+                  ("batch retries", "retries"),
+                  ("batch bisections", "bisections"),
+                  ("watchdog timeouts", "timeouts"),
+                  ("poisoned functions", "poisoned"),
+                  ("cache quarantines", "cache_quarantines"))]
+    if any(count for _label, count in recovered):
+        for label, count in recovered:
+            print(f"  {label:<22} {count:8d}", file=file)
     return 0
 
 
@@ -188,12 +217,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
             cfg_rows))
 
     # A metrics-instrumented check of the same file: the session's
-    # telemetry snapshot (cache traffic, scheduler verdict, diagnostic
-    # code counts) as one more stats table.
+    # telemetry snapshot (cache traffic, scheduler verdict, worker
+    # resilience counters, diagnostic code counts) as one more stats
+    # table.  ``--jobs`` > 1 exercises the supervised pool, whose
+    # ``resilience.*`` counters then show up (zero on healthy runs);
+    # $VAULTC_FAULTS is honoured so chaos runs are inspectable here.
     from .obs import Telemetry
     from .pipeline import CheckSession
+    from .pipeline.scheduler import BREAK_EVEN_SECONDS
     telemetry = Telemetry(metrics=True)
-    with CheckSession(telemetry=telemetry) as session:
+    # Asking for workers on a stats run means "show me the pool": zero
+    # break-even forces it even though one file is a tiny workload.
+    break_even = 0.0 if args.jobs != 1 else BREAK_EVEN_SECONDS
+    with CheckSession(telemetry=telemetry, jobs=args.jobs,
+                      break_even_seconds=break_even,
+                      fault_plan=_fault_plan(
+                          os.environ.get("VAULTC_FAULTS"))) as session:
         session.check(source, filename=args.file)
     metric_rows = [[name, value]
                    for name, value in telemetry.metrics.render_rows()]
@@ -278,6 +317,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the scheduler's break-even threshold "
                         "in milliseconds (0 forces the worker pool; "
                         "default 50)")
+    p.add_argument("--batch-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="floor for the per-batch watchdog deadline: a "
+                        "worker that holds a batch longer than "
+                        "max(SECONDS, cost-model estimate with headroom) "
+                        "is killed and respawned (default 30)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic chaos harness (TEST USE ONLY): "
+                        "inject worker crashes/hangs/pipe EOFs/pickle "
+                        "garbage and cache bit-flips, e.g. "
+                        "'crash@0,hang@2,flip-cache,seed=7'; also read "
+                        "from $VAULTC_FAULTS")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("run", help="check then interpret a file")
@@ -300,6 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="annotation-overhead metrics")
     p.add_argument("file")
+    p.add_argument("--jobs", "-j", type=_parse_jobs, default=1,
+                   metavar="N|auto",
+                   help="run the instrumented check with N pool workers "
+                        "so the resilience counters (respawns, retries, "
+                        "bisections, timeouts) are exercised and shown")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("fmt", help="pretty-print (normalise) a file")

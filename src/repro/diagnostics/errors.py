@@ -71,6 +71,9 @@ class Code(enum.Enum):
     RT_DOUBLE_FREE = "V0403"
     RT_DEADLOCK = "V0404"
 
+    # 05xx: checker self-diagnosis (the pipeline's own failures)
+    CHECKER_INTERNAL = "V0500"       # checking this function crashed; isolated
+
 
 class Severity(enum.Enum):
     ERROR = "error"

@@ -13,6 +13,25 @@ off a single log.
 Events are plain picklable data; pool workers ship theirs back to the
 parent in the result frames they already send.  Subscribers (callbacks
 taking one :class:`Event`) see events as they are emitted.
+
+The resilience layer (PR 4) publishes its whole recovery state
+machine here, one kind per transition:
+
+* ``worker_crash`` / ``worker_timeout`` — a pool worker failed
+  (fields: pid, batch functions, traceback / deadline);
+* ``worker_respawn`` — a replacement worker was forked;
+* ``batch_retry`` / ``batch_bisect`` — a failed batch was retried
+  as-is, or split in half to isolate the offender;
+* ``poison_function`` / ``poison_recovered`` — a single function was
+  isolated as the cause (reported as a ``V0500`` diagnostic) or
+  exonerated by a clean parent-side re-check;
+* ``serial_fallback`` — the pool was beyond saving (fields: reused /
+  rechecked counts — completed batch results are not thrown away);
+* ``cache_corrupt`` / ``cache_incompatible`` / ``cache_write_failed``
+  — summary-cache persistence degraded (fields: path, error,
+  quarantined location);
+* ``fault_injected`` — the deterministic chaos harness
+  (:mod:`repro.pipeline.faults`) acted out an injected fault.
 """
 
 from __future__ import annotations
@@ -68,6 +87,14 @@ class EventLog:
 
     def by_kind(self, kind: str) -> List[Event]:
         return [e for e in self.records if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Retained records tallied by kind (chaos tests and ``vaultc
+        stats`` read recovery activity off this)."""
+        out: Dict[str, int] = {}
+        for event in self.records:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
 
     # -- cross-process hand-off ----------------------------------------------
 

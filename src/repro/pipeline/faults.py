@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the checking pipeline.
+
+The resilience layer (worker supervision, hang watchdog, poison-batch
+bisection, cache quarantine) only earns its keep if every recovery
+path is *testable on demand*.  This module is the chaos harness that
+makes it so: a :class:`FaultPlan` is a seeded, fully explicit schedule
+of failures to inject at well-defined points of the parallel pipeline.
+It is wired through ``vaultc check --inject-faults SPEC`` and the
+``VAULTC_FAULTS`` environment variable **for test use only** — a plan
+never activates unless one of those is given.
+
+Injection points
+----------------
+
+Worker-side faults key off the **dispatch id**: the parent stamps
+every batch command frame with a monotonically increasing sequence
+number, so a fault pinned to dispatch ``D`` fires exactly once — the
+retry of the same batch travels under a fresh id and succeeds.  That
+is what makes chaos runs deterministic and convergent.
+
+==================  =======================================================
+``crash@D``         the worker hard-exits (as if SIGKILLed) while
+                    processing dispatch ``D``
+``hang@D``          the worker sleeps forever on dispatch ``D`` (the
+                    parent's watchdog must SIGKILL it)
+``eof@D``           the worker closes its result pipe without replying
+``garbage@D``       the worker replies with a well-framed but
+                    unpicklable payload
+``poison:QUAL``     the worker hard-exits whenever it *starts checking*
+                    function ``QUAL`` — unlike the dispatch faults this
+                    fires every time, which is what forces the parent's
+                    bisection to isolate the function
+``flip-cache``      the parent flips one byte (seeded offset) of the
+                    summary-cache file immediately after writing it, so
+                    the *next* load sees on-disk corruption
+``seed=N``          seeds the offset/choice RNG (default 0)
+==================  =======================================================
+
+``crash@0-3`` ranges and bare kinds (``crash`` = ``crash@0``) are
+accepted; parts are comma-separated, e.g.::
+
+    VAULTC_FAULTS='crash@0,crash@1,hang@2' vaultc check big.vlt --jobs 4
+
+Fault plans are plain picklable data and are *inherited by fork*:
+pool workers consult the same plan object the parent parsed, and the
+dispatch-id keying keeps both sides' views consistent without any
+shared mutable state.  The only mutable member is the parent-side
+``flip-cache`` budget, which never crosses a fork.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+__all__ = ["FaultError", "FaultPlan", "DISPATCH_FAULT_KINDS"]
+
+#: worker-side fault kinds keyed by dispatch id, in precedence order
+#: (a dispatch named under several kinds takes the first match).
+DISPATCH_FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "eof", "garbage")
+
+
+class FaultError(ValueError):
+    """A fault spec string that does not parse."""
+
+
+def _parse_ids(text: str) -> Set[int]:
+    """``"3"`` -> {3}; ``"0-2"`` -> {0, 1, 2}."""
+    lo, dash, hi = text.partition("-")
+    try:
+        if dash:
+            start, stop = int(lo), int(hi)
+            if stop < start:
+                raise ValueError
+            return set(range(start, stop + 1))
+        return {int(lo)}
+    except ValueError:
+        raise FaultError(f"bad dispatch id {text!r} "
+                         "(expected N or N-M)") from None
+
+
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    All trigger predicates are pure functions of their coordinates
+    (dispatch id / qualified name), so a plan forked into a worker
+    behaves identically to the parent's copy.
+    """
+
+    def __init__(self,
+                 crash: Iterable[int] = (),
+                 hang: Iterable[int] = (),
+                 eof: Iterable[int] = (),
+                 garbage: Iterable[int] = (),
+                 poison: Iterable[str] = (),
+                 cache_flips: int = 0,
+                 seed: int = 0):
+        self.crash: FrozenSet[int] = frozenset(crash)
+        self.hang: FrozenSet[int] = frozenset(hang)
+        self.eof: FrozenSet[int] = frozenset(eof)
+        self.garbage: FrozenSet[int] = frozenset(garbage)
+        self.poison: FrozenSet[str] = frozenset(poison)
+        self.seed = seed
+        self._cache_flips_left = int(cache_flips)
+        self._rng = random.Random(seed)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``--inject-faults`` / ``VAULTC_FAULTS`` spec string."""
+        ids = {kind: set() for kind in DISPATCH_FAULT_KINDS}
+        poison: Set[str] = set()
+        cache_flips = 0
+        for raw in spec.split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            if part.startswith("poison:"):
+                qual = part[len("poison:"):]
+                if not qual:
+                    raise FaultError("poison: needs a function name")
+                poison.add(qual)
+                continue
+            if part.startswith("seed="):
+                try:
+                    seed = int(part[len("seed="):])
+                except ValueError:
+                    raise FaultError(f"bad seed in {part!r}") from None
+                continue
+            if part == "flip-cache":
+                cache_flips += 1
+                continue
+            if part.startswith("flip-cache@"):
+                try:
+                    cache_flips += int(part[len("flip-cache@"):])
+                except ValueError:
+                    raise FaultError(f"bad flip count in {part!r}") from None
+                continue
+            kind, at, where = part.partition("@")
+            if kind not in DISPATCH_FAULT_KINDS:
+                raise FaultError(
+                    f"unknown fault {part!r} (kinds: "
+                    f"{', '.join(DISPATCH_FAULT_KINDS)}, poison:QUAL, "
+                    f"flip-cache, seed=N)")
+            ids[kind].update(_parse_ids(where) if at else {0})
+        return cls(crash=ids["crash"], hang=ids["hang"], eof=ids["eof"],
+                   garbage=ids["garbage"], poison=poison,
+                   cache_flips=cache_flips, seed=seed)
+
+    # -- worker-side triggers ------------------------------------------------
+
+    def dispatch_fault(self, dispatch_id: int) -> Optional[str]:
+        """The fault (if any) a worker should act out for this dispatch."""
+        for kind in DISPATCH_FAULT_KINDS:
+            if dispatch_id in getattr(self, kind):
+                return kind
+        return None
+
+    def poisoned(self, qual: str) -> bool:
+        """Does checking ``qual`` in a worker hard-crash it (every time)?"""
+        return qual in self.poison
+
+    # -- parent-side triggers ------------------------------------------------
+
+    def take_cache_flip(self) -> bool:
+        """Consume one ``flip-cache`` budget unit (parent-side only)."""
+        if self._cache_flips_left <= 0:
+            return False
+        self._cache_flips_left -= 1
+        return True
+
+    def flip_file_byte(self, path: str) -> int:
+        """Flip one bit of one seeded byte of ``path``; returns the
+        offset (deterministic for a given plan seed and call order)."""
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            if not data:
+                return -1
+            offset = self._rng.randrange(len(data))
+            handle.seek(offset)
+            handle.write(bytes([data[offset] ^ 0x40]))
+        return offset
+
+    # -- introspection -------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self.crash or self.hang or self.eof or self.garbage
+                    or self.poison or self._cache_flips_left)
+
+    def describe(self) -> str:
+        parts = []
+        for kind in DISPATCH_FAULT_KINDS:
+            for did in sorted(getattr(self, kind)):
+                parts.append(f"{kind}@{did}")
+        parts.extend(f"poison:{qual}" for qual in sorted(self.poison))
+        if self._cache_flips_left:
+            parts.append(f"flip-cache@{self._cache_flips_left}")
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.describe()})"

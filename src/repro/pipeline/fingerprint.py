@@ -213,6 +213,18 @@ def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
     return result
 
 
+def cache_checksum(blob: bytes) -> str:
+    """Content checksum (hex SHA-256) for on-disk cache payloads.
+
+    The summary-cache file embeds this over its pickled body so a
+    torn write or bit rot is *detected* at load time — corruption
+    becomes a quarantine-and-rebuild, never a silently wrong replay.
+    Lives here with the other content-hashing so every stable hash
+    the pipeline persists is derived in one module.
+    """
+    return hashlib.sha256(blob).hexdigest()
+
+
 def function_fingerprint(ctx: ProgramContext, qual: str, fundef: ast.FunDef,
                          own_text: str) -> str:
     """The summary cache key for one function definition."""

@@ -43,6 +43,17 @@ SECONDS_PER_UNIT = 4e-5
 #: of checking is comfortably past that on any machine we target.
 BREAK_EVEN_SECONDS = 0.05
 
+#: Headroom multiplier over a batch's estimated cost before the
+#: supervisor's watchdog presumes the worker hung.  Deliberately
+#: generous: the static estimate is rough, and a false kill costs a
+#: respawn + retry, whereas a missed hang only delays by the floor.
+TIMEOUT_COST_MULTIPLIER = 25.0
+
+#: Floor (seconds) under every batch deadline — ``vaultc check
+#: --batch-timeout`` overrides it.  High enough that no honest batch
+#: on the slowest CI box comes near it.
+DEFAULT_BATCH_TIMEOUT = 30.0
+
 _BRANCH_UNITS = 4.0    # clone + join at the merge point
 _CALL_UNITS = 1.5      # signature instantiation + effect application
 
@@ -127,6 +138,19 @@ def resolve_jobs(spec: Union[int, str, None]) -> int:
     if spec <= 0:
         return available_cpus()
     return int(spec)
+
+
+def batch_deadline(est_cost: Optional[float],
+                   floor: float = DEFAULT_BATCH_TIMEOUT) -> float:
+    """Seconds a worker may spend on one batch before the watchdog
+    SIGKILLs and respawns it.
+
+    Derived from the same cost model that sized the batch (recorded
+    wall-clock costs when available, the static estimate otherwise),
+    scaled by :data:`TIMEOUT_COST_MULTIPLIER` and clamped to ``floor``.
+    """
+    cost = float(est_cost) if est_cost and est_cost > 0 else 0.0
+    return max(float(floor), cost * TIMEOUT_COST_MULTIPLIER)
 
 
 def available_cpus() -> int:

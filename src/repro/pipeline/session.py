@@ -27,7 +27,15 @@ invalidated:
 Determinism guarantee: for any ``source``, the reporter returned by
 ``check`` contains the same diagnostics in the same order as
 ``repro.check_source(source)``, regardless of cache state or worker
-count.
+count — and regardless of recoverable worker failures: the supervised
+pool (:mod:`repro.pipeline.workers`) respawns crashed workers and
+retries/bisects their batches, and when the pool is beyond saving the
+serial fallback reuses every batch result that did complete instead of
+re-checking the whole unit.  On-disk summary caches are written
+atomically with a content checksum; a corrupt file is quarantined
+(``summaries.pkl.corrupt``) with a structured ``cache_corrupt`` event
+and the session continues cold.  See docs/CHECKER.md ("Failure modes
+and recovery").
 """
 
 from __future__ import annotations
@@ -48,18 +56,26 @@ from ..stdlib import stdlib_context, stdlib_source
 from ..stdlib.loader import base_context_cache_info
 from ..syntax import ast, parse_program
 from .chunks import Chunk, ChunkError, split_chunks
-from .fingerprint import function_fingerprint
-from .scheduler import (BREAK_EVEN_SECONDS, available_cpus,
-                        plan as plan_batches, resolve_jobs)
+from .faults import FaultPlan
+from .fingerprint import cache_checksum, function_fingerprint
+from .scheduler import (BREAK_EVEN_SECONDS, DEFAULT_BATCH_TIMEOUT,
+                        available_cpus, plan as plan_batches, resolve_jobs)
 from .workers import WorkerCrash, WorkerPool, fork_available
 
 #: caps on the in-memory caches; on overflow the oldest half is evicted.
 _MAX_CONTEXTS = 64
 _MAX_CHUNK_ASTS = 8192
 
-#: version 2 added per-function cost records ("costs"); version-1
-#: payloads still load (summaries only, costs start empty).
-_PICKLE_VERSION = 2
+#: version 3 wraps the summaries/costs body in a checksummed envelope
+#: (see ``_save_cache``) so on-disk corruption is detected and
+#: quarantined instead of silently swallowed; version-1/2 payloads
+#: still load (v1: summaries only, costs start empty).
+_PICKLE_VERSION = 3
+
+#: pickle-level exceptions a hostile/corrupt cache file can raise.
+_CACHE_LOAD_ERRORS = (OSError, pickle.PickleError, EOFError, KeyError,
+                      AttributeError, ImportError, TypeError, ValueError,
+                      IndexError)
 
 
 def _sha(text: str) -> str:
@@ -86,6 +102,15 @@ class SessionStats:
         self.parallel_runs = 0
         self.serial_fallbacks = 0
         self.pool_spawns = 0
+        # resilience counters (mirrored by the ``resilience.*``
+        # metrics when the registry is enabled)
+        self.respawns = 0
+        self.retries = 0
+        self.bisections = 0
+        self.timeouts = 0
+        self.poisoned = 0
+        self.cache_quarantines = 0
+        self.fallback_reused = 0
         self.last_checked: List[str] = []
         self.last_replayed: List[str] = []
 
@@ -158,7 +183,9 @@ class CheckSession:
                  join_abstraction: bool = True,
                  max_loop_iterations: int = MAX_LOOP_ITERATIONS,
                  break_even_seconds: float = BREAK_EVEN_SECONDS,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+                 fault_plan: Optional[FaultPlan] = None):
         self.stdlib = stdlib
         self.units = tuple(units) if units is not None else None
         self.jobs = self._resolve_jobs(jobs)
@@ -166,6 +193,11 @@ class CheckSession:
         self.join_abstraction = join_abstraction
         self.max_loop_iterations = max_loop_iterations
         self.break_even_seconds = break_even_seconds
+        #: floor (seconds) under the per-batch watchdog deadline.
+        self.batch_timeout = batch_timeout
+        #: deterministic chaos schedule (tests/CI only; ``None`` in
+        #: normal operation).
+        self.fault_plan = fault_plan
         self.stats = SessionStats()
         #: the session's observability bundle; ``Telemetry()`` (the
         #: default) records nothing beyond rare events — pass
@@ -179,6 +211,11 @@ class CheckSession:
         self._stdlib_lines: Dict[str, List[str]] = {}
         self._pool: Optional[WorkerPool] = None
         if cache_dir:
+            # Pre-register so a healthy run reports an explicit zero
+            # (its pool-side siblings are registered at pool creation).
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter(
+                    "resilience.cache_quarantines")
             self._load_cache()
 
     @staticmethod
@@ -430,21 +467,32 @@ class CheckSession:
         self.last_profile["plan"] = sched.describe()
         if metrics.enabled:
             self._record_plan_metrics(sched)
+        partial: Dict[str, Tuple[Tuple[Diagnostic, ...], float]] = {}
         if sched.parallel:
             try:
                 return self._run_parallel(ctx, to_check, sched, jobs)
             except (WorkerCrash, OSError) as exc:
-                # A worker crash (or fork failure) must not change the
-                # diagnostic stream — fall back to serial — but it must
-                # not vanish either: warn, and surface the child
-                # traceback when there is one.
+                # Even the supervised pool can be beyond saving (fork
+                # failures, respawn budget exhausted).  The fallback
+                # must not change the diagnostic stream — check
+                # serially — but it must not vanish either (warn,
+                # surface the child traceback) and it must not waste
+                # the batches that *did* complete: those results ride
+                # along on the exception and are reused verbatim.
+                partial = dict(getattr(exc, "partial", None) or {})
                 self.stats.serial_fallbacks += 1
+                self.stats.fallback_reused += len(partial)
                 if metrics.enabled:
                     metrics.counter("workers.serial_fallbacks").inc()
+                    if partial:
+                        metrics.counter(
+                            "workers.fallback_reused").inc(len(partial))
                 self.telemetry.events.emit(
                     "serial_fallback",
                     f"parallel checking failed ({exc}); "
-                    f"falling back to serial", error=str(exc))
+                    f"falling back to serial", error=str(exc),
+                    reused=len(partial),
+                    rechecked=len(to_check) - len(partial))
                 print(f"repro: parallel checking failed ({exc}); "
                       f"falling back to serial", file=sys.stderr)
                 child_tb = getattr(exc, "child_traceback", "")
@@ -453,6 +501,12 @@ class CheckSession:
                 self.close()
         out: List[Tuple[Diagnostic, ...]] = []
         for qual, fundef, _fp in to_check:
+            reused = partial.get(qual)
+            if reused is not None:
+                diags, cost = reused
+                self._cost_by_qual[qual] = cost
+                out.append(tuple(diags))
+                continue
             started = time.perf_counter()
             with tracer.span("check_function", function=qual):
                 diags = tuple(check_function_diagnostics(
@@ -498,7 +552,9 @@ class CheckSession:
             with tracer.span("pool_spawn", jobs=jobs):
                 pool = WorkerPool(ctx, jobs, self.join_abstraction,
                                   self.max_loop_iterations,
-                                  telemetry=self.telemetry)
+                                  telemetry=self.telemetry,
+                                  fault_plan=self.fault_plan,
+                                  batch_timeout=self.batch_timeout)
             self._pool = pool
             self.stats.pool_spawns += 1
             if metrics.enabled:
@@ -506,11 +562,11 @@ class CheckSession:
         batches = [[to_check[i][0] for i in batch]
                    for batch in sched.batches]
         with tracer.span("pool_round_trip", batches=len(batches)):
-            result_map = pool.check_batches(batches)
+            result_map = pool.check_batches(batches, sched.batch_costs)
         if len(result_map) != len(to_check):
             raise WorkerCrash(
                 f"workers returned {len(result_map)} results "
-                f"for {len(to_check)} functions")
+                f"for {len(to_check)} functions", partial=result_map)
         self.stats.parallel_runs += 1
         out: List[Tuple[Diagnostic, ...]] = []
         for qual, _fundef, _fp in to_check:
@@ -543,32 +599,117 @@ class CheckSession:
         return os.path.join(self.cache_dir, "summaries.pkl")
 
     def _load_cache(self) -> None:
+        """Load the on-disk summary cache, degrading loudly.
+
+        A missing file is a cold cache (no event).  Anything that
+        fails to parse or checksum is **quarantined**: moved aside to
+        ``summaries.pkl.corrupt`` (preserved for post-mortems), a
+        structured ``cache_corrupt`` event is emitted with the
+        exception and path, and the session continues cold.  A
+        recognized-but-unsupported version is left in place but still
+        reported (``cache_incompatible``) — no failure mode is a
+        silent ``return`` anymore.
+        """
+        path = self._cache_path()
         try:
-            with open(self._cache_path(), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-            if payload.get("version") not in (1, _PICKLE_VERSION):
-                return
-            for fp, entries in payload["summaries"].items():
-                summary = _Summary()
-                summary.entries = entries
-                self._summaries[fp] = summary
-            for qual, cost in payload.get("costs", {}).items():
-                self._cost_by_qual[qual] = float(cost)
-        except (OSError, pickle.PickleError, EOFError, KeyError,
-                AttributeError, ImportError, TypeError, ValueError):
+        except FileNotFoundError:
+            return                                 # cold cache: normal
+        except _CACHE_LOAD_ERRORS as exc:
+            self._quarantine_cache(path, exc)
             return
+        # Decode into fresh dicts and commit only on full success, so
+        # a half-corrupt payload cannot leave the session with partial
+        # (and potentially inconsistent) cache state.
+        try:
+            version = payload.get("version")
+            if version == _PICKLE_VERSION:
+                body_bytes = payload["data"]
+                if cache_checksum(body_bytes) != payload["sha256"]:
+                    raise ValueError(
+                        "cache checksum mismatch (torn write or bit rot)")
+                body = pickle.loads(body_bytes)
+            elif version in (1, 2):                # legacy, pre-checksum
+                body = payload
+            else:
+                self.telemetry.events.emit(
+                    "cache_incompatible",
+                    f"summary cache {path} has unsupported version "
+                    f"{version!r}; starting cold (file left in place)",
+                    path=path, version=version)
+                return
+            summaries: Dict[str, _Summary] = {}
+            for fp, entries in body["summaries"].items():
+                summary = _Summary()
+                summary.entries = dict(entries)
+                summaries[fp] = summary
+            costs = {qual: float(cost)
+                     for qual, cost in body.get("costs", {}).items()}
+        except _CACHE_LOAD_ERRORS as exc:
+            self._quarantine_cache(path, exc)
+            return
+        self._summaries.update(summaries)
+        self._cost_by_qual.update(costs)
+
+    def _quarantine_cache(self, path: str, exc: BaseException) -> None:
+        """Move a corrupt cache file aside and publish the failure."""
+        quarantined: Optional[str] = path + ".corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None                # even the move failed
+        self.stats.cache_quarantines += 1
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter(
+                "resilience.cache_quarantines").inc()
+        error = f"{type(exc).__name__}: {exc}"
+        self.telemetry.events.emit(
+            "cache_corrupt",
+            f"summary cache {path} is corrupt ({error}); "
+            + (f"quarantined to {quarantined} and rebuilding cold"
+               if quarantined else
+               "quarantine failed, rebuilding cold anyway"),
+            path=path, error=error, quarantined=quarantined)
+        print(f"repro: summary cache {path} is corrupt ({error}); "
+              f"rebuilding cold", file=sys.stderr)
 
     def _save_cache(self) -> None:
-        payload = {
-            "version": _PICKLE_VERSION,
+        """Atomically persist the summary cache: unique temp file,
+        fsync, rename — with a content checksum over the body so the
+        next load can prove it read what this process wrote."""
+        body = pickle.dumps({
             "summaries": {fp: s.entries for fp, s in self._summaries.items()},
             "costs": dict(self._cost_by_qual),
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "version": _PICKLE_VERSION,
+            "sha256": cache_checksum(body),
+            "data": body,
         }
-        tmp = self._cache_path() + ".tmp"
+        path = self._cache_path()
+        tmp = f"{path}.tmp.{os.getpid()}"
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
             with open(tmp, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._cache_path())
-        except OSError:
-            pass
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.telemetry.events.emit(
+                "cache_write_failed",
+                f"could not persist summary cache to {path}: {exc}",
+                path=path, error=f"{type(exc).__name__}: {exc}")
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        if self.fault_plan is not None and self.fault_plan.take_cache_flip():
+            offset = self.fault_plan.flip_file_byte(path)
+            self.telemetry.events.emit(
+                "fault_injected",
+                f"flipped byte {offset} of {path} (injected fault)",
+                fault="flip-cache", path=path, offset=offset)

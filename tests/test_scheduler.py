@@ -164,8 +164,9 @@ class TestCrossProcessPersistence:
         path = os.path.join(str(tmp_path), "summaries.pkl")
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
+        inner = pickle.loads(payload["data"])
         with open(path, "wb") as handle:
-            pickle.dump({"version": 1, "summaries": payload["summaries"]},
+            pickle.dump({"version": 1, "summaries": inner["summaries"]},
                         handle)
         reader = CheckSession(units=UNITS, cache_dir=str(tmp_path))
         reader.check(source)
