@@ -1,7 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke trace-smoke chaos-smoke
+#: minimum branch coverage of src/repro/server/ (ratchet: raise, never
+#: lower, as the daemon's test surface grows).
+COVERAGE_MIN ?= 85
+
+.PHONY: test bench bench-smoke trace-smoke chaos-smoke server-smoke \
+	coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +32,26 @@ bench-smoke:
 # quarantined and rebuilt.
 chaos-smoke:
 	$(PYTHON) benchmarks/chaos_smoke.py
+
+# Daemon smoke: a real `vaultc serve` under three concurrent clients
+# must answer byte-identically to the in-process checker, shut down
+# cleanly on SIGTERM, and fall back transparently once gone.
+server-smoke:
+	$(PYTHON) benchmarks/server_smoke.py
+
+# Branch coverage of the server package, ratcheted via COVERAGE_MIN.
+# Skips (loudly) where coverage.py is not installed; CI installs it
+# and enforces the floor.
+coverage:
+	@if $(PYTHON) -c "import coverage" 2>/dev/null; then \
+		$(PYTHON) -m coverage run --branch \
+		    --source=src/repro/server \
+		    -m pytest tests/test_server.py tests/test_golden.py -q \
+		&& $(PYTHON) -m coverage report \
+		    --fail-under=$(COVERAGE_MIN); \
+	else \
+		echo "coverage: module not installed; skipping (CI enforces)"; \
+	fi
 
 # Full benchmark run, including the 640-function scaling point.
 bench:

@@ -1,0 +1,168 @@
+"""Derived experiment T4 — the persistent check daemon.
+
+Measures what ``vaultc serve`` buys over cold batch invocation on the
+640-function synthetic corpus (the largest point of the scaling
+study):
+
+* **cold subprocess** — one full ``vaultc check`` process: interpreter
+  start-up, stdlib elaboration, parse, check.  This is the edit loop
+  the paper's tooling story competes against;
+* **cold daemon** — the first request to a freshly started daemon
+  (pays elaboration + check, but not interpreter start-up on the
+  client side);
+* **warm daemon** — re-checking the byte-identical source against the
+  daemon's warm session (whole-unit replay served over the socket);
+* **throughput** — warm requests/second, sequential clients.
+
+Acceptance: the warm daemon re-check must be **>=5x** faster than the
+cold subprocess check, with byte-identical diagnostics.  Results are
+merged into ``BENCH_checker.json`` under the ``"server"`` key
+(read-modify-write: the incremental benchmark owns the rest of the
+file).
+"""
+
+import json
+import os
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import check_source
+from repro.analysis import synthesize_program
+from repro.server import DaemonClient, DaemonUnavailable
+
+from conftest import banner
+
+N_FUNCTIONS = 640
+SEED = 42
+WARM_ROUNDS = 10
+
+_REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+_BENCH_JSON = os.path.join(_REPO, "BENCH_checker.json")
+
+
+def _vaultc_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_daemon(sock: str) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock],
+        cwd=_REPO, env=_vaultc_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            with DaemonClient(sock) as client:
+                client.ping()
+            return proc
+        except DaemonUnavailable:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited early (rc={proc.returncode})")
+            time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon never became ready")
+
+
+def _measure():
+    source = synthesize_program(N_FUNCTIONS, seed=SEED)
+    local_report = check_source(source, "corpus.vlt")
+    assert local_report.ok
+    rendered = local_report.render()
+
+    with tempfile.TemporaryDirectory(prefix="vaultc-bench-") as tmp:
+        corpus = os.path.join(tmp, "corpus.vlt")
+        with open(corpus, "w", encoding="utf-8") as handle:
+            handle.write(source)
+
+        # Cold subprocess: the full `vaultc check` a cold edit loop pays.
+        started = time.perf_counter()
+        run = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "check", corpus],
+            cwd=_REPO, env=_vaultc_env(), capture_output=True, text=True)
+        cold_subprocess = time.perf_counter() - started
+        assert run.returncode == 0, run.stderr
+
+        sock = os.path.join(tmp, "daemon.sock")
+        proc = _spawn_daemon(sock)
+        try:
+            with DaemonClient(sock) as client:
+                started = time.perf_counter()
+                first = client.check(source, "corpus.vlt")
+                cold_daemon = time.perf_counter() - started
+                assert first["ok"] and first["check_ok"]
+                assert first["render"] == rendered, \
+                    "daemon diagnostics must be byte-identical"
+
+                warm_times = []
+                for _ in range(WARM_ROUNDS):
+                    started = time.perf_counter()
+                    reply = client.check(source, "corpus.vlt")
+                    warm_times.append(time.perf_counter() - started)
+                    assert reply["render"] == rendered
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0, \
+                "daemon must exit 0 on SIGTERM"
+        assert not os.path.exists(sock), "daemon must unlink its socket"
+
+    warm = statistics.median(warm_times)
+    return {
+        "workload": {"functions": N_FUNCTIONS, "seed": SEED,
+                     "warm_rounds": WARM_ROUNDS},
+        "seconds": {
+            "cold_subprocess_check": cold_subprocess,
+            "cold_daemon_first_request": cold_daemon,
+            "warm_daemon_recheck_median": warm,
+            "warm_daemon_recheck_min": min(warm_times),
+        },
+        "speedup": {
+            "warm_daemon_vs_cold_subprocess":
+                cold_subprocess / warm if warm else float("inf"),
+            "warm_daemon_vs_cold_daemon":
+                cold_daemon / warm if warm else float("inf"),
+        },
+        "warm_requests_per_second":
+            len(warm_times) / sum(warm_times) if sum(warm_times)
+            else float("inf"),
+    }
+
+
+def test_server_daemon(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    # Read-modify-write: bench_incremental.py owns the rest of the
+    # file; this benchmark owns only the "server" key.
+    try:
+        with open(_BENCH_JSON, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged["server"] = result
+    with open(_BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+
+    sec = result["seconds"]
+    speed = result["speedup"]
+    rows = [
+        f"cold `vaultc check` subprocess   {sec['cold_subprocess_check'] * 1000:8.1f} ms",
+        f"cold daemon (first request)      {sec['cold_daemon_first_request'] * 1000:8.1f} ms",
+        f"warm daemon re-check (median)    {sec['warm_daemon_recheck_median'] * 1000:8.1f} ms"
+        f"  ({speed['warm_daemon_vs_cold_subprocess']:.1f}x vs cold subprocess)",
+        f"warm throughput                  {result['warm_requests_per_second']:8.1f} requests/s",
+        "daemon diagnostics byte-identical to in-process   VERIFIED",
+        "SIGTERM -> exit 0, socket unlinked                VERIFIED",
+    ]
+    banner("T4: persistent check daemon", rows)
+
+    assert speed["warm_daemon_vs_cold_subprocess"] >= 5.0, \
+        "warm daemon re-check should be >=5x faster than a cold " \
+        "`vaultc check` subprocess"

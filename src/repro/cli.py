@@ -8,6 +8,8 @@ Subcommands::
     vaultc erase   file.vlt                  # print the key-erased source
     vaultc stats   file.vlt                  # size/annotation metrics
     vaultc mutate  file.vlt [--limit N]      # seeded-fault study
+    vaultc serve   [--socket PATH]           # persistent check daemon
+    vaultc watch   DIR                       # re-check changed .vlt files
 """
 
 from __future__ import annotations
@@ -60,6 +62,27 @@ def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
     instrumented = args.trace or args.metrics
     faults = args.inject_faults or os.environ.get("VAULTC_FAULTS")
+    # The daemon path only carries what the wire protocol can express;
+    # introspection flags (--trace/--metrics/--profile) and the chaos
+    # harness are inherently local, so they check in-process as before.
+    if args.daemon is not None and not args.profile and not instrumented \
+            and not faults and args.batch_timeout is None:
+        from .server.client import check_via_daemon
+        outcome = check_via_daemon(
+            source, args.file,
+            {"jobs": args.jobs, "cache_dir": args.cache,
+             "break_even": None if args.break_even is None
+             else args.break_even / 1000.0},
+            args.daemon)
+        if outcome is not None:
+            if outcome.ok:
+                print(f"{args.file}: OK (protocols verified)")
+                return 0
+            print(outcome.render)
+            print(f"{args.file}: {outcome.errors} error(s)")
+            return 1
+        # No reachable daemon: transparent fallback to the identical
+        # in-process pipeline below.
     if args.jobs != 1 or args.cache or args.profile or instrumented \
             or args.break_even is not None \
             or args.batch_timeout is not None or faults:
@@ -283,6 +306,28 @@ def cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import Telemetry
+    from .server import serve
+    return serve(socket_path=args.socket,
+                 idle_timeout=args.idle_timeout,
+                 telemetry=Telemetry(metrics=True),
+                 default_jobs=args.jobs,
+                 ready_out=sys.stderr)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from .server.watch import run_watch
+    try:
+        return run_watch(args.dir, interval=args.interval,
+                         cycles=args.cycles, socket_path=args.daemon,
+                         options={"jobs": args.jobs,
+                                  "cache_dir": args.cache})
+    except NotADirectoryError:
+        print(f"error: {args.dir} is not a directory", file=sys.stderr)
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vaultc",
@@ -329,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "garbage and cache bit-flips, e.g. "
                         "'crash@0,hang@2,flip-cache,seed=7'; also read "
                         "from $VAULTC_FAULTS")
+    p.add_argument("--daemon", nargs="?", const="auto", default=None,
+                   metavar="auto|SOCKET",
+                   help="route the check through a running 'vaultc "
+                        "serve' daemon ('auto' or no value uses the "
+                        "default socket); falls back to an in-process "
+                        "check, with byte-identical diagnostics, when "
+                        "no daemon is reachable")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("run", help="check then interpret a file")
@@ -372,6 +424,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--limit", type=int, default=None)
     p.set_defaults(fn=cmd_mutate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent check daemon (warm caches, worker "
+             "pool, Unix-socket protocol; see docs/SERVER.md)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="Unix socket to listen on (default: "
+                        "$VAULTC_SOCKET or a per-user runtime path)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit after this long with no requests "
+                        "(default: run until SIGTERM/Ctrl-C)")
+    p.add_argument("--jobs", "-j", type=_parse_jobs, default=1,
+                   metavar="N|auto",
+                   help="default worker count for requests that do "
+                        "not specify one")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "watch",
+        help="re-check .vlt files under DIR whenever they change "
+             "(through the daemon when one is reachable)")
+    p.add_argument("dir")
+    p.add_argument("--interval", type=float, default=0.5,
+                   metavar="SECONDS", help="mtime poll interval")
+    p.add_argument("--cycles", type=int, default=0, metavar="N",
+                   help="stop after N polls (0 = run until Ctrl-C)")
+    p.add_argument("--daemon", nargs="?", const="auto", default="auto",
+                   metavar="auto|SOCKET",
+                   help="daemon socket to check through (default "
+                        "'auto'; checks fall back in-process when no "
+                        "daemon is reachable)")
+    p.add_argument("--jobs", "-j", type=_parse_jobs, default=1,
+                   metavar="N|auto")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="summary-cache directory for in-process "
+                        "fallback checks")
+    p.set_defaults(fn=cmd_watch)
 
     return parser
 

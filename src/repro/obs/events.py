@@ -32,6 +32,15 @@ machine here, one kind per transition:
   quarantined location);
 * ``fault_injected`` — the deterministic chaos harness
   (:mod:`repro.pipeline.faults`) acted out an injected fault.
+
+The check daemon (PR 5, :mod:`repro.server`) publishes its lifecycle
+on the same bus:
+
+* ``server_start`` / ``server_stop`` — the daemon came up on / left
+  its socket (fields: path, pid, idle_timeout);
+* ``server_idle_exit`` — the idle timeout elapsed with no requests;
+* ``client_error`` — a client was dropped after a protocol violation
+  (malformed frame, oversized header).
 """
 
 from __future__ import annotations

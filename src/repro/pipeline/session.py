@@ -65,6 +65,11 @@ from .workers import WorkerCrash, WorkerPool, fork_available
 #: caps on the in-memory caches; on overflow the oldest half is evicted.
 _MAX_CONTEXTS = 64
 _MAX_CHUNK_ASTS = 8192
+#: summary/cost caches are bounded too — a session embedded in a
+#: long-running daemon sees an unbounded stream of distinct sources,
+#: and before these caps its summary and cost maps grew forever.
+_MAX_SUMMARIES = 32768
+_MAX_COSTS = 32768
 
 #: version 3 wraps the summaries/costs body in a checksummed envelope
 #: (see ``_save_cache``) so on-disk corruption is detected and
@@ -210,6 +215,10 @@ class CheckSession:
         self._cost_by_qual: Dict[str, float] = {}
         self._stdlib_lines: Dict[str, List[str]] = {}
         self._pool: Optional[WorkerPool] = None
+        #: set when the in-memory summaries/costs diverge from the
+        #: on-disk cache; a check that replayed everything does not
+        #: rewrite the (potentially large) pickle.
+        self._cache_dirty = False
         if cache_dir:
             # Pre-register so a healthy run reports an explicit zero
             # (its pool-side siblings are registered at pool creation).
@@ -303,8 +312,9 @@ class CheckSession:
         entry.fn_results = results
         for qual, diags in results:
             reporter.diagnostics.extend(diags)
-        if self.cache_dir:
+        if self.cache_dir and self._cache_dirty:
             self._save_cache()
+            self._cache_dirty = False
         return self._finish(reporter)
 
     def _finish(self, reporter: Reporter) -> Reporter:
@@ -326,6 +336,22 @@ class CheckSession:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+
+    @property
+    def pool_alive(self) -> bool:
+        """Whether a forked worker pool is currently resident."""
+        return self._pool is not None
+
+    def reap_idle_pool(self, max_idle_seconds: float) -> bool:
+        """Tear down the worker pool if it has sat unused for
+        ``max_idle_seconds`` (daemon hygiene: warm caches are cheap to
+        keep, idle forked processes are not).  Returns True when a
+        pool was reaped; the session stays fully usable."""
+        if self._pool is not None \
+                and self._pool.idle_seconds() >= max_idle_seconds:
+            self.close()
+            return True
+        return False
 
     def __enter__(self) -> "CheckSession":
         return self
@@ -446,6 +472,11 @@ class CheckSession:
                     fundef.span.filename, fundef.span.start.line, diags)
                 self.stats.last_checked.append(qual)
                 self.stats.functions_checked += 1
+            self._cache_dirty = True
+            if len(self._summaries) > _MAX_SUMMARIES:
+                self._evict(self._summaries)
+            if len(self._cost_by_qual) > _MAX_COSTS:
+                self._evict(self._cost_by_qual)
         return [(qual, results[qual]) for qual, _ in fn_items]
 
     def _run_checks(self, ctx, to_check, jobs: int

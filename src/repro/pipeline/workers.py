@@ -313,6 +313,9 @@ class WorkerPool:
         self._closed = False
         self._dispatch_seq = 0
         self._respawns = 0
+        #: when this pool last did (or finished) work — long-lived
+        #: hosts (the check daemon) reap pools idle past a linger.
+        self.last_used = time.monotonic()
         if self.telemetry.metrics.enabled:
             for name in RESILIENCE_COUNTERS:
                 self.telemetry.metrics.counter(name)
@@ -426,6 +429,7 @@ class WorkerPool:
             raise WorkerCrash("worker pool is closed")
         if not self._workers:
             raise WorkerCrash("worker pool has no workers")
+        self.last_used = time.monotonic()
         self._respawns = 0
         sel = selectors.DefaultSelector()
         state = _RunState(sel)
@@ -448,7 +452,12 @@ class WorkerPool:
                               partial=partial) from None
         finally:
             sel.close()
+            self.last_used = time.monotonic()
         return state.results
+
+    def idle_seconds(self) -> float:
+        """Seconds since this pool last started or finished a run."""
+        return time.monotonic() - self.last_used
 
     # -- the supervision loop ------------------------------------------------
 

@@ -1,0 +1,58 @@
+"""The persistent check daemon (``vaultc serve``) and its clients.
+
+The paper's pitch is protocol checking *in the compile loop*; in a
+modern editor/CI loop that means a resident service, not a cold batch
+process.  This package keeps the whole warm stack of the pipeline —
+stdlib base context, chunk/context/summary caches, the supervised
+worker pool — alive in a daemon behind a Unix domain socket:
+
+* :class:`CheckServer` / :func:`serve` — the daemon (selector loop,
+  warm-session registry, request coalescing, idle timeout, graceful
+  shutdown);
+* :class:`DaemonClient`, :func:`check_detailed` — the wire client and
+  the daemon-first/in-process-fallback check used by
+  ``vaultc check --daemon``;
+* :class:`Watcher` / :func:`run_watch` — ``vaultc watch DIR``,
+  mtime-polling re-check of changed ``.vlt`` files;
+* :mod:`repro.server.protocol` — the length-prefixed JSON frame
+  format shared by both sides.
+
+See ``docs/SERVER.md`` for the protocol reference, lifecycle and
+failure modes.
+"""
+
+from .client import (CheckOutcome, DaemonClient, DaemonUnavailable,
+                     check_detailed, check_via_daemon, resolve_socket)
+from .daemon import (CheckServer, default_socket_path, serve,
+                     unix_sockets_available)
+from .protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
+                       encode_frame, normalize_options, recv_frame,
+                       request_key, send_frame, session_key, split_frames)
+from .watch import Watcher, render_outcome, run_watch, scan_tree
+
+__all__ = [
+    "CheckOutcome",
+    "CheckServer",
+    "DaemonClient",
+    "DaemonUnavailable",
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Watcher",
+    "check_detailed",
+    "check_via_daemon",
+    "default_socket_path",
+    "encode_frame",
+    "normalize_options",
+    "recv_frame",
+    "render_outcome",
+    "request_key",
+    "resolve_socket",
+    "run_watch",
+    "scan_tree",
+    "send_frame",
+    "serve",
+    "session_key",
+    "split_frames",
+    "unix_sockets_available",
+]

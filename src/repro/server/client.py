@@ -1,0 +1,182 @@
+"""Client side of the check daemon: connect, request, fall back.
+
+:class:`DaemonClient` is the raw wire client.  :func:`check_detailed`
+is what ``vaultc check --daemon`` uses: it tries the daemon and
+**transparently falls back to in-process checking** whenever the
+daemon is unreachable, dies mid-request, or replies with something
+unusable — with diagnostics byte-identical in both paths (the daemon
+runs the same :class:`~repro.pipeline.CheckSession` pipeline, whose
+output is pinned byte-for-byte against ``repro.check_source`` by the
+golden corpus in ``tests/test_golden.py``).
+
+The only daemon failure that is *not* silently absorbed is a reply of
+kind ``vault_error``: that means the daemon successfully determined
+the *input* is broken (e.g. a syntax crash), so the client raises the
+same :class:`~repro.diagnostics.VaultError` the in-process path would
+have raised — identical CLI behaviour, no wasted re-check.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..diagnostics import VaultError
+from .daemon import default_socket_path, unix_sockets_available
+from .protocol import (PROTOCOL_VERSION, ProtocolError, normalize_options,
+                       recv_frame, send_frame)
+
+#: seconds allowed for connect + ping; actual checks run uncapped (the
+#: daemon's watchdog bounds runaway work server-side).
+CONNECT_TIMEOUT = 5.0
+
+
+class DaemonUnavailable(Exception):
+    """No usable daemon behind the socket (absent, dead, or talking a
+    different protocol) — the cue to check in-process instead."""
+
+
+def resolve_socket(spec: Optional[str]) -> str:
+    """``auto``/``None``/empty -> the default path; else the path."""
+    if not spec or spec == "auto":
+        return default_socket_path()
+    return spec
+
+
+class DaemonClient:
+    """A blocking client for one daemon connection."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 connect_timeout: float = CONNECT_TIMEOUT):
+        if not unix_sockets_available():
+            raise DaemonUnavailable("no AF_UNIX support on this platform")
+        self.socket_path = resolve_socket(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        try:
+            self._sock.connect(self.socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise DaemonUnavailable(
+                f"cannot reach a check daemon at {self.socket_path}: "
+                f"{exc}") from None
+        # Checks may legitimately take a while; only connect is capped.
+        self._sock.settimeout(None)
+
+    def request(self, payload: dict) -> dict:
+        """One request/reply round trip; :class:`DaemonUnavailable` on
+        any transport-level failure (EOF, reset, garbage frames)."""
+        try:
+            send_frame(self._sock, payload)
+            reply = recv_frame(self._sock)
+        except (OSError, ProtocolError) as exc:
+            raise DaemonUnavailable(
+                f"daemon connection failed mid-request: {exc}") from None
+        if reply is None:
+            raise DaemonUnavailable("daemon closed the connection "
+                                    "without replying")
+        return reply
+
+    # -- convenience ops -----------------------------------------------------
+
+    def ping(self) -> dict:
+        reply = self.request({"op": "ping"})
+        if not reply.get("ok") or reply.get("version") != PROTOCOL_VERSION:
+            raise DaemonUnavailable(
+                f"daemon speaks protocol {reply.get('version')!r}, "
+                f"client speaks {PROTOCOL_VERSION}")
+        return reply
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def check(self, source: str, filename: str = "<input>",
+              options: Optional[Dict[str, object]] = None) -> dict:
+        return self.request({"op": "check", "source": source,
+                             "filename": filename,
+                             "options": options or {}})
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class CheckOutcome:
+    """What ``vaultc check`` needs to print, wherever it was computed."""
+
+    ok: bool
+    render: str
+    errors: int
+    via_daemon: bool
+
+
+def check_via_daemon(source: str, filename: str = "<input>",
+                     options: Optional[Dict[str, object]] = None,
+                     socket_path: Optional[str] = "auto"
+                     ) -> Optional[CheckOutcome]:
+    """Try one check through the daemon; ``None`` means "no daemon —
+    check in-process yourself".  Raises :class:`VaultError` only when
+    the daemon proved the input itself is broken."""
+    try:
+        with DaemonClient(socket_path) as client:
+            reply = client.check(source, filename,
+                                 normalize_options(options))
+    except DaemonUnavailable:
+        return None
+    if reply.get("ok") is True and isinstance(reply.get("render"), str):
+        return CheckOutcome(ok=bool(reply.get("check_ok")),
+                            render=reply["render"],
+                            errors=int(reply.get("errors", 0)),
+                            via_daemon=True)
+    if reply.get("kind") == "vault_error":
+        raise VaultError(str(reply.get("error", "daemon check failed")))
+    # Unusable reply (internal daemon error, unknown shape): behave as
+    # if there were no daemon at all.
+    return None
+
+
+def check_detailed(source: str, filename: str = "<input>",
+                   options: Optional[Dict[str, object]] = None,
+                   socket_path: Optional[str] = "auto") -> CheckOutcome:
+    """Daemon-first check with transparent in-process fallback.
+
+    ``socket_path=None`` skips the daemon entirely.  The fallback
+    produces byte-identical output to the daemon path (same pipeline,
+    same renderer).
+    """
+    if socket_path is not None:
+        outcome = check_via_daemon(source, filename, options, socket_path)
+        if outcome is not None:
+            return outcome
+    from ..api import check_source
+    options = normalize_options(options)
+    if options["cache_dir"] or options["jobs"] not in (1, None):
+        from ..pipeline import CheckSession
+        from ..pipeline.scheduler import BREAK_EVEN_SECONDS
+        break_even = options["break_even"]
+        with CheckSession(
+                stdlib=options["stdlib"], units=options["units"],
+                jobs=options["jobs"] or 1,
+                cache_dir=options["cache_dir"],
+                break_even_seconds=BREAK_EVEN_SECONDS
+                if break_even is None else float(break_even)) as session:
+            report = session.check(source, filename)
+    else:
+        report = check_source(source, filename,
+                              stdlib=options["stdlib"],
+                              units=options["units"])
+    return CheckOutcome(ok=report.ok, render=report.render(),
+                        errors=len(report.errors), via_daemon=False)

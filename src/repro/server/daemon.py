@@ -1,0 +1,654 @@
+"""The ``vaultc serve`` check daemon.
+
+A single-threaded selector loop on a Unix domain socket that keeps the
+expensive parts of checking — the interpreter itself, the elaborated
+stdlib base context, per-unit chunk/context/summary caches, and the
+supervised worker pool — **resident** between requests.  A cold
+``vaultc check`` pays interpreter start-up plus full elaboration on
+every invocation; a daemon check of an unchanged module is a unit-
+replay cache hit, typically two orders of magnitude cheaper (see
+``benchmarks/bench_server.py``).
+
+Design:
+
+* **warm sessions** — a registry of :class:`repro.pipeline.CheckSession`
+  keyed by the stable hash of the session-selecting request options
+  (:func:`repro.server.protocol.session_key`); least-recently-used
+  sessions are closed and dropped past ``session_limit``;
+* **concurrency** — the selector loop accepts any number of clients
+  and buffers their frames; checks run one at a time in the loop (they
+  are CPU-bound and internally parallel via the worker pool), so
+  concurrent clients serialize without interleaving diagnostics;
+* **coalescing** — duplicate in-flight ``check`` requests (same
+  source, filename and options) are grouped and answered by a single
+  run of the checker; just before executing, the loop drains every
+  readable socket once more so a burst of identical requests from
+  several editors collapses into one check;
+* **graceful shutdown** — SIGTERM/SIGINT (via :func:`serve`), the
+  ``shutdown`` op, and the idle timeout all funnel into one idempotent
+  :meth:`CheckServer.close` that closes client connections, shuts down
+  every session's worker pool, and unlinks the socket;
+* **pool hygiene** — each loop tick reaps worker pools that have been
+  idle past ``pool_linger`` seconds (the session and its caches stay
+  warm; a later parallel check re-forks).
+
+Everything observable is published on the server's telemetry:
+``server.*`` metrics, ``server_start``/``server_stop``/
+``server_idle_exit``/``client_error`` events, and one
+``server.request`` span per executed check.  ``docs/SERVER.md`` has
+the protocol and failure-mode reference.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import sys
+import tempfile
+import time
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..diagnostics import VaultError
+from ..obs import Telemetry
+from ..pipeline import CheckSession
+from ..pipeline.scheduler import BREAK_EVEN_SECONDS
+from .protocol import (PROTOCOL_VERSION, ProtocolError, encode_frame,
+                       normalize_options, request_key, session_key,
+                       split_frames)
+
+#: seconds a session's worker pool may sit idle before the loop tears
+#: it down (the session itself, with all its caches, stays registered).
+DEFAULT_POOL_LINGER = 60.0
+
+#: warm sessions kept before the least-recently-used one is closed.
+DEFAULT_SESSION_LIMIT = 8
+
+#: upper bound on one ``select`` sleep, so stop requests and idle
+#: deadlines are honoured promptly even with no socket traffic.
+_TICK_SECONDS = 0.5
+
+#: counters pre-registered at start-up so a quiet daemon reports
+#: explicit zeros (mirrors the pool's RESILIENCE_COUNTERS idiom).
+SERVER_COUNTERS = ("server.connections", "server.requests",
+                   "server.checks", "server.coalesced",
+                   "server.bad_requests", "server.client_errors")
+
+
+def unix_sockets_available() -> bool:
+    return hasattr(socket, "AF_UNIX")
+
+
+def default_socket_path() -> str:
+    """Where ``vaultc serve`` listens and ``--daemon auto`` looks:
+    ``$VAULTC_SOCKET`` if set, else a per-user ``vaultc-<uid>/
+    daemon.sock`` under ``$XDG_RUNTIME_DIR`` (or the tmp dir)."""
+    explicit = os.environ.get("VAULTC_SOCKET")
+    if explicit:
+        return explicit
+    base = os.environ.get("XDG_RUNTIME_DIR") or tempfile.gettempdir()
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(base, f"vaultc-{uid}", "daemon.sock")
+
+
+class _Conn:
+    """One connected client: its socket plus incremental I/O buffers."""
+
+    __slots__ = ("sock", "inbuf", "outbuf", "closed")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.inbuf = b""
+        self.outbuf = b""
+        self.closed = False
+
+
+class _Request:
+    """One queued ``check`` request awaiting execution."""
+
+    __slots__ = ("conn", "key", "payload")
+
+    def __init__(self, conn: _Conn, key: str, payload: dict):
+        self.conn = conn
+        self.key = key
+        self.payload = payload
+
+
+def coalesce_group(queue: Deque[_Request]) -> List[_Request]:
+    """Pop the head request plus every queued duplicate (same
+    coalescing key).  Pure queue surgery, unit-testable without a
+    socket in sight."""
+    head = queue.popleft()
+    group = [head]
+    rest = [req for req in queue if req.key != head.key]
+    if len(rest) != len(queue):
+        group.extend(req for req in queue if req.key == head.key)
+        queue.clear()
+        queue.extend(rest)
+    return group
+
+
+class _SessionEntry:
+    __slots__ = ("session", "last_used")
+
+    def __init__(self, session: CheckSession):
+        self.session = session
+        self.last_used = time.monotonic()
+
+
+class CheckServer:
+    """A long-running check daemon on a Unix domain socket.
+
+    Construct, :meth:`bind`, then :meth:`serve_forever` (or use the
+    :func:`serve` convenience, which also wires signals).  ``close``
+    is idempotent and safe from any point of the lifecycle.
+    """
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 idle_timeout: Optional[float] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 session_limit: int = DEFAULT_SESSION_LIMIT,
+                 pool_linger: float = DEFAULT_POOL_LINGER,
+                 default_jobs: object = 1,
+                 enable_test_ops: bool = False):
+        if not unix_sockets_available():
+            raise VaultError(
+                "the check daemon needs AF_UNIX sockets, which this "
+                "platform does not provide")
+        self.socket_path = socket_path or default_socket_path()
+        self.idle_timeout = idle_timeout
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.session_limit = max(1, session_limit)
+        self.pool_linger = pool_linger
+        self.default_jobs = default_jobs
+        #: honour ``test_die``/``die`` chaos hooks (never on by
+        #: default; ``vaultc serve`` gates it behind
+        #: ``$VAULTC_SERVER_TEST_OPS``).
+        self.enable_test_ops = enable_test_ops
+        self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
+        self._queue: Deque[_Request] = deque()
+        self._conns: Dict[int, _Conn] = {}
+        self._sel: Optional[selectors.BaseSelector] = None
+        self._listener: Optional[socket.socket] = None
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
+        self._bound = False
+        self._closed = False
+        self._stop = False
+        self._last_activity = time.monotonic()
+        if self.telemetry.metrics.enabled:
+            for name in SERVER_COUNTERS:
+                self.telemetry.metrics.counter(name)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self) -> "CheckServer":
+        """Create and listen on the socket.  A stale socket file (a
+        previous daemon died without unlinking) is removed; a *live*
+        one — something is accepting connections — is an error."""
+        directory = os.path.dirname(self.socket_path)
+        if directory:
+            os.makedirs(directory, mode=0o700, exist_ok=True)
+        if os.path.exists(self.socket_path):
+            if self._socket_is_live(self.socket_path):
+                raise VaultError(
+                    f"a check daemon is already listening on "
+                    f"{self.socket_path}")
+            os.unlink(self.socket_path)
+        self._sel = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self._listener.bind(self.socket_path)
+            self._listener.listen(16)
+            self._listener.setblocking(False)
+            self._sel.register(self._listener, selectors.EVENT_READ,
+                               ("accept", None))
+            self._wake_r, self._wake_w = socket.socketpair()
+            self._wake_r.setblocking(False)
+            self._wake_w.setblocking(False)
+            self._sel.register(self._wake_r, selectors.EVENT_READ,
+                               ("wake", None))
+        except BaseException:
+            self.close()
+            raise
+        self._bound = True
+        self.telemetry.events.emit(
+            "server_start",
+            f"check daemon (pid {os.getpid()}) listening on "
+            f"{self.socket_path}",
+            path=self.socket_path, pid=os.getpid(),
+            idle_timeout=self.idle_timeout)
+        return self
+
+    @staticmethod
+    def _socket_is_live(path: str) -> bool:
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(0.5)
+        try:
+            probe.connect(path)
+        except OSError:
+            return False
+        finally:
+            probe.close()
+        return True
+
+    def wakeup_fileno(self) -> int:
+        """The write end of the loop's wake-up pipe (for
+        ``signal.set_wakeup_fd`` and cross-thread pokes)."""
+        assert self._wake_w is not None, "bind() first"
+        return self._wake_w.fileno()
+
+    def request_stop(self) -> None:
+        """Ask the loop to exit; safe from signal handlers and other
+        threads (the selector is poked awake)."""
+        self._stop = True
+        if self._wake_w is not None:
+            try:
+                self._wake_w.send(b"\x00")
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Tear everything down; idempotent, callable at any point."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop = True
+        for conn in list(self._conns.values()):
+            self._drop_conn(conn)
+        for sock in (self._listener, self._wake_r, self._wake_w):
+            if sock is not None:
+                try:
+                    if self._sel is not None:
+                        self._sel.unregister(sock)
+                except (KeyError, ValueError):
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._listener = self._wake_r = self._wake_w = None
+        if self._sel is not None:
+            self._sel.close()
+            self._sel = None
+        if self._bound:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            self._bound = False
+        for entry in self._sessions.values():
+            entry.session.close()
+        self._sessions.clear()
+        self.telemetry.events.emit(
+            "server_stop",
+            f"check daemon (pid {os.getpid()}) stopped",
+            path=self.socket_path, pid=os.getpid())
+
+    def __enter__(self) -> "CheckServer":
+        if not self._bound:
+            self.bind()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the loop ------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run until a stop request, the idle timeout, or close()."""
+        assert self._bound, "bind() before serve_forever()"
+        try:
+            while not self._stop:
+                timeout = _TICK_SECONDS
+                if self.idle_timeout is not None and not self._queue:
+                    remaining = self.idle_timeout - \
+                        (time.monotonic() - self._last_activity)
+                    if remaining <= 0:
+                        self.telemetry.events.emit(
+                            "server_idle_exit",
+                            f"no requests for {self.idle_timeout:g}s; "
+                            f"shutting down",
+                            idle_timeout=self.idle_timeout)
+                        break
+                    timeout = min(timeout, remaining)
+                for key, mask in self._sel.select(timeout):
+                    self._handle_event(key, mask)
+                if self._queue:
+                    self._process_queue()
+                self._reap_idle_pools()
+        finally:
+            self.close()
+
+    def _handle_event(self, key: selectors.SelectorKey, mask: int) -> None:
+        kind, conn = key.data
+        if kind == "accept":
+            self._accept()
+        elif kind == "wake":
+            try:
+                self._wake_r.recv(4096)
+            except OSError:
+                pass
+        elif kind == "conn":
+            if mask & selectors.EVENT_WRITE:
+                self._flush(conn)
+            if mask & selectors.EVENT_READ and not conn.closed:
+                self._on_readable(conn)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            conn = _Conn(sock)
+            self._conns[sock.fileno()] = conn
+            self._sel.register(sock, selectors.EVENT_READ, ("conn", conn))
+            self._last_activity = time.monotonic()
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter("server.connections").inc()
+
+    def _on_readable(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        try:
+            chunk = conn.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_conn(conn)
+            return
+        if not chunk:
+            # Client hung up.  Any of its requests still queued are
+            # left in place; replying to a closed connection is a
+            # tolerated no-op (see _send), so a disconnect mid-request
+            # never disturbs the daemon or its other clients.
+            self._drop_conn(conn)
+            return
+        conn.inbuf += chunk
+        try:
+            frames, conn.inbuf = split_frames(conn.inbuf)
+        except ProtocolError as exc:
+            self._client_error(conn, exc)
+            return
+        for frame in frames:
+            self._on_frame(conn, frame)
+
+    def _client_error(self, conn: _Conn, exc: Exception) -> None:
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("server.client_errors").inc()
+        self.telemetry.events.emit(
+            "client_error",
+            f"dropping client after protocol error: {exc}",
+            error=f"{type(exc).__name__}: {exc}")
+        self._send(conn, {"ok": False, "kind": "bad_request",
+                          "error": str(exc)})
+        self._drop_conn(conn)
+
+    def _drop_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.pop(conn.sock.fileno(), None)
+        try:
+            if self._sel is not None:
+                self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # -- request handling ----------------------------------------------------
+
+    def _on_frame(self, conn: _Conn, frame: dict) -> None:
+        self._last_activity = time.monotonic()
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("server.requests").inc()
+        op = frame.get("op")
+        if op == "check":
+            source = frame.get("source")
+            filename = frame.get("filename", "<input>")
+            if not isinstance(source, str) or not isinstance(filename, str):
+                self._bad_request(conn, "check needs string 'source' "
+                                        "(and optional string 'filename')")
+                return
+            options = frame.get("options")
+            if options is not None and not isinstance(options, dict):
+                self._bad_request(conn, "'options' must be an object")
+                return
+            options = normalize_options(options, self.default_jobs)
+            frame["options"] = options
+            self._queue.append(_Request(
+                conn, request_key(source, filename, options), frame))
+            return
+        if op == "ping":
+            self._send(conn, {"ok": True, "pid": os.getpid(),
+                              "version": PROTOCOL_VERSION,
+                              "socket": self.socket_path})
+            return
+        if op == "stats":
+            self._send(conn, {"ok": True, "stats": self._stats()})
+            return
+        if op == "shutdown":
+            self._send(conn, {"ok": True, "stopping": True})
+            self.request_stop()
+            return
+        if op == "die" and self.enable_test_ops:
+            # Chaos hook (tests only): drop dead without replying, as
+            # an OOM-killed or SIGKILLed daemon would.
+            os._exit(86)
+        self._bad_request(conn, f"unknown op {op!r}")
+
+    def _bad_request(self, conn: _Conn, message: str) -> None:
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("server.bad_requests").inc()
+        self._send(conn, {"ok": False, "kind": "bad_request",
+                          "error": message})
+
+    def _process_queue(self) -> None:
+        while self._queue:
+            # Coalescing window: ingest whatever already arrived so a
+            # burst of identical requests is grouped before we commit
+            # to a check.  Bounded rounds — a firehose client must not
+            # starve the queue.
+            for _ in range(8):
+                if not self._drain_ready_once():
+                    break
+            group = coalesce_group(self._queue)
+            response = self._execute_check(group[0].payload)
+            blob = encode_frame(response)
+            for req in group:
+                self._send_bytes(req.conn, blob)
+            if len(group) > 1 and self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter(
+                    "server.coalesced").inc(len(group) - 1)
+            self._last_activity = time.monotonic()
+
+    def _drain_ready_once(self) -> bool:
+        """One zero-timeout selector pass; True if anything was ready."""
+        events = self._sel.select(0)
+        for key, mask in events:
+            self._handle_event(key, mask)
+        return bool(events)
+
+    # -- replies -------------------------------------------------------------
+
+    def _send(self, conn: _Conn, obj: dict) -> None:
+        self._send_bytes(conn, encode_frame(obj))
+
+    def _send_bytes(self, conn: _Conn, blob: bytes) -> None:
+        """Queue a reply and push as much as the socket takes now; the
+        rest drains via EVENT_WRITE.  Sending to a client that already
+        hung up is a tolerated no-op — a disconnect mid-request must
+        not disturb the run that was checking on its behalf."""
+        if conn.closed:
+            return
+        conn.outbuf += blob
+        self._flush(conn)
+
+    def _flush(self, conn: _Conn) -> None:
+        try:
+            while conn.outbuf:
+                sent = conn.sock.send(conn.outbuf)
+                conn.outbuf = conn.outbuf[sent:]
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self._drop_conn(conn)
+            return
+        mask = selectors.EVENT_READ
+        if conn.outbuf:
+            mask |= selectors.EVENT_WRITE
+        try:
+            self._sel.modify(conn.sock, mask, ("conn", conn))
+        except (KeyError, ValueError):
+            pass
+
+    def _execute_check(self, payload: dict) -> dict:
+        source = payload["source"]
+        filename = payload.get("filename", "<input>")
+        options = payload["options"]
+        if self.enable_test_ops and payload.get("test_die"):
+            # Chaos hook (tests only): die mid-request, after the
+            # client has committed to waiting for this reply.
+            os._exit(86)
+        session = self._session_for(options)
+        started = time.perf_counter()
+        try:
+            with self.telemetry.tracer.span("server.request",
+                                            filename=filename):
+                report = session.check(source, filename)
+        except VaultError as exc:
+            # Checker *input* errors (syntax crashes, bad units) are a
+            # normal reply; the client re-raises locally so the CLI
+            # output is byte-identical to the in-process path.
+            return {"ok": False, "kind": "vault_error", "error": str(exc)}
+        except Exception as exc:                     # noqa: BLE001
+            self.telemetry.events.emit(
+                "check_aborted",
+                f"daemon check of {filename} raised: {exc}",
+                filename=filename,
+                error=f"{type(exc).__name__}: {exc}")
+            return {"ok": False, "kind": "internal_error",
+                    "error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - started
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("server.checks").inc()
+            self.telemetry.metrics.histogram(
+                "server.check_seconds").observe(elapsed)
+        return {"ok": True,
+                "check_ok": report.ok,
+                "render": report.render(),
+                "errors": len(report.errors),
+                "diagnostics": len(report.diagnostics),
+                "seconds": elapsed}
+
+    # -- warm sessions -------------------------------------------------------
+
+    def _session_for(self, options: Dict[str, object]) -> CheckSession:
+        key = session_key(options)
+        entry = self._sessions.get(key)
+        if entry is not None:
+            entry.last_used = time.monotonic()
+            self._sessions.move_to_end(key)
+            return entry.session
+        break_even = options.get("break_even")
+        session = CheckSession(
+            stdlib=bool(options.get("stdlib", True)),
+            units=options.get("units"),
+            jobs=options.get("jobs", 1),
+            cache_dir=options.get("cache_dir"),
+            break_even_seconds=BREAK_EVEN_SECONDS if break_even is None
+            else float(break_even),
+            # Sessions share the daemon's metrics/events/tracer but
+            # keep their own profile and stats surfaces: sharing one
+            # Telemetry object across sessions would cross-wire the
+            # pool's per-session resilience accounting.
+            telemetry=Telemetry(tracer=self.telemetry.tracer,
+                                registry=self.telemetry.metrics,
+                                events=self.telemetry.events))
+        while len(self._sessions) >= self.session_limit:
+            _evicted_key, evicted = self._sessions.popitem(last=False)
+            evicted.session.close()
+        self._sessions[key] = _SessionEntry(session)
+        return session
+
+    def _reap_idle_pools(self) -> None:
+        if self.pool_linger is None:
+            return
+        for entry in self._sessions.values():
+            entry.session.reap_idle_pool(self.pool_linger)
+
+    def _stats(self) -> dict:
+        sessions = []
+        for key, entry in self._sessions.items():
+            stats = entry.session.stats
+            sessions.append({
+                "key": key[:16],
+                "checks": stats.checks,
+                "functions_checked": stats.functions_checked,
+                "functions_replayed": stats.functions_replayed,
+                "pool_alive": entry.session.pool_alive,
+                "idle_seconds": time.monotonic() - entry.last_used,
+            })
+        out = self.telemetry.snapshot()
+        out["sessions"] = sessions
+        out["pid"] = os.getpid()
+        out["socket"] = self.socket_path
+        return out
+
+
+def serve(socket_path: Optional[str] = None,
+          idle_timeout: Optional[float] = None,
+          telemetry: Optional[Telemetry] = None,
+          default_jobs: object = 1,
+          ready_out=None) -> int:
+    """Run a daemon in the calling (main) thread until shutdown.
+
+    Wires SIGTERM/SIGINT to a graceful stop through the server's
+    wake-up pipe (a signal landing mid-``select`` interrupts the sleep
+    immediately instead of waiting out the tick).  Returns the process
+    exit code.
+    """
+    import signal
+
+    server = CheckServer(
+        socket_path=socket_path, idle_timeout=idle_timeout,
+        telemetry=telemetry, default_jobs=default_jobs,
+        enable_test_ops=bool(os.environ.get("VAULTC_SERVER_TEST_OPS")))
+    server.bind()
+    previous: List[Tuple[int, object]] = []
+    old_wakeup = None
+
+    def _on_signal(_signum, _frame):
+        server.request_stop()
+
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous.append((signum, signal.signal(signum, _on_signal)))
+        old_wakeup = signal.set_wakeup_fd(server.wakeup_fileno(),
+                                          warn_on_full_buffer=False)
+    except ValueError:
+        # Not the main thread: signals stay with whoever owns them.
+        pass
+    if ready_out is not None:
+        print(f"vaultc daemon (pid {os.getpid()}) listening on "
+              f"{server.socket_path}", file=ready_out, flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+        if old_wakeup is not None:
+            try:
+                signal.set_wakeup_fd(old_wakeup)
+            except ValueError:
+                pass
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+    return 0

@@ -1,0 +1,183 @@
+"""Wire protocol for the ``vaultc`` check daemon.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON (one object per frame).  The format is the socket
+twin of the worker pool's pipe frames (:mod:`repro.pipeline.workers`),
+with JSON instead of pickle because daemon clients are untrusted peers
+on a shared socket: a hostile frame can at worst fail to decode, never
+execute code.
+
+Requests are objects with an ``op`` field:
+
+``{"op": "check", "source": ..., "filename": ..., "options": {...}}``
+    Protocol-check one compilation unit.  ``options`` may carry
+    ``stdlib``, ``units``, ``jobs``, ``cache_dir`` and ``break_even``
+    (seconds); unknown keys are ignored so older clients keep working.
+``{"op": "ping"}``
+    Liveness probe; the reply carries the daemon pid and the protocol
+    version.
+``{"op": "stats"}``
+    The daemon's telemetry snapshot plus its session registry.
+``{"op": "shutdown"}``
+    Ask the daemon to exit after replying.
+
+Replies always carry ``"ok"``: ``true`` with op-specific fields
+(a ``check`` reply has ``check_ok``, ``render``, ``errors``), or
+``false`` with ``error`` and a machine-readable ``kind``
+(``"vault_error"`` for checker input errors, ``"bad_request"`` for
+protocol misuse).  See ``docs/SERVER.md`` for the full schema.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Dict, List, Optional, Tuple
+
+#: bump when a frame or reply changes incompatibly; ``ping`` replies
+#: carry it so clients can refuse to talk across versions.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("!I")
+HEADER_SIZE = _HEADER.size
+
+#: payloads above this are rejected before allocation — a daemon on a
+#: world-readable socket must not be OOM-able by one bogus header.
+MAX_FRAME = 64 << 20
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad length, bad JSON, or a truncated read)."""
+
+
+def encode_frame(obj: object) -> bytes:
+    """One request/reply as wire bytes (header + canonical JSON)."""
+    payload = json.dumps(obj, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def split_frames(buffer: bytes) -> Tuple[List[dict], bytes]:
+    """Decode every complete frame in ``buffer``; return the decoded
+    objects and the unconsumed tail (the server's incremental reader —
+    a slow client's half-written frame just stays buffered)."""
+    frames: List[dict] = []
+    while len(buffer) >= HEADER_SIZE:
+        (length,) = _HEADER.unpack(buffer[:HEADER_SIZE])
+        if length > MAX_FRAME:
+            raise ProtocolError(
+                f"frame header announces {length} bytes "
+                f"(limit {MAX_FRAME})")
+        end = HEADER_SIZE + length
+        if len(buffer) < end:
+            break
+        frames.append(_decode_payload(buffer[HEADER_SIZE:end]))
+        buffer = buffer[end:]
+    return frames, buffer
+
+
+# -- blocking-socket helpers (the client side) -------------------------------
+
+def send_frame(sock: socket.socket, obj: object) -> None:
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    parts: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if parts:
+                raise ProtocolError(
+                    "peer closed the connection mid-frame")
+            return None                      # clean EOF: the peer is gone
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """One decoded frame, or ``None`` on a clean EOF before the first
+    header byte.  EOF mid-frame is a :class:`ProtocolError` (the peer
+    died mid-reply — distinguishable from "no reply at all")."""
+    header = _recv_exact(sock, HEADER_SIZE)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame header announces {length} bytes (limit {MAX_FRAME})")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("peer closed the connection mid-frame")
+    return _decode_payload(payload)
+
+
+# -- stable keys --------------------------------------------------------------
+
+def _canonical(obj: object) -> bytes:
+    return json.dumps(obj, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+
+
+#: option keys that select a :class:`~repro.pipeline.CheckSession`; two
+#: requests differing only in other keys share one warm session.
+SESSION_OPTION_KEYS = ("stdlib", "units", "jobs", "cache_dir",
+                       "break_even")
+
+
+def normalize_options(options: Optional[Dict[str, object]],
+                      default_jobs: object = 1) -> Dict[str, object]:
+    """The session-selecting view of a request's ``options``: known
+    keys only, defaults filled in, so equivalent requests normalize to
+    the same dict (and therefore the same session and request keys)."""
+    options = options or {}
+    units = options.get("units")
+    return {
+        "stdlib": bool(options.get("stdlib", True)),
+        "units": list(units) if units is not None else None,
+        "jobs": options.get("jobs", default_jobs),
+        "cache_dir": options.get("cache_dir"),
+        "break_even": options.get("break_even"),
+    }
+
+
+def session_key(options: Dict[str, object]) -> str:
+    """Registry key for the warm session serving these options (the
+    same stable content hashing the summary cache uses — see
+    :func:`repro.pipeline.fingerprint.cache_checksum`)."""
+    from ..pipeline.fingerprint import cache_checksum
+    return cache_checksum(_canonical(
+        {key: options.get(key) for key in SESSION_OPTION_KEYS}))
+
+
+def request_key(source: str, filename: str,
+                options: Dict[str, object]) -> str:
+    """Coalescing key: two in-flight ``check`` requests with the same
+    key are answered by one run of the checker."""
+    h = hashlib.sha256()
+    h.update(_canonical({key: options.get(key)
+                         for key in SESSION_OPTION_KEYS}))
+    h.update(b"\x00")
+    h.update(filename.encode("utf-8", "surrogateescape"))
+    h.update(b"\x00")
+    h.update(source.encode("utf-8", "surrogateescape"))
+    return h.hexdigest()

@@ -1,0 +1,111 @@
+"""``vaultc watch DIR`` — mtime-polling re-check of a source tree.
+
+A :class:`Watcher` scans a directory for ``*.vlt`` files and re-checks
+whichever changed since the last poll (new file, new mtime/size, or a
+deletion, which is simply forgotten).  Checks route through the
+daemon when one is reachable and fall back to a process-local warm
+:class:`~repro.pipeline.CheckSession` otherwise — either way the
+per-file output is byte-identical to ``vaultc check FILE``.
+
+``poll()`` is a pure step function (scan once, check what changed,
+return the outcomes), so tests drive the watcher deterministically
+without threads or sleeps; the CLI loop just calls it on an interval.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .client import CheckOutcome, check_detailed
+
+#: default seconds between polls.
+DEFAULT_INTERVAL = 0.5
+
+
+def scan_tree(root: str) -> Dict[str, Tuple[float, int]]:
+    """``path -> (mtime, size)`` for every ``.vlt`` under ``root``,
+    in sorted path order (deterministic check order)."""
+    found: Dict[str, Tuple[float, int]] = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".vlt"):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue                     # raced with a delete
+            found[path] = (stat.st_mtime, stat.st_size)
+    return found
+
+
+class Watcher:
+    """Stateful change detector + checker for one directory tree."""
+
+    def __init__(self, root: str, socket_path: Optional[str] = "auto",
+                 options: Optional[Dict[str, object]] = None):
+        if not os.path.isdir(root):
+            raise NotADirectoryError(root)
+        self.root = root
+        self.socket_path = socket_path
+        self.options = dict(options or {})
+        self._seen: Dict[str, Tuple[float, int]] = {}
+
+    def poll(self) -> List[Tuple[str, CheckOutcome]]:
+        """One scan: check every new/changed file, forget deletions.
+        The first poll checks the whole tree (everything is "new")."""
+        current = scan_tree(self.root)
+        changed = [path for path, stamp in current.items()
+                   if self._seen.get(path) != stamp]
+        self._seen = current
+        outcomes: List[Tuple[str, CheckOutcome]] = []
+        for path in changed:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError:
+                continue                     # raced with a delete
+            display = os.path.relpath(path, self.root)
+            outcomes.append((display, check_detailed(
+                source, display, self.options, self.socket_path)))
+        return outcomes
+
+
+def render_outcome(display: str, outcome: CheckOutcome) -> str:
+    """Exactly what ``vaultc check <display>`` prints to stdout."""
+    if outcome.ok:
+        return f"{display}: OK (protocols verified)"
+    return (outcome.render + "\n"
+            f"{display}: {outcome.errors} error(s)")
+
+
+def run_watch(root: str, interval: float = DEFAULT_INTERVAL,
+              cycles: int = 0, socket_path: Optional[str] = "auto",
+              options: Optional[Dict[str, object]] = None,
+              out=None) -> int:
+    """The CLI loop: poll, print, sleep; ``cycles=0`` runs until
+    interrupted.  Returns 1 if the most recent state of any watched
+    file has errors, else 0."""
+    out = out if out is not None else sys.stdout
+    watcher = Watcher(root, socket_path, options)
+    failing: set = set()
+    print(f"watching {root} for .vlt changes "
+          f"(poll every {interval:g}s, Ctrl-C to stop)", file=sys.stderr)
+    completed = 0
+    try:
+        while True:
+            for display, outcome in watcher.poll():
+                print(render_outcome(display, outcome), file=out,
+                      flush=True)
+                (failing.discard if outcome.ok else failing.add)(display)
+            completed += 1
+            if cycles and completed >= cycles:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 1 if failing else 0

@@ -13,6 +13,13 @@ from repro.stdlib.hostimpl import Host, create_host, make_interpreter
 POINT = "struct point { int x; int y; }\n"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the pinned checker outputs under tests/golden/ "
+             "instead of asserting against them")
+
+
 def check(source: str, units: Optional[Sequence[str]] = None) -> Reporter:
     return check_source(source, units=units)
 

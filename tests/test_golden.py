@@ -1,0 +1,166 @@
+"""Golden-diagnostics corpus: the checker's output, pinned byte-for-byte.
+
+Every ``.vlt`` file shipped in the repository — the examples, the
+stdlib interface sources, and the driver case studies — has its exact
+``vaultc check`` stdout pinned under ``tests/golden/``.  Four checking
+paths must all reproduce those bytes exactly:
+
+* **serial** — plain ``repro.check_source``;
+* **parallel** — a :class:`CheckSession` forced through the worker
+  pool (``jobs=4``, zero break-even);
+* **cached** — a warm session replay, plus a cold cross-process replay
+  from an on-disk summary cache;
+* **daemon** — a live ``CheckServer`` answering over its socket.
+
+Regenerate after an intentional diagnostics change with::
+
+    pytest tests/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import check_source
+from repro.pipeline import CheckSession, fork_available
+from repro.server import CheckServer, DaemonClient
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: repo-relative paths of the whole shipped corpus.
+CORPUS = sorted(
+    path.relative_to(REPO).as_posix()
+    for pattern_root, pattern in (
+        (REPO / "examples", "*.vlt"),
+        (REPO / "src" / "repro" / "stdlib" / "vault", "*.vlt"),
+        (REPO / "src" / "repro" / "drivers" / "vault", "*.vlt"),
+    )
+    for path in pattern_root.glob(pattern))
+
+
+def golden_path(rel: str) -> Path:
+    return GOLDEN_DIR / (rel.replace("/", "__") + ".golden")
+
+
+def read_source(rel: str) -> str:
+    return (REPO / rel).read_text(encoding="utf-8")
+
+
+def cli_stdout(ok: bool, render: str, errors: int, rel: str) -> str:
+    """Exactly what ``vaultc check <rel>`` writes to stdout."""
+    if ok:
+        return f"{rel}: OK (protocols verified)\n"
+    return f"{render}\n{rel}: {errors} error(s)\n"
+
+
+def report_stdout(report, rel: str) -> str:
+    return cli_stdout(report.ok, report.render(), len(report.errors), rel)
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
+def assert_matches_golden(actual: str, rel: str, update: bool,
+                          path_label: str) -> None:
+    path = golden_path(rel)
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"no golden file for {rel}; run pytest tests/test_golden.py "
+        f"--update-golden")
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, (
+        f"{path_label} output for {rel} diverged from the pinned bytes "
+        f"in {path.name}")
+
+
+# ---------------------------------------------------------------------------
+# Serial (this is also the path --update-golden regenerates from)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rel", CORPUS)
+def test_serial_output_matches_golden(rel, update_golden):
+    report = check_source(read_source(rel), filename=rel)
+    assert_matches_golden(report_stdout(report, rel), rel, update_golden,
+                          "serial")
+
+
+def test_corpus_is_nonempty_and_golden_dir_has_no_strays(update_golden):
+    assert len(CORPUS) >= 9
+    if update_golden:
+        return
+    expected = {golden_path(rel).name for rel in CORPUS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.golden")}
+    assert actual == expected
+
+
+# ---------------------------------------------------------------------------
+# Parallel: forced through the worker pool
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+def test_parallel_output_matches_golden(update_golden):
+    with CheckSession(jobs=4, break_even_seconds=0.0) as session:
+        for rel in CORPUS:
+            report = session.check(read_source(rel), filename=rel)
+            assert_matches_golden(report_stdout(report, rel), rel,
+                                  update_golden, "parallel (--jobs 4)")
+
+
+# ---------------------------------------------------------------------------
+# Cached: warm in-session replay and cold on-disk replay
+# ---------------------------------------------------------------------------
+
+def test_cached_output_matches_golden(tmp_path, update_golden):
+    cache = str(tmp_path / "cache")
+    with CheckSession(cache_dir=cache) as warm:
+        for rel in CORPUS:
+            warm.check(read_source(rel), filename=rel)
+        for rel in CORPUS:                       # warm replay
+            report = warm.check(read_source(rel), filename=rel)
+            assert_matches_golden(report_stdout(report, rel), rel,
+                                  update_golden, "cached (warm replay)")
+    with CheckSession(cache_dir=cache) as cold:  # cross-process replay
+        for rel in CORPUS:
+            report = cold.check(read_source(rel), filename=rel)
+            assert_matches_golden(report_stdout(report, rel), rel,
+                                  update_golden, "cached (disk replay)")
+        assert cold.stats.functions_checked == 0, \
+            "disk cache replay should not re-check anything"
+
+
+# ---------------------------------------------------------------------------
+# Daemon: over the wire
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def daemon_socket(tmp_path_factory):
+    sock = str(tmp_path_factory.mktemp("golden-daemon") / "d.sock")
+    server = CheckServer(socket_path=sock)
+    server.bind()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield sock
+    finally:
+        server.request_stop()
+        thread.join(10)
+        server.close()
+
+
+@pytest.mark.parametrize("rel", CORPUS)
+def test_daemon_output_matches_golden(rel, daemon_socket, update_golden):
+    with DaemonClient(daemon_socket) as client:
+        reply = client.check(read_source(rel), filename=rel)
+    assert reply["ok"] is True
+    actual = cli_stdout(reply["check_ok"], reply["render"],
+                        reply["errors"], rel)
+    assert_matches_golden(actual, rel, update_golden, "daemon")

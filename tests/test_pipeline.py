@@ -343,3 +343,84 @@ class TestTelemetry:
         snap = telemetry.metrics.snapshot()
         assert snap["workers.functions_checked"]["value"] == 24
         assert session.stats.pool_spawns == 1
+
+
+# ---------------------------------------------------------------------------
+# Session reuse: a CheckSession is a long-lived object (the daemon
+# keeps them warm for hours), so nothing from one check() may bleed
+# into the next.
+# ---------------------------------------------------------------------------
+
+class TestSessionReuse:
+    def test_back_to_back_checks_do_not_accumulate_diagnostics(self):
+        clean = synthesize_program(3, seed=1)
+        buggy = synthesize_program(3, seed=2, error_rate=1.0)
+        with fresh_session() as session:
+            first = session.check(buggy, "buggy.vlt")
+            second = session.check(clean, "clean.vlt")
+            third = session.check(buggy, "buggy.vlt")
+        assert not first.ok and second.ok
+        # A fresh check of the same sources must agree exactly: no
+        # carried-over diagnostics, in either direction.
+        assert second.render() == \
+            check_source(clean, "clean.vlt", units=UNITS).render()
+        assert third.render() == first.render()
+        assert len(third.diagnostics) == len(first.diagnostics)
+
+    def test_replay_profile_has_no_stale_check_seconds(self):
+        with fresh_session() as session:
+            session.check(PROTO, "p.vlt")
+            assert "check_seconds" in session.last_profile
+            session.check(PROTO, "p.vlt")         # whole-unit replay
+            profile = session.last_profile
+        assert profile["plan"] == "replayed whole unit"
+        assert "check_seconds" not in profile, \
+            "replay left the previous run's timing in the profile"
+
+    def test_interleaved_sources_replay_from_their_own_caches(self):
+        a = synthesize_program(4, seed=3)
+        b = synthesize_program(4, seed=4)
+        with fresh_session() as session:
+            session.check(a, "a.vlt")
+            session.check(b, "b.vlt")
+            session.check(a, "a.vlt")
+            session.check(b, "b.vlt")
+            assert session.stats.checks == 4
+            # Rounds three and four re-check nothing.
+            assert session.stats.functions_checked == 8  # 2 * 4 workers
+            assert session.stats.last_checked == []
+
+    def test_summary_and_cost_caches_are_bounded(self, monkeypatch):
+        import repro.pipeline.session as session_mod
+        monkeypatch.setattr(session_mod, "_MAX_SUMMARIES", 6)
+        monkeypatch.setattr(session_mod, "_MAX_COSTS", 6)
+        with fresh_session() as session:
+            for seed in range(4):
+                session.check(synthesize_program(4, seed=seed),
+                              f"s{seed}.vlt")
+            assert len(session._summaries) <= 6
+            assert len(session._cost_by_qual) <= 6
+            # Eviction must not corrupt checking: a fresh source still
+            # produces the independent result.
+            probe = synthesize_program(2, seed=99, error_rate=1.0)
+            assert session.check(probe, "probe.vlt").render() == \
+                check_source(probe, "probe.vlt", units=UNITS).render()
+
+    def test_replay_does_not_rewrite_the_disk_cache(self, tmp_path):
+        import os
+        source = synthesize_program(5, seed=8)
+        cache_dir = tmp_path / "cache"
+        with fresh_session(cache_dir=str(cache_dir)) as session:
+            session.check(source, "unit.vlt")
+        cache_file = cache_dir / "summaries.pkl"
+        assert cache_file.exists()
+        stamp = os.stat(cache_file)
+        blob = cache_file.read_bytes()
+        with fresh_session(cache_dir=str(cache_dir)) as session:
+            session.check(source, "unit.vlt")     # pure replay
+            assert session.stats.functions_checked == 0
+        after = os.stat(cache_file)
+        assert cache_file.read_bytes() == blob
+        assert (after.st_mtime_ns, after.st_ino) == \
+            (stamp.st_mtime_ns, stamp.st_ino), \
+            "a replay-only session rewrote an unchanged cache file"

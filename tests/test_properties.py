@@ -198,3 +198,127 @@ def test_arithmetic_matches_python(expr_text):
     assert reporter.ok
     interp = make_interpreter(ctx, create_host())
     assert interp.call("main") == eval(expr_text)
+
+
+# ---------------------------------------------------------------------------
+# Daemon transparency: for any synthetic program, checking through a
+# live daemon produces exactly the in-process result, and a daemon
+# that dies without answering falls back cleanly (no orphan sockets,
+# no fd leaks).
+# ---------------------------------------------------------------------------
+
+import os
+import socket as socket_mod
+import threading
+
+import pytest
+
+from repro.server import CheckServer, check_detailed
+
+from test_resilience import _open_fds
+
+_daemon_lock = threading.Lock()
+_daemon_state = {}
+
+
+@pytest.fixture(scope="module")
+def property_daemon(tmp_path_factory):
+    """One warm daemon for the whole module (hypothesis re-enters the
+    test many times; a per-example daemon would dominate runtime)."""
+    if not hasattr(socket_mod, "AF_UNIX"):
+        pytest.skip("needs AF_UNIX sockets")
+    sock = str(tmp_path_factory.mktemp("prop-daemon") / "d.sock")
+    server = CheckServer(socket_path=sock)
+    server.bind()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield sock
+    finally:
+        server.request_stop()
+        thread.join(10)
+        server.close()
+
+
+@given(st.integers(1, 5), st.integers(0, 500),
+       st.sampled_from([0.0, 1.0]))
+@SLOW
+def test_daemon_check_identical_to_in_process(property_daemon, n, seed,
+                                              error_rate):
+    source = synthesize_program(n, seed=seed, error_rate=error_rate)
+    local = check_source(source, filename="prop.vlt", units=["region"])
+    outcome = check_detailed(source, "prop.vlt", {"units": ["region"]},
+                             socket_path=property_daemon)
+    assert outcome.via_daemon is True, "daemon should have answered"
+    assert outcome.ok == local.ok
+    assert outcome.render == local.render()
+    assert outcome.errors == len(local.errors)
+
+
+class _NeverRepliesServer:
+    """Accepts, reads the request, then hangs up without a reply —
+    the observable shape of a daemon killed mid-request."""
+
+    def __init__(self):
+        self.listener = None
+        self.path = None
+        self._thread = None
+        self._stop = False
+
+    def __enter__(self):
+        import tempfile
+        directory = tempfile.mkdtemp(prefix="vaultc-dead-daemon-")
+        self.path = os.path.join(directory, "d.sock")
+        self.listener = socket_mod.socket(socket_mod.AF_UNIX,
+                                          socket_mod.SOCK_STREAM)
+        self.listener.bind(self.path)
+        self.listener.listen(8)
+        self.listener.settimeout(0.2)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self):
+        while not self._stop:
+            try:
+                conn, _ = self.listener.accept()
+            except socket_mod.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn.settimeout(5.0)
+                conn.recv(1 << 16)           # let the client commit
+            except OSError:
+                pass
+            conn.close()                     # ...then die on them
+
+    def __exit__(self, *exc_info):
+        self._stop = True
+        self._thread.join(5)
+        self.listener.close()
+        try:
+            os.unlink(self.path)
+            os.rmdir(os.path.dirname(self.path))
+        except OSError:
+            pass
+
+
+@given(st.integers(1, 3), st.integers(0, 200))
+@settings(max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+def test_dead_daemon_falls_back_without_leaking(n, seed):
+    if not hasattr(socket_mod, "AF_UNIX"):
+        pytest.skip("needs AF_UNIX sockets")
+    source = synthesize_program(n, seed=seed)
+    local = check_source(source, filename="dead.vlt", units=["region"])
+    fds_before = _open_fds()
+    with _NeverRepliesServer() as dead:
+        outcome = check_detailed(source, "dead.vlt", {"units": ["region"]},
+                                 socket_path=dead.path)
+    assert outcome.via_daemon is False, "must have fallen back in-process"
+    assert outcome.ok == local.ok
+    assert outcome.render == local.render()
+    if fds_before is not None:
+        assert _open_fds() == fds_before, "fallback leaked fds"

@@ -1,0 +1,583 @@
+"""Tests for the check daemon: protocol, lifecycle, resilience.
+
+Covers the acceptance promises of the serving layer:
+
+* the wire protocol (framing, limits, malformed input);
+* request coalescing (pure queue surgery, no sockets involved);
+* warm-session reuse and the session registry (LRU, per-option keys);
+* concurrent clients receiving byte-identical answers;
+* client disconnect mid-request leaving the daemon healthy and
+  leak-free (FD accounting via the helpers in test_resilience);
+* SIGTERM / ``shutdown`` op / idle timeout all reaching the same
+  idempotent cleanup (socket unlinked, pools closed);
+* a daemon killed mid-request: the client transparently falls back
+  in-process with byte-identical diagnostics, and a fresh daemon can
+  re-bind over the stale socket;
+* ``vaultc watch`` change detection (driven via ``Watcher.poll``,
+  deterministically, without sleeps).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket as socket_mod
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro import check_source
+from repro.diagnostics import VaultError
+from repro.obs import Telemetry
+from repro.pipeline import fork_available
+from repro.server import (CheckServer, DaemonClient, DaemonUnavailable,
+                          ProtocolError, check_detailed, check_via_daemon,
+                          encode_frame, normalize_options, recv_frame,
+                          render_outcome, request_key, send_frame,
+                          session_key, split_frames)
+from repro.server.daemon import _Request, coalesce_group
+from repro.server.watch import Watcher
+
+from test_resilience import _open_fds
+
+REPO = Path(__file__).resolve().parent.parent
+OK_SOURCE = (REPO / "examples" / "region_demo.vlt").read_text()
+BAD_SOURCE = "void f() { Region.delete(r); }\n"
+SYNTAX_CRASH = "int f( {"
+
+needs_unix = pytest.mark.skipif(
+    not hasattr(socket_mod, "AF_UNIX"), reason="needs AF_UNIX sockets")
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_frame_round_trip_over_socketpair(self):
+        a, b = socket_mod.socketpair()
+        try:
+            send_frame(a, {"op": "ping", "n": 1})
+            assert recv_frame(b) == {"op": "ping", "n": 1}
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_frame_none_on_clean_eof(self):
+        a, b = socket_mod.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_is_protocol_error(self):
+        a, b = socket_mod.socketpair()
+        try:
+            a.sendall(encode_frame({"op": "ping"})[:3])
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_split_frames_handles_partial_and_multiple(self):
+        blob = encode_frame({"a": 1}) + encode_frame({"b": 2})
+        frames, rest = split_frames(blob + b"\x00\x00")
+        assert frames == [{"a": 1}, {"b": 2}]
+        assert rest == b"\x00\x00"
+        frames, rest = split_frames(blob[:5])
+        assert frames == [] and rest == blob[:5]
+
+    def test_oversized_header_rejected(self):
+        import struct
+        with pytest.raises(ProtocolError):
+            split_frames(struct.pack("!I", 1 << 31) + b"x")
+
+    def test_non_object_payload_rejected(self):
+        import struct
+        payload = b"[1,2]"
+        with pytest.raises(ProtocolError):
+            split_frames(struct.pack("!I", len(payload)) + payload)
+
+    def test_request_key_separates_source_filename_options(self):
+        opts = normalize_options({})
+        base = request_key("src", "f.vlt", opts)
+        assert request_key("src", "f.vlt", opts) == base
+        assert request_key("src2", "f.vlt", opts) != base
+        assert request_key("src", "g.vlt", opts) != base
+        assert request_key("src", "f.vlt",
+                           normalize_options({"jobs": 4})) != base
+
+    def test_session_key_ignores_non_session_options(self):
+        assert session_key(normalize_options({})) == \
+            session_key(normalize_options({"frobnicate": True}))
+        assert session_key(normalize_options({"jobs": 2})) != \
+            session_key(normalize_options({}))
+
+
+# ---------------------------------------------------------------------------
+# Coalescing (pure)
+# ---------------------------------------------------------------------------
+
+class TestCoalescing:
+    @staticmethod
+    def _req(key):
+        return _Request(conn=None, key=key, payload={"key": key})
+
+    def test_duplicates_grouped_order_preserved(self):
+        queue = deque(self._req(k) for k in ["a", "b", "a", "c", "a"])
+        group = coalesce_group(queue)
+        assert [r.key for r in group] == ["a", "a", "a"]
+        assert [r.key for r in queue] == ["b", "c"]
+
+    def test_singleton_passes_through(self):
+        queue = deque(self._req(k) for k in ["a", "b"])
+        group = coalesce_group(queue)
+        assert [r.key for r in group] == ["a"]
+        assert [r.key for r in queue] == ["b"]
+
+
+# ---------------------------------------------------------------------------
+# In-thread daemon
+# ---------------------------------------------------------------------------
+
+class _ServerHandle:
+    def __init__(self, server: CheckServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+        self.socket_path = server.socket_path
+
+    def stop(self):
+        self.server.request_stop()
+        self.thread.join(10)
+        self.server.close()
+
+
+def _start_server(tmp_path, **kwargs) -> _ServerHandle:
+    sock = str(tmp_path / "daemon.sock")
+    kwargs.setdefault("telemetry", Telemetry(metrics=True))
+    server = CheckServer(socket_path=sock, **kwargs)
+    server.bind()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return _ServerHandle(server, thread)
+
+
+@needs_unix
+class TestDaemon:
+    def test_ping_and_version(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.ping()
+                assert reply["pid"] == os.getpid()
+        finally:
+            handle.stop()
+
+    def test_check_matches_in_process(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                for source in (OK_SOURCE, BAD_SOURCE):
+                    reply = client.check(source, "unit.vlt")
+                    report = check_source(source, "unit.vlt")
+                    assert reply["ok"] is True
+                    assert reply["check_ok"] == report.ok
+                    assert reply["render"] == report.render()
+                    assert reply["errors"] == len(report.errors)
+        finally:
+            handle.stop()
+
+    def test_warm_session_replays_second_check(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.check(OK_SOURCE, "a.vlt")
+                client.check(OK_SOURCE, "a.vlt")
+                sessions = client.stats()["stats"]["sessions"]
+            assert len(sessions) == 1
+            assert sessions[0]["checks"] == 2
+            assert sessions[0]["functions_replayed"] > 0
+        finally:
+            handle.stop()
+
+    def test_distinct_options_get_distinct_sessions(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.check(OK_SOURCE, "a.vlt", {"jobs": 1})
+                client.check(OK_SOURCE, "a.vlt", {"units": ["region"]})
+                assert len(client.stats()["stats"]["sessions"]) == 2
+        finally:
+            handle.stop()
+
+    def test_session_registry_is_lru_bounded(self, tmp_path):
+        handle = _start_server(tmp_path, session_limit=1)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.check(OK_SOURCE, "a.vlt", {"jobs": 1})
+                client.check(OK_SOURCE, "a.vlt", {"units": ["region"]})
+                assert len(client.stats()["stats"]["sessions"]) == 1
+        finally:
+            handle.stop()
+
+    def test_vault_error_surfaces_and_client_reraises(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.check(SYNTAX_CRASH, "broken.vlt")
+            assert reply["ok"] is False
+            assert reply["kind"] == "vault_error"
+            with pytest.raises(VaultError):
+                check_via_daemon(SYNTAX_CRASH, "broken.vlt",
+                                 socket_path=handle.socket_path)
+        finally:
+            handle.stop()
+
+    def test_unknown_op_is_bad_request(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.request({"op": "frobnicate"})
+            assert reply == {"ok": False, "kind": "bad_request",
+                             "error": "unknown op 'frobnicate'"}
+        finally:
+            handle.stop()
+
+    def test_malformed_frame_drops_client_daemon_survives(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            raw = socket_mod.socket(socket_mod.AF_UNIX,
+                                    socket_mod.SOCK_STREAM)
+            raw.connect(handle.socket_path)
+            import struct
+            raw.sendall(struct.pack("!I", 1 << 30) + b"boom")
+            reply = recv_frame(raw)
+            assert reply is not None and reply["kind"] == "bad_request"
+            assert recv_frame(raw) is None      # we were dropped
+            raw.close()
+            with DaemonClient(handle.socket_path) as client:
+                assert client.ping()["ok"] is True
+        finally:
+            handle.stop()
+
+    def test_concurrent_clients_identical_answers(self, tmp_path):
+        handle = _start_server(tmp_path)
+        expected = check_source(OK_SOURCE, "conc.vlt").render()
+        replies = []
+        errors = []
+
+        def _one():
+            try:
+                with DaemonClient(handle.socket_path) as client:
+                    replies.append(client.check(OK_SOURCE, "conc.vlt"))
+            except Exception as exc:             # noqa: BLE001
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=_one) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            assert not errors
+            assert len(replies) == 3
+            for reply in replies:
+                assert reply["ok"] is True and reply["render"] == expected
+            snapshot = handle.server.telemetry.metrics.snapshot()
+            assert snapshot["server.requests"]["value"] >= 3
+        finally:
+            handle.stop()
+
+    def test_client_disconnect_mid_request_leaves_daemon_healthy(
+            self, tmp_path):
+        if _open_fds() is None:
+            pytest.skip("needs /proc/self/fd")
+        handle = _start_server(tmp_path)
+        expected_errors = len(check_source(BAD_SOURCE, "next.vlt").errors)
+        try:
+            baseline = None
+            for round_no in range(3):
+                rude = socket_mod.socket(socket_mod.AF_UNIX,
+                                         socket_mod.SOCK_STREAM)
+                rude.connect(handle.socket_path)
+                send_frame(rude, {"op": "check", "source": OK_SOURCE,
+                                  "filename": "gone.vlt"})
+                rude.close()                     # hang up before the reply
+                with DaemonClient(handle.socket_path) as client:
+                    reply = client.check(BAD_SOURCE, "next.vlt")
+                    assert reply["ok"] is True
+                    assert reply["errors"] == expected_errors
+                if round_no == 0:
+                    baseline = _open_fds()
+            # Steady state: rude disconnect cycles must not grow fds.
+            time.sleep(0.1)
+            assert len(_open_fds()) <= len(baseline)
+        finally:
+            handle.stop()
+
+    def test_shutdown_op_stops_and_unlinks(self, tmp_path):
+        handle = _start_server(tmp_path)
+        with DaemonClient(handle.socket_path) as client:
+            assert client.shutdown()["stopping"] is True
+        handle.thread.join(10)
+        assert not handle.thread.is_alive()
+        assert not os.path.exists(handle.socket_path)
+        handle.server.close()                    # idempotent
+
+    def test_idle_timeout_exits_on_its_own(self, tmp_path):
+        handle = _start_server(tmp_path, idle_timeout=0.3)
+        handle.thread.join(15)
+        assert not handle.thread.is_alive()
+        assert not os.path.exists(handle.socket_path)
+        kinds = [e.kind for e in handle.server.telemetry.events.records]
+        assert "server_idle_exit" in kinds and "server_stop" in kinds
+
+    def test_server_start_stop_events_and_counters(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.ping()
+        finally:
+            handle.stop()
+        events = handle.server.telemetry.events
+        assert len(events.by_kind("server_start")) == 1
+        assert len(events.by_kind("server_stop")) == 1
+        snapshot = handle.server.telemetry.metrics.snapshot()
+        # Pre-registered: explicit zeros even for untouched counters.
+        assert snapshot["server.coalesced"]["value"] == 0
+        assert snapshot["server.connections"]["value"] >= 1
+
+    def test_stale_socket_is_replaced_live_socket_refused(self, tmp_path):
+        sock = str(tmp_path / "stale.sock")
+        dead = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        dead.bind(sock)
+        dead.close()                             # file left behind, no listener
+        assert os.path.exists(sock)
+        server = CheckServer(socket_path=sock)
+        server.bind()                            # stale file silently replaced
+        try:
+            with pytest.raises(VaultError, match="already listening"):
+                CheckServer(socket_path=sock).bind()
+        finally:
+            server.close()
+        assert not os.path.exists(sock)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+    def test_idle_worker_pools_are_reaped(self, tmp_path):
+        handle = _start_server(tmp_path, pool_linger=0.0)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.check(OK_SOURCE, "p.vlt",
+                             {"jobs": 2, "break_even": 0.0})
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    sessions = client.stats()["stats"]["sessions"]
+                    if sessions and not sessions[0]["pool_alive"]:
+                        break
+                    time.sleep(0.05)
+                assert sessions and not sessions[0]["pool_alive"]
+        finally:
+            handle.stop()
+
+    def test_no_fd_leak_across_daemon_lifecycle(self, tmp_path):
+        if _open_fds() is None:
+            pytest.skip("needs /proc/self/fd")
+        before = _open_fds()
+        handle = _start_server(tmp_path / "fd")
+        with DaemonClient(handle.socket_path) as client:
+            client.check(OK_SOURCE, "fd.vlt")
+        handle.stop()
+        assert _open_fds() == before
+
+
+# ---------------------------------------------------------------------------
+# Subprocess daemon: signals, death mid-request, CLI byte identity
+# ---------------------------------------------------------------------------
+
+def _spawn_daemon(sock: str, *extra: str, test_ops: bool = False,
+                  jobs: str = "1") -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    if test_ops:
+        env["VAULTC_SERVER_TEST_OPS"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+         "--jobs", jobs, *extra],
+        cwd=str(REPO), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        try:
+            with DaemonClient(sock) as client:
+                client.ping()
+            return proc
+        except DaemonUnavailable:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"daemon exited early with rc={proc.returncode}")
+            time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("daemon never became ready")
+
+
+def _vaultc(args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=str(cwd), env=env, capture_output=True, text=True)
+
+
+@needs_unix
+class TestDaemonProcess:
+    def test_sigterm_exits_cleanly_and_unlinks(self, tmp_path):
+        sock = str(tmp_path / "term.sock")
+        proc = _spawn_daemon(sock)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+        assert not os.path.exists(sock)
+
+    def test_killed_daemon_mid_request_falls_back_byte_identical(
+            self, tmp_path):
+        sock = str(tmp_path / "die.sock")
+        proc = _spawn_daemon(sock, test_ops=True)
+        fds_before = _open_fds()
+        # The daemon dies while our request is in flight...
+        with pytest.raises(DaemonUnavailable):
+            with DaemonClient(sock) as client:
+                client.request({"op": "check", "source": OK_SOURCE,
+                                "filename": "die.vlt", "test_die": True})
+        assert proc.wait(timeout=20) == 86
+        # ...and the high-level path silently falls back in-process,
+        # with the exact same bytes the daemon would have produced.
+        outcome = check_detailed(OK_SOURCE, "die.vlt", socket_path=sock)
+        assert outcome.via_daemon is False
+        assert outcome.render == check_source(OK_SOURCE, "die.vlt").render()
+        if fds_before is not None:
+            assert _open_fds() == fds_before, "client leaked fds"
+        # The SIGKILL-style death left a stale socket file; a fresh
+        # daemon must be able to claim it.
+        assert os.path.exists(sock)
+        server = CheckServer(socket_path=sock)
+        server.bind()
+        server.close()
+        assert not os.path.exists(sock)
+
+    def test_cli_daemon_output_byte_identical(self, tmp_path):
+        sock = str(tmp_path / "cli.sock")
+        proc = _spawn_daemon(sock)
+        try:
+            for rel in ("examples/region_demo.vlt",
+                        "src/repro/stdlib/vault/region.vlt"):
+                plain = _vaultc(["check", rel])
+                daemon = _vaultc(["check", rel, "--daemon", sock])
+                assert daemon.returncode == plain.returncode
+                assert daemon.stdout == plain.stdout
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=20)
+
+    def test_cli_daemon_flag_falls_back_without_daemon(self, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        plain = _vaultc(["check", "examples/region_demo.vlt"])
+        fallback = _vaultc(["check", "examples/region_demo.vlt",
+                            "--daemon", sock])
+        assert fallback.returncode == plain.returncode == 0
+        assert fallback.stdout == plain.stdout
+
+    def test_cli_syntax_error_identical_via_daemon(self, tmp_path):
+        bad = tmp_path / "broken.vlt"
+        bad.write_text(SYNTAX_CRASH)
+        sock = str(tmp_path / "syn.sock")
+        proc = _spawn_daemon(sock)
+        try:
+            plain = _vaultc(["check", str(bad)])
+            daemon = _vaultc(["check", str(bad), "--daemon", sock])
+            assert plain.returncode == daemon.returncode == 1
+            assert daemon.stdout == plain.stdout
+            assert daemon.stderr == plain.stderr
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=20)
+
+    def test_idle_timeout_subprocess(self, tmp_path):
+        sock = str(tmp_path / "idle.sock")
+        proc = _spawn_daemon(sock, "--idle-timeout", "0.5")
+        assert proc.wait(timeout=30) == 0
+        assert not os.path.exists(sock)
+
+
+# ---------------------------------------------------------------------------
+# vaultc watch
+# ---------------------------------------------------------------------------
+
+class TestWatcher:
+    def test_first_poll_checks_everything_sorted(self, tmp_path):
+        (tmp_path / "a.vlt").write_text(OK_SOURCE)
+        (tmp_path / "b.vlt").write_text(BAD_SOURCE)
+        watcher = Watcher(str(tmp_path), socket_path=None)
+        outcomes = watcher.poll()
+        assert [name for name, _ in outcomes] == ["a.vlt", "b.vlt"]
+        assert outcomes[0][1].ok and not outcomes[1][1].ok
+
+    def test_unchanged_tree_polls_empty(self, tmp_path):
+        (tmp_path / "a.vlt").write_text(OK_SOURCE)
+        watcher = Watcher(str(tmp_path), socket_path=None)
+        watcher.poll()
+        assert watcher.poll() == []
+
+    def test_modified_file_rechecked(self, tmp_path):
+        path = tmp_path / "a.vlt"
+        path.write_text(OK_SOURCE)
+        watcher = Watcher(str(tmp_path), socket_path=None)
+        watcher.poll()
+        path.write_text(BAD_SOURCE)
+        os.utime(path, (time.time() + 2, time.time() + 2))
+        outcomes = watcher.poll()
+        assert [name for name, _ in outcomes] == ["a.vlt"]
+        assert not outcomes[0][1].ok
+
+    def test_deleted_file_forgotten_then_rechecked_on_return(self, tmp_path):
+        path = tmp_path / "a.vlt"
+        path.write_text(OK_SOURCE)
+        watcher = Watcher(str(tmp_path), socket_path=None)
+        watcher.poll()
+        path.unlink()
+        assert watcher.poll() == []
+        path.write_text(OK_SOURCE)
+        assert [name for name, _ in watcher.poll()] == ["a.vlt"]
+
+    def test_render_outcome_matches_cli_format(self):
+        from repro.server import CheckOutcome
+        report = check_source(BAD_SOURCE, "b.vlt")
+        outcome = CheckOutcome(ok=False, render=report.render(),
+                               errors=len(report.errors), via_daemon=False)
+        assert render_outcome("b.vlt", outcome) == \
+            f"{report.render()}\nb.vlt: {len(report.errors)} error(s)"
+        ok_outcome = CheckOutcome(ok=True, render="", errors=0,
+                                  via_daemon=True)
+        assert render_outcome("a.vlt", ok_outcome) == \
+            "a.vlt: OK (protocols verified)"
+
+    @needs_unix
+    def test_watch_routes_through_daemon(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "a.vlt").write_text(OK_SOURCE)
+        handle = _start_server(tmp_path)
+        try:
+            watcher = Watcher(str(tmp_path / "src"),
+                              socket_path=handle.socket_path)
+            outcomes = watcher.poll()
+            assert outcomes[0][1].via_daemon is True
+            assert outcomes[0][1].ok
+        finally:
+            handle.stop()
