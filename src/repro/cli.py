@@ -149,6 +149,17 @@ def _print_profile(session, file) -> int:
           file=file)
     print(f"  {'functions replayed':<22} {stats.functions_replayed:8d}",
           file=file)
+    token_total = stats.token_hits + stats.token_misses
+    if token_total:
+        print(f"  {'token cache':<22} {stats.token_hits:8d} hits / "
+              f"{stats.token_misses} misses "
+              f"({stats.token_hits / token_total:.0%})", file=file)
+    if stats.relex_splices or stats.relex_fallbacks:
+        print(f"  {'relex splices':<22} {stats.relex_splices:8d} "
+              f"({stats.relex_fallbacks} fallbacks)", file=file)
+    if stats.fingerprints_memoized:
+        print(f"  {'fingerprints memoized':<22} "
+              f"{stats.fingerprints_memoized:8d}", file=file)
     if stats.pool_spawns:
         print(f"  {'worker pools forked':<22} {stats.pool_spawns:8d}",
               file=file)

@@ -16,6 +16,7 @@ unit, so error behaviour is identical to the non-incremental path.
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 
@@ -47,6 +48,22 @@ def _is_ident_char(ch: str) -> bool:
     return ch.isalnum() or ch == "_"
 
 
+#: The only characters the scanner has to stop on: newlines (line
+#: tracking), comment/string/tick openers, and the brace/semicolon
+#: structure.  Everything between two stops — the bulk of any real
+#: unit — is skipped in one C-speed regex search instead of the
+#: character-at-a-time loop this replaced.
+_STRUCT = re.compile(r"[\n/\"'{};]")
+
+#: Body of a string literal after the opening quote: escape pairs
+#: (backslash consumes the next character, whatever it is — including
+#: a newline, matching both the lexer and the character scanner this
+#: replaced) or any plain character that isn't a quote, newline, or
+#: backslash.  The match always stops at the terminator, a bare
+#: newline, a trailing lone backslash, or end of input.
+_STRING_BODY = re.compile(r"(?:\\[\s\S]|[^\"\n\\])*")
+
+
 def split_chunks(source: str) -> List[Chunk]:
     """Split a compilation unit into one chunk per top-level declaration."""
     chunks: List[Chunk] = []
@@ -59,43 +76,39 @@ def split_chunks(source: str) -> List[Chunk]:
     chunk_line = 1
     chunk_col = 1
     depth = 0
+    search = _STRUCT.search
 
-    def close(end: int) -> None:
-        nonlocal chunk_start, chunk_line, chunk_col
-        chunks.append(Chunk(source[chunk_start:end], chunk_line, chunk_col))
-        chunk_start = end
-
-    while i < n:
+    while True:
+        m = search(source, i)
+        if m is None:
+            break
+        i = m.start()
         ch = source[i]
         if ch == "\n":
             line += 1
             line_start = i + 1
             i += 1
-        elif ch == "/" and i + 1 < n and source[i + 1] == "/":
-            j = source.find("\n", i)
-            i = n if j == -1 else j
-        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
-            j = source.find("*/", i + 2)
-            if j == -1:
-                raise ChunkError("unterminated block comment")
-            nl = source.count("\n", i, j + 2)
-            if nl:
-                line += nl
-                line_start = source.rfind("\n", i, j + 2) + 1
-            i = j + 2
+        elif ch == "/":
+            nxt = source[i + 1] if i + 1 < n else ""
+            if nxt == "/":
+                j = source.find("\n", i)
+                i = n if j == -1 else j
+            elif nxt == "*":
+                j = source.find("*/", i + 2)
+                if j == -1:
+                    raise ChunkError("unterminated block comment")
+                nl = source.count("\n", i, j + 2)
+                if nl:
+                    line += nl
+                    line_start = source.rfind("\n", i, j + 2) + 1
+                i = j + 2
+            else:
+                i += 1
         elif ch == '"':
-            j = i + 1
-            while j < n:
-                c = source[j]
-                if c == "\\":
-                    j += 2
-                    continue
-                if c == '"':
-                    break
-                if c == "\n":
+            j = _STRING_BODY.match(source, i + 1).end()
+            if j >= n or source[j] != '"':
+                if j < n and source[j] == "\n":
                     raise ChunkError("newline in string literal")
-                j += 1
-            if j >= n:
                 raise ChunkError("unterminated string literal")
             i = j + 1
         elif ch == "'":
@@ -124,16 +137,19 @@ def split_chunks(source: str) -> List[Chunk]:
             if depth < 0:
                 raise ChunkError("unbalanced braces")
             if depth == 0:
-                close(i)
+                chunks.append(Chunk(source[chunk_start:i],
+                                    chunk_line, chunk_col))
+                chunk_start = i
                 chunk_line = line
                 chunk_col = i - line_start + 1
-        elif ch == ";" and depth == 0:
+        else:  # ";"
             i += 1
-            close(i)
-            chunk_line = line
-            chunk_col = i - line_start + 1
-        else:
-            i += 1
+            if depth == 0:
+                chunks.append(Chunk(source[chunk_start:i],
+                                    chunk_line, chunk_col))
+                chunk_start = i
+                chunk_line = line
+                chunk_col = i - line_start + 1
 
     if depth != 0:
         raise ChunkError("unbalanced braces")
@@ -146,5 +162,5 @@ def split_chunks(source: str) -> List[Chunk]:
             chunks[-1] = Chunk(last.text + source[chunk_start:],
                                last.start_line, last.start_col)
         else:
-            close(n)
+            chunks.append(Chunk(source, chunk_line, chunk_col))
     return chunks

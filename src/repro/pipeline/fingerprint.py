@@ -133,6 +133,23 @@ def _declared_names(ctx: ProgramContext) -> frozenset:
     return names
 
 
+def _module_members(ctx: ProgramContext) -> Dict[str, Dict[str, object]]:
+    """``module name -> {member name -> (qual, signature)}`` for every
+    qualified function, built once per context: the fixpoint below
+    resolves ``M.f`` call sites per function, and scanning the whole
+    ``ctx.functions`` table for each one was quadratic in unit size
+    (the dominant fingerprint cost on multi-hundred-function units)."""
+    index = ctx.__dict__.get("_pl_module_members")
+    if index is None:
+        index = {}
+        for qual, sig in ctx.functions.items():
+            mod, dot, member = qual.rpartition(".")
+            if dot:
+                index.setdefault(mod, {})[member] = (qual, sig)
+        ctx.__dict__["_pl_module_members"] = index
+    return index
+
+
 def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
                           module: str = "") -> List[str]:
     """Stable renderings of every declaration the name set can reach.
@@ -204,10 +221,11 @@ def dependency_renderings(ctx: ProgramContext, names: Iterable[str],
         # module, include the signatures of its members that the
         # function mentions.
         if name in ctx.modules:
-            prefix = f"{name}."
-            for qual, qsig in ctx.functions.items():
-                if qual.startswith(prefix) and qual[len(prefix):] in initial:
-                    include(f"f:{qual}", _sig_show(qsig))
+            members = _module_members(ctx).get(name)
+            if members:
+                for member, (qual, qsig) in members.items():
+                    if member in initial:
+                        include(f"f:{qual}", _sig_show(qsig))
     result = sorted(rendered.values())
     memo[memo_key] = result
     return result

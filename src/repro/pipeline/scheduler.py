@@ -25,6 +25,7 @@ fallback.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import os
 from dataclasses import dataclass, field
@@ -58,19 +59,43 @@ _BRANCH_UNITS = 4.0    # clone + join at the merge point
 _CALL_UNITS = 1.5      # signature instantiation + effect application
 
 
+_CALL_CLASSES = frozenset((ast.Call, ast.CtorApp, ast.New))
+
+#: per-class field-name tuples for expression nodes (``None`` for
+#: anything that is not an expression dataclass) — one dict probe per
+#: visited node instead of the isinstance chain this replaces.
+_EXPR_FIELDS: Dict[type, Optional[Tuple[str, ...]]] = {}
+
+
+def _expr_field_names(cls: type) -> Optional[Tuple[str, ...]]:
+    try:
+        return _EXPR_FIELDS[cls]
+    except KeyError:
+        names = tuple(f.name for f in dataclasses.fields(cls)
+                      if f.name != "span") \
+            if (isinstance(cls, type) and issubclass(cls, ast.Expr)
+                and dataclasses.is_dataclass(cls)) else None
+        _EXPR_FIELDS[cls] = names
+        return names
+
+
 def _expr_units(expr: ast.Expr) -> float:
     """Calls dominate expression cost; everything else is noise."""
     units = 0.0
     stack: List[object] = [expr]
+    push = stack.append
     while stack:
         node = stack.pop()
-        if isinstance(node, (ast.Call, ast.CtorApp, ast.New)):
-            units += _CALL_UNITS
-        if isinstance(node, ast.Expr):
-            for name in getattr(node, "__dataclass_fields__", ()):
-                if name != "span":
-                    stack.append(getattr(node, name))
-        elif isinstance(node, (list, tuple)):
+        cls = node.__class__
+        fields = _EXPR_FIELDS.get(cls)
+        if fields is None and cls not in _EXPR_FIELDS:
+            fields = _expr_field_names(cls)
+        if fields is not None:
+            if cls in _CALL_CLASSES:
+                units += _CALL_UNITS
+            for name in fields:
+                push(getattr(node, name))
+        elif cls is list or cls is tuple:
             stack.extend(node)
     return units
 

@@ -54,7 +54,10 @@ from ..obs import Telemetry
 from ..obs.trace import activate as activate_tracer
 from ..stdlib import stdlib_context, stdlib_source
 from ..stdlib.loader import base_context_cache_info
-from ..syntax import ast, parse_program
+from ..syntax import ast, parse_program, tokenize
+from ..syntax.intern import AST_POOL
+from ..syntax.relex import relex
+from ..syntax.tokens import T, Token
 from .chunks import Chunk, ChunkError, split_chunks
 from .faults import FaultPlan
 from .fingerprint import cache_checksum, function_fingerprint
@@ -65,6 +68,10 @@ from .workers import WorkerCrash, WorkerPool, fork_available
 #: caps on the in-memory caches; on overflow the oldest half is evicted.
 _MAX_CONTEXTS = 64
 _MAX_CHUNK_ASTS = 8192
+#: per-chunk token streams (and their interface digests) kept beside
+#: the chunk-AST cache; streams are bigger than ASTs per entry, so the
+#: cap is lower.
+_MAX_TOKEN_STREAMS = 4096
 #: summary/cost caches are bounded too — a session embedded in a
 #: long-running daemon sees an unbounded stream of distinct sources,
 #: and before these caps its summary and cost maps grew forever.
@@ -107,6 +114,13 @@ class SessionStats:
         self.parallel_runs = 0
         self.serial_fallbacks = 0
         self.pool_spawns = 0
+        # front-end cache counters (mirrored by ``cache.tokens.*`` /
+        # ``relex.*`` metrics when the registry is enabled)
+        self.token_hits = 0
+        self.token_misses = 0
+        self.relex_splices = 0
+        self.relex_fallbacks = 0
+        self.fingerprints_memoized = 0
         # resilience counters (mirrored by the ``resilience.*``
         # metrics when the registry is enabled)
         self.respawns = 0
@@ -160,9 +174,10 @@ class _Summary:
 
 
 class _CtxEntry:
-    __slots__ = ("ctx", "diags", "fn_results")
+    __slots__ = ("ctx", "diags", "fn_results", "env_token")
 
-    def __init__(self, ctx, diags: Tuple[Diagnostic, ...]):
+    def __init__(self, ctx, diags: Tuple[Diagnostic, ...],
+                 env_token: str = ""):
         self.ctx = ctx
         self.diags = diags
         #: per-function diagnostics in merge order, filled in by the
@@ -170,6 +185,15 @@ class _CtxEntry:
         #: byte-identical source replays without touching fingerprints.
         self.fn_results: Optional[List[Tuple[str, Tuple[Diagnostic, ...]]]] \
             = None
+        #: digest of every chunk's *interface* (signatures and
+        #: declarations, not function bodies) plus the session's
+        #: stdlib/units configuration.  A function fingerprint computed
+        #: under one env token is valid under any context with the same
+        #: token, so fingerprints are memoized on the (cached) FunDef
+        #: nodes keyed by it — a body edit in one chunk leaves the
+        #: token unchanged and skips re-fingerprinting every other
+        #: function in the unit.
+        self.env_token = env_token
 
 
 class CheckSession:
@@ -210,6 +234,16 @@ class CheckSession:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.telemetry.stats = self.stats
         self._ast_cache: Dict[Tuple[str, int, int], ast.Program] = {}
+        #: per-chunk token streams, keyed like the chunk-AST cache;
+        #: each entry keeps the chunk text (the relexer diffs against
+        #: it) and the lexed stream.
+        self._token_cache: Dict[Tuple[str, int, int],
+                                Tuple[str, List[Token]]] = {}
+        #: per-chunk interface digests (see ``_interface_part``).
+        self._iface_cache: Dict[Tuple[str, int, int], str] = {}
+        #: chunk keys of the previous check per filename — the
+        #: relexer's candidates for "the same declaration, edited".
+        self._chunk_history: Dict[str, List[Tuple[str, int, int]]] = {}
         self._ctx_cache: Dict[tuple, _CtxEntry] = {}
         self._summaries: Dict[str, _Summary] = {}
         self._cost_by_qual: Dict[str, float] = {}
@@ -307,7 +341,8 @@ class CheckSession:
         with tracer.span("check_functions"):
             results = self._check_functions(
                 entry.ctx, source, filename,
-                self.jobs if jobs is None else self._resolve_jobs(jobs))
+                self.jobs if jobs is None else self._resolve_jobs(jobs),
+                entry.env_token)
         profile["check_seconds"] = time.perf_counter() - check_started
         entry.fn_results = results
         for qual, diags in results:
@@ -369,11 +404,17 @@ class CheckSession:
             except ChunkError:
                 chunks = None
         if chunks:
+            chunk_keys = [(_sha(c.text), c.start_line, c.start_col)
+                          for c in chunks]
             key: tuple = (filename, self.units, self.stdlib,
-                          tuple((_sha(c.text), c.start_line, c.start_col)
-                                for c in chunks))
+                          tuple(chunk_keys))
+            prev_keys = self._chunk_history.get(filename)
+            self._chunk_history[filename] = chunk_keys
         else:
+            chunk_keys = []
             key = (filename, self.units, self.stdlib, _sha(source))
+            prev_keys = None
+            self._chunk_history.pop(filename, None)
         entry = self._ctx_cache.get(key)
         if entry is not None:
             self.stats.context_hits += 1
@@ -383,58 +424,206 @@ class CheckSession:
         self.stats.context_misses += 1
         if metrics.enabled:
             metrics.counter("cache.context.misses").inc()
-        programs = self._parse(source, filename, chunks)
+        programs, env_token = self._parse(source, filename, chunks,
+                                          chunk_keys, prev_keys)
         sub = Reporter()
         with self.telemetry.tracer.span("elaborate"):
             ctx = build_context(programs, sub, base=base)
-        entry = _CtxEntry(ctx, tuple(sub.diagnostics))
+        entry = _CtxEntry(ctx, tuple(sub.diagnostics), env_token)
         if len(self._ctx_cache) >= _MAX_CONTEXTS:
-            self._evict(self._ctx_cache)
+            self._evict_traced(self._ctx_cache, "context")
         self._ctx_cache[key] = entry
         return entry
 
     def _parse(self, source: str, filename: str,
-               chunks: Optional[List[Chunk]]) -> List[ast.Program]:
+               chunks: Optional[List[Chunk]],
+               chunk_keys: List[Tuple[str, int, int]],
+               prev_keys: Optional[List[Tuple[str, int, int]]]
+               ) -> Tuple[List[ast.Program], str]:
         metrics = self.telemetry.metrics
+        tracer = self.telemetry.tracer
         if not chunks:
             self.stats.whole_parses += 1
-            return [parse_program(source, filename)]
+            return [parse_program(source, filename)], \
+                self._unit_env_token(source, filename)
         programs: List[ast.Program] = []
+        iface_parts: List[str] = []
+        pool_hits, pool_misses = AST_POOL.hits, AST_POOL.misses
         try:
-            for chunk in chunks:
-                ckey = (_sha(chunk.text), chunk.start_line, chunk.start_col)
+            for idx, chunk in enumerate(chunks):
+                ckey = chunk_keys[idx]
+                with tracer.span("token_cache"):
+                    cached = self._token_cache.get(ckey)
+                tokens: Optional[List[Token]] = None
+                if cached is not None:
+                    tokens = cached[1]
+                    self.stats.token_hits += 1
+                    if metrics.enabled:
+                        metrics.counter("cache.tokens.hits").inc()
                 prog = self._ast_cache.get(ckey)
                 if prog is None:
+                    if tokens is None:
+                        self.stats.token_misses += 1
+                        if metrics.enabled:
+                            metrics.counter("cache.tokens.misses").inc()
+                        tokens = self._lex_chunk(chunk, ckey, filename,
+                                                 prev_keys, idx)
                     prog = parse_program(chunk.text, filename,
                                          first_line=chunk.start_line,
-                                         first_col=chunk.start_col)
+                                         first_col=chunk.start_col,
+                                         tokens=tokens)
                     self.stats.chunk_parses += 1
                     if metrics.enabled:
                         metrics.counter("cache.chunk_ast.misses").inc()
                     if len(self._ast_cache) >= _MAX_CHUNK_ASTS:
-                        self._evict(self._ast_cache)
+                        self._evict_traced(self._ast_cache, "chunk_ast")
                     self._ast_cache[ckey] = prog
                 else:
                     self.stats.chunk_hits += 1
                     if metrics.enabled:
                         metrics.counter("cache.chunk_ast.hits").inc()
+                iface_parts.append(self._interface_part(ckey, tokens))
                 programs.append(prog)
         except VaultError:
             # A chunk the scanner mis-split (or a genuine syntax
             # error): parse the whole unit so errors are reported
             # exactly as the non-incremental path reports them.
             self.stats.whole_parses += 1
-            return [parse_program(source, filename)]
-        return programs
+            return [parse_program(source, filename)], \
+                self._unit_env_token(source, filename)
+        if metrics.enabled:
+            delta_hits = AST_POOL.hits - pool_hits
+            delta_misses = AST_POOL.misses - pool_misses
+            if delta_hits:
+                metrics.counter("cache.ast_pool.hits").inc(delta_hits)
+            if delta_misses:
+                metrics.counter("cache.ast_pool.misses").inc(delta_misses)
+        env_token = _sha("\x00".join(iface_parts)
+                         + f"\x00{filename}\x00{self.units!r}"
+                           f"\x00{self.stdlib!r}")
+        return programs, env_token
+
+    def _lex_chunk(self, chunk: Chunk, ckey: Tuple[str, int, int],
+                   filename: str,
+                   prev_keys: Optional[List[Tuple[str, int, int]]],
+                   idx: int) -> List[Token]:
+        """Token stream for one chunk: an incremental splice against
+        the previous check's chunk at the same slot when possible, a
+        full lex otherwise.  Either way the stream is cached."""
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        tokens: Optional[List[Token]] = None
+        if prev_keys is not None and idx < len(prev_keys):
+            pkey = prev_keys[idx]
+            # Same slot, same position, different text: the shape of a
+            # sub-chunk edit.  A chunk that also moved (an edit above
+            # it changed line numbers) falls back to a full lex — the
+            # splice only rebases spans within the chunk.
+            if pkey != ckey and pkey[1] == chunk.start_line \
+                    and pkey[2] == chunk.start_col:
+                prev = self._token_cache.get(pkey)
+                if prev is not None:
+                    with tracer.span("relex"):
+                        spliced = relex(prev[0], prev[1], chunk.text,
+                                        filename, chunk.start_line,
+                                        chunk.start_col)
+                    if spliced is not None:
+                        tokens = spliced.tokens
+                        self.stats.relex_splices += 1
+                        if metrics.enabled:
+                            metrics.counter("relex.splices").inc()
+                            metrics.counter("relex.tokens_reused").inc(
+                                spliced.reused)
+                            metrics.counter("relex.tokens_fresh").inc(
+                                spliced.fresh)
+                    else:
+                        self.stats.relex_fallbacks += 1
+                        if metrics.enabled:
+                            metrics.counter("relex.fallbacks").inc()
+        if tokens is None:
+            with tracer.span("lex", filename=filename):
+                tokens = tokenize(chunk.text, filename,
+                                  chunk.start_line, chunk.start_col)
+        if len(self._token_cache) >= _MAX_TOKEN_STREAMS:
+            self._evict_traced(self._token_cache, "tokens")
+        self._token_cache[ckey] = (chunk.text, tokens)
+        return tokens
+
+    #: first-token kinds of chunks whose whole text is their interface
+    #: (type/variant/struct/stateset/key declarations, interfaces and
+    #: modules — anything that can contribute more than one signature
+    #: to the context).
+    _DECL_CHUNK_KINDS = frozenset({
+        T.KW_INTERFACE, T.KW_MODULE, T.KW_EXTERN, T.KW_TYPE, T.KW_VARIANT,
+        T.KW_STRUCT, T.KW_STATESET, T.KW_KEY,
+    })
+
+    def _interface_part(self, ckey: Tuple[str, int, int],
+                        tokens: Optional[List[Token]]) -> str:
+        """One chunk's contribution to the context-wide env token.
+
+        For a function-definition chunk only the header (tokens up to
+        the body's opening brace — return type, name, parameters,
+        effect clause) feeds the digest: body edits must not disturb
+        the env token, that is the whole point of the memo.  Any chunk
+        led by a declaration keyword digests its full text —
+        conservative, but those chunks can define types, keys or whole
+        modules whose every detail other fingerprints may see.  With no
+        token stream at hand (chunk-AST hit after token-cache
+        eviction) the content hash stands in, which can only make the
+        token *more* conservative.
+        """
+        part = self._iface_cache.get(ckey)
+        if part is not None:
+            return part
+        if tokens is None:
+            return ckey[0]          # content hash: always conservative
+        if tokens and tokens[0].kind in self._DECL_CHUNK_KINDS:
+            part = ckey[0]
+        else:
+            header: List[str] = []
+            for tok in tokens:
+                if tok.kind is T.LBRACE:
+                    break
+                header.append(tok.text)
+            part = "\x1f".join(header)
+        if len(self._iface_cache) >= _MAX_TOKEN_STREAMS:
+            self._evict_traced(self._iface_cache, "iface")
+        self._iface_cache[ckey] = part
+        return part
+
+    def _unit_env_token(self, source: str, filename: str) -> str:
+        """Env token for the whole-unit (non-chunked) parse path."""
+        return _sha(f"unit\x00{_sha(source)}\x00{filename}"
+                    f"\x00{self.units!r}\x00{self.stdlib!r}")
 
     @staticmethod
     def _evict(cache: dict) -> None:
         for key in list(cache)[:len(cache) // 2 + 1]:
             del cache[key]
 
+    def _evict_traced(self, cache: dict, layer: str) -> None:
+        """Evict the oldest half of ``cache``, leaving a trace: a
+        ``cache.<layer>.evictions`` counter and a ``cache_evict``
+        event.  Before this, the summary/cost caps silently threw away
+        warm state — a daemon serving an eviction-heavy workload
+        looked identical to one with a healthy cache."""
+        before = len(cache)
+        self._evict(cache)
+        evicted = before - len(cache)
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter(
+                f"cache.{layer}.evictions").inc(evicted)
+        self.telemetry.events.emit(
+            "cache_evict",
+            f"evicted {evicted} of {before} entries from the "
+            f"{layer} cache (cap reached)",
+            layer=layer, evicted=evicted, remaining=len(cache))
+
     # -- function checking -------------------------------------------------
 
-    def _check_functions(self, ctx, source: str, filename: str, jobs: int
+    def _check_functions(self, ctx, source: str, filename: str, jobs: int,
+                         env_token: str = ""
                          ) -> List[Tuple[str, Tuple[Diagnostic, ...]]]:
         """Diagnostics per function, in serial (sorted-qual) order."""
         metrics = self.telemetry.metrics
@@ -442,12 +631,27 @@ class CheckSession:
         results: Dict[str, Tuple[Diagnostic, ...]] = {}
         to_check: List[Tuple[str, ast.FunDef, str]] = []  # qual, def, fp
         source_lines = source.splitlines()
+        memoized = 0
         with self.telemetry.tracer.span("fingerprint",
                                         functions=len(fn_items)):
             for qual, fundef in fn_items:
-                fp = function_fingerprint(
-                    ctx, qual, fundef,
-                    self._own_text(fundef, source_lines, filename))
+                # A fingerprint covers the function's own text plus the
+                # rendered signatures it can see; both are pinned by
+                # (this FunDef object, the context's env token), so a
+                # recomputation under the same pair is pure waste.  The
+                # memo rides on the cached FunDef node: an edited chunk
+                # parses to a fresh node and misses naturally.
+                memo = fundef.__dict__.get("_pl_fp")
+                if memo is not None and env_token and memo[0] == env_token:
+                    fp = memo[1]
+                    memoized += 1
+                else:
+                    fp = function_fingerprint(
+                        ctx, qual, fundef,
+                        self._own_text(fundef, source_lines, filename))
+                    if env_token:
+                        object.__setattr__(fundef, "_pl_fp",
+                                           (env_token, fp))
                 summary = self._summaries.get(fp)
                 cached = summary.lookup(fundef.span.filename,
                                         fundef.span.start.line) \
@@ -458,7 +662,13 @@ class CheckSession:
                     self.stats.functions_replayed += 1
                 else:
                     to_check.append((qual, fundef, fp))
+        self.stats.fingerprints_memoized += memoized
         if metrics.enabled:
+            if memoized:
+                metrics.counter("cache.fingerprint_memo.hits").inc(memoized)
+            misses = len(fn_items) - memoized
+            if misses:
+                metrics.counter("cache.fingerprint_memo.misses").inc(misses)
             replayed = len(fn_items) - len(to_check)
             if replayed:
                 metrics.counter("cache.summary.hits").inc(replayed)
@@ -474,9 +684,9 @@ class CheckSession:
                 self.stats.functions_checked += 1
             self._cache_dirty = True
             if len(self._summaries) > _MAX_SUMMARIES:
-                self._evict(self._summaries)
+                self._evict_traced(self._summaries, "summary")
             if len(self._cost_by_qual) > _MAX_COSTS:
-                self._evict(self._cost_by_qual)
+                self._evict_traced(self._cost_by_qual, "costs")
         return [(qual, results[qual]) for qual, _ in fn_items]
 
     def _run_checks(self, ctx, to_check, jobs: int

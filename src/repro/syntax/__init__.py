@@ -1,14 +1,19 @@
 """Surface syntax for the Vault language: lexer, AST, parser, printer."""
 
 from . import ast
+from .intern import AST_POOL, AstPool
 from .lexer import Lexer, tokenize
 from .parser import Parser, parse_expr, parse_program, parse_type
 from .pretty import pretty
+from .relex import RelexResult, relex
 from .tokens import T, Token
 
 __all__ = [
+    "AST_POOL",
+    "AstPool",
     "Lexer",
     "Parser",
+    "RelexResult",
     "T",
     "Token",
     "ast",
@@ -16,5 +21,6 @@ __all__ = [
     "parse_program",
     "parse_type",
     "pretty",
+    "relex",
     "tokenize",
 ]

@@ -1,0 +1,148 @@
+"""Interned AST leaf pool.
+
+The parser mints enormous numbers of identical leaf nodes — ``int`` base
+types, parameter and variable :class:`~repro.syntax.ast.Name` nodes,
+literals — and every reparse of a declaration whose header didn't change
+rebuilds the same leaves at the same positions.  This pool mirrors the
+elaborator's type-interning win for the identity-comparable AST leaves:
+a leaf is keyed by ``(node class, token)`` — the token's value hash
+covers kind, text and exact position — so repeated parses of unchanged
+text at unchanged positions share one node object (and skip the
+``int()``/``float()`` literal conversions and ``Span`` materialization
+on every hit).
+
+Sharing is safe because leaf nodes are immutable in practice: nothing
+in the pipeline assigns to their fields (the ``_pl_*`` analysis memos
+live on ``FunDef``/signature objects, never on leaves), and the key
+pins the exact span, so a shared node is indistinguishable from a
+fresh one.  The pool is process-global — nodes from different sessions
+or files can only collide if class, kind, text, position *and*
+filename all agree, in which case they are the same leaf.
+
+On overflow the pool is simply cleared: correctness never depends on a
+hit, and a cleared pool refills from the next parse.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .tokens import Token
+
+#: entries kept before the pool is flushed (leaves are small; this is
+#: a few MB at worst).
+_CAPACITY = 1 << 16
+
+
+class AstPool:
+    """A process-wide intern table for hot AST leaf nodes."""
+
+    __slots__ = ("_pool", "hits", "misses", "capacity")
+
+    def __init__(self, capacity: int = _CAPACITY):
+        self._pool = {}
+        self.hits = 0
+        self.misses = 0
+        self.capacity = capacity
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def clear(self) -> None:
+        self._pool.clear()
+
+    def _insert(self, key, node):
+        self.misses += 1
+        pool = self._pool
+        if len(pool) >= self.capacity:
+            pool.clear()
+        pool[key] = node
+        return node
+
+    # One small method per leaf shape: the payload conversion runs only
+    # on a miss, and no per-call closure is allocated.
+
+    def name(self, tok: Token) -> ast.Name:
+        key = (ast.Name, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.Name(tok.span, tok.text))
+
+    def int_lit(self, tok: Token) -> ast.IntLit:
+        key = (ast.IntLit, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.IntLit(tok.span, int(tok.text, 0)))
+
+    def float_lit(self, tok: Token) -> ast.FloatLit:
+        key = (ast.FloatLit, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.FloatLit(tok.span, float(tok.text)))
+
+    def string_lit(self, tok: Token) -> ast.StringLit:
+        key = (ast.StringLit, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.StringLit(tok.span, tok.text))
+
+    def char_lit(self, tok: Token) -> ast.CharLit:
+        key = (ast.CharLit, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.CharLit(tok.span, tok.text))
+
+    def bool_lit(self, tok: Token, value: bool) -> ast.BoolLit:
+        key = (ast.BoolLit, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.BoolLit(tok.span, value))
+
+    def null_lit(self, tok: Token) -> ast.NullLit:
+        key = (ast.NullLit, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.NullLit(tok.span))
+
+    def base_type(self, tok: Token) -> ast.BaseType:
+        key = (ast.BaseType, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.BaseType(tok.span, tok.text))
+
+    def named_type(self, tok: Token) -> ast.NamedType:
+        """A bare (argument-free) named type; parameterized uses are
+        built fresh — their argument lists are per-parse objects."""
+        key = (ast.NamedType, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.NamedType(tok.span, tok.text, []))
+
+    def state_ref(self, tok: Token) -> ast.StateRef:
+        key = (ast.StateRef, tok)
+        node = self._pool.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._insert(key, ast.StateRef(tok.span, tok.text))
+
+
+#: the process-wide pool the parser uses.
+AST_POOL = AstPool()

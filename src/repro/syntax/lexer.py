@@ -6,11 +6,17 @@ and ``->`` inside effect clauses.  Comments are C-style ``//`` and
 ``/* ... */``.
 
 The scanner is a single compiled master regular expression driven by
-:func:`re.Pattern.match`; line/column information is recovered from a
-precomputed table of line-start offsets.  This replaces the original
-character-at-a-time cursor, which dominated whole-pipeline check time
-(every ``check_source`` call lexes the entire compilation unit before
-the flow analysis even starts).
+:func:`re.Pattern.match`; line/column information is tracked
+incrementally (no token's text spans a line, so only trivia advances
+the line counter).  This replaces the original character-at-a-time
+cursor, which dominated whole-pipeline check time (every
+``check_source`` call lexes the entire compilation unit before the
+flow analysis even starts).
+
+Tokens carry their positions as scalars and materialize
+:class:`~repro.diagnostics.Span` objects lazily (see
+:class:`~repro.syntax.tokens.Token`), so the hot loop below performs
+exactly one allocation per token.
 """
 
 from __future__ import annotations
@@ -42,7 +48,9 @@ _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"'}
 
 #: One master pattern; alternative order resolves ambiguities the same
 #: way the original cursor did (trivia first, two-char operators before
-#: their one-char prefixes, hex before decimal).
+#: their one-char prefixes, hex before decimal).  The branch taken is
+#: recovered via ``Match.lastindex`` (an int compare) rather than
+#: ``lastgroup``; the group numbers are pinned by the constants below.
 _MASTER = re.compile(
     r"""
     (?P<TRIVIA>(?:[ \t\r\n]+|//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/)+)
@@ -55,9 +63,21 @@ _MASTER = re.compile(
     re.VERBOSE,
 )
 
+_G_TRIVIA = _MASTER.groupindex["TRIVIA"]
+_G_IDENT = _MASTER.groupindex["IDENT"]
+_G_NUMBER = _MASTER.groupindex["NUMBER"]
+_G_STRING = _MASTER.groupindex["STRING"]
+_G_OP2 = _MASTER.groupindex["OP2"]
+_G_OP1 = _MASTER.groupindex["OP1"]
+
 _IDENT_CHARS = re.compile(r"[A-Za-z0-9_]*")
 
 _FLOAT_MARK = re.compile(r"[.eE]")
+
+#: identifier-shaped texts resolve through one dict: keywords map to
+#: their keyword kind, ``_`` to UNDERSCORE, everything else to IDENT.
+_IDENT_KINDS = dict(KEYWORDS)
+_IDENT_KINDS["_"] = T.UNDERSCORE
 
 
 def _tokenize(source: str, filename: str, first_line: int = 1,
@@ -76,6 +96,7 @@ def _tokenize(source: str, filename: str, first_line: int = 1,
     # ``line_start`` shifts the first line's columns).
     line = first_line
     line_start = 1 - first_col
+    ident_kind = _IDENT_KINDS.get
     while i < n:
         m = match(source, i)
         if m is None:
@@ -89,28 +110,37 @@ def _tokenize(source: str, filename: str, first_line: int = 1,
                 continue
             raise LexError(f"unexpected character {ch!r}",
                            Span.point(start.line, start.col, filename))
-        kind = m.lastgroup
+        group = m.lastindex
         end = m.end()
-        if kind == "TRIVIA":
-            text = m.group()
-            nl = text.count("\n")
+        if group == _G_TRIVIA:
+            # Count newlines on the source directly — materializing the
+            # trivia text would be one string allocation per gap.
+            nl = source.count("\n", i, end)
             if nl:
                 line += nl
-                line_start = i + text.rfind("\n") + 1
+                line_start = source.rfind("\n", i, end) + 1
             i = end
             continue
         text = m.group()
-        if kind == "IDENT":
-            if text == "_":
-                tok_kind = T.UNDERSCORE
-            else:
-                tok_kind = KEYWORDS.get(text, T.IDENT)
-        elif kind == "NUMBER":
-            if text[:2] in ("0x", "0X"):
+        if group == _G_IDENT:
+            tok_kind = ident_kind(text, T.IDENT)
+        elif group == _G_OP1:
+            # A bare "/" followed by "*" is an unterminated block
+            # comment: terminated ones were consumed by TRIVIA above.
+            if text == "/" and end < n and source[end] == "*":
+                start = Pos(line, i - line_start + 1, i)
+                raise LexError("unterminated block comment",
+                               Span(start, start, filename))
+            tok_kind = _OPERATORS1[text]
+        elif group == _G_NUMBER:
+            if text[0] == "0" and len(text) > 1 and (text[1] == "x"
+                                                     or text[1] == "X"):
                 tok_kind = T.INT
             else:
                 tok_kind = T.FLOAT if _FLOAT_MARK.search(text) else T.INT
-        elif kind == "STRING":
+        elif group == _G_OP2:
+            tok_kind = _OPERATORS2[text]
+        else:
             tok_kind = T.STRING
             body = text[1:-1]
             if "\\" in body:
@@ -128,22 +158,11 @@ def _tokenize(source: str, filename: str, first_line: int = 1,
                 text = "".join(out)
             else:
                 text = body
-        elif kind == "OP2":
-            tok_kind = _OPERATORS2[text]
-        else:
-            # A bare "/" followed by "*" is an unterminated block
-            # comment: terminated ones were consumed by TRIVIA above.
-            if text == "/" and end < n and source[end] == "*":
-                start = Pos(line, i - line_start + 1, i)
-                raise LexError("unterminated block comment",
-                               Span(start, start, filename))
-            tok_kind = _OPERATORS1[text]
-        append(Token(tok_kind, text,
-                     Span(Pos(line, i - line_start + 1, i),
-                          Pos(line, end - line_start + 1, end), filename)))
+        append(Token(tok_kind, text, line, i - line_start + 1,
+                     end - line_start + 1, i, end, filename))
         i = end
-    eof = Pos(line, n - line_start + 1, n)
-    append(Token(T.EOF, "", Span(eof, eof, filename)))
+    append(Token(T.EOF, "", line, n - line_start + 1, n - line_start + 1,
+                 n, n, filename))
     return tokens
 
 
@@ -152,16 +171,15 @@ def _lex_tick(source: str, i: int, filename: str, line: int,
     """Scan a tick-introduced token: ``'Name`` constructors and
     ``'x'`` / ``'{'`` character literals (same rules as the original
     cursor lexer)."""
-    start = Pos(line, i - line_start + 1, i)
+    col = i - line_start + 1
     j = i + 1
     n = len(source)
     head = source[j] if j < n else ""
     if not (head.isalpha() or head == "_"):
         # A tick, one character and a closing tick is a char literal.
         if head and j + 1 < n and source[j + 1] == "'":
-            append(Token(T.CHAR, head,
-                         Span(start, Pos(line, j + 3 - line_start, j + 2),
-                              filename)))
+            append(Token(T.CHAR, head, line, col, j + 3 - line_start,
+                         i, j + 2, filename))
             return j + 2
         raise LexError("expected constructor name after '",
                        Span.point(line, j - line_start + 1, filename))
@@ -169,12 +187,11 @@ def _lex_tick(source: str, i: int, filename: str, line: int,
     end = m.end()
     # 'x' style char literal: single letter followed by a closing tick.
     if end - j == 1 and end < n and source[end] == "'":
-        append(Token(T.CHAR, source[j],
-                     Span(start, Pos(line, end + 2 - line_start, end + 1),
-                          filename)))
+        append(Token(T.CHAR, source[j], line, col, end + 2 - line_start,
+                     i, end + 1, filename))
         return end + 1
-    append(Token(T.CTOR, source[j:end],
-                 Span(start, Pos(line, end - line_start + 1, end), filename)))
+    append(Token(T.CTOR, source[j:end], line, col, end - line_start + 1,
+                 i, end, filename))
     return end
 
 
@@ -197,10 +214,19 @@ class Lexer:
         return self._tokens
 
     def next_token(self) -> Token:
+        """The next token in the stream.
+
+        Contract: the terminating EOF token is served exactly **once**;
+        calling ``next_token`` again after EOF raises :class:`LexError`
+        instead of silently re-serving it (the old ``min()`` clamp made
+        an off-by-one loop spin forever on a soft EOF).
+        """
         toks = self.tokenize()
-        tok = toks[min(self._cursor, len(toks) - 1)]
-        if self._cursor < len(toks):
-            self._cursor += 1
+        if self._cursor >= len(toks):
+            raise LexError("next_token called past end of input",
+                           toks[-1].span)
+        tok = toks[self._cursor]
+        self._cursor += 1
         return tok
 
 

@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 from ..diagnostics import ParseError, Span
 from ..obs.trace import current_tracer
 from . import ast
+from .intern import AST_POOL
 from .lexer import tokenize
 from .tokens import BASE_TYPE_TOKENS, T, Token
 
@@ -42,13 +43,21 @@ class Parser:
 
     # -- token helpers ------------------------------------------------------
 
+    # ``self.pos <= self._last`` is an invariant: the cursor only moves
+    # past non-EOF tokens, so ``self.toks[self.pos]`` is always valid
+    # and the zero-lookahead helpers need no clamping.
+
     def _peek(self, ahead: int = 0) -> Token:
-        i = self.pos + ahead
-        return self.toks[i if i < self._last else self._last]
+        if ahead:
+            i = self.pos + ahead
+            return self.toks[i if i < self._last else self._last]
+        return self.toks[self.pos]
 
     def _at(self, kind: T, ahead: int = 0) -> bool:
-        i = self.pos + ahead
-        return self.toks[i if i < self._last else self._last].kind is kind
+        if ahead:
+            i = self.pos + ahead
+            return self.toks[i if i < self._last else self._last].kind is kind
+        return self.toks[self.pos].kind is kind
 
     def _advance(self) -> Token:
         tok = self.toks[self.pos]
@@ -57,24 +66,33 @@ class Parser:
         return tok
 
     def _accept(self, kind: T) -> Optional[Token]:
-        pos = self.pos
-        tok = self.toks[pos if pos < self._last else self._last]
+        tok = self.toks[self.pos]
         if tok.kind is kind:
-            if tok.kind is not T.EOF:
-                self.pos = pos + 1
+            if kind is not T.EOF:
+                self.pos += 1
             return tok
         return None
 
     def _expect(self, kind: T, what: str = "") -> Token:
-        if self._at(kind):
-            return self._advance()
-        tok = self._peek()
+        tok = self.toks[self.pos]
+        if tok.kind is kind:
+            if kind is not T.EOF:
+                self.pos += 1
+            return tok
         wanted = what or kind.value
         raise ParseError(f"expected {wanted}, found {tok.kind.value} {tok.text!r}",
                          tok.span)
 
     def _span_from(self, start: Span) -> Span:
-        return start.merge(self.toks[max(self.pos - 1, 0)].span)
+        # The last consumed token always ends at or after ``start`` (a
+        # construct consumes its first token before widening), so the
+        # covering span is just (start.start, last.end) — no min/max
+        # comparison or fresh ``Pos`` pair as ``Span.merge`` would pay.
+        end = self.toks[self.pos - 1 if self.pos else 0].span.end
+        s = start.start
+        if end.line < s.line or (end.line == s.line and end.col < s.col):
+            return start.merge(self.toks[self.pos - 1 if self.pos else 0].span)
+        return Span(s, end, self.filename)
 
     # -- entry points ---------------------------------------------------------
 
@@ -349,15 +367,14 @@ class Parser:
         return ast.EffectItem(self._span_from(start), "keep", key, pre, post)
 
     def parse_state_expr(self) -> ast.StateExpr:
-        start = self._peek().span
-        if self._accept(T.LPAREN):
+        if self._at(T.LPAREN):
+            start = self._advance().span
             var = self._expect(T.IDENT).text
             self._expect(T.LE)
             bound = self._expect(T.IDENT).text
             self._expect(T.RPAREN)
             return ast.StateBound(self._span_from(start), var, bound)
-        name = self._expect(T.IDENT, "state name").text
-        return ast.StateRef(self._span_from(start), name)
+        return AST_POOL.state_ref(self._expect(T.IDENT, "state name"))
 
     # -- types ---------------------------------------------------------------------
 
@@ -423,13 +440,13 @@ class Parser:
         tok = self._peek()
         if tok.kind in BASE_TYPE_TOKENS:
             self._advance()
-            return ast.BaseType(tok.span, tok.text)
+            return AST_POOL.base_type(tok)
         if tok.kind is T.IDENT:
             self._advance()
-            args: List[ast.TypeArg] = []
             if self._at(T.LT):
-                args = self.parse_type_args()
-            return ast.NamedType(tok.span, tok.text, args)
+                return ast.NamedType(tok.span, tok.text,
+                                     self.parse_type_args())
+            return AST_POOL.named_type(tok)
         raise ParseError(f"expected a type, found {tok.kind.value} {tok.text!r}",
                          tok.span)
 
@@ -452,13 +469,15 @@ class Parser:
     def parse_block(self) -> ast.Block:
         start = self._expect(T.LBRACE).span
         stmts: List[ast.Stmt] = []
-        while not self._at(T.RBRACE):
-            stmts.append(self.parse_stmt())
+        toks = self.toks
+        parse_stmt = self.parse_stmt
+        while toks[self.pos].kind is not T.RBRACE:
+            stmts.append(parse_stmt())
         self._expect(T.RBRACE)
         return ast.Block(self._span_from(start), stmts)
 
     def parse_stmt(self) -> ast.Stmt:
-        tok = self._peek()
+        tok = self.toks[self.pos]
         if tok.kind is T.LBRACE:
             return self.parse_block()
         if tok.kind is T.KW_IF:
@@ -489,11 +508,45 @@ class Parser:
             return ast.Continue(tok.span)
 
         # Try a declaration (variable or nested function); fall back to
-        # an expression statement.
+        # an expression statement.  Fast path for the dominant forms:
+        # when the two-token prefix cannot start a declaration, the
+        # speculative attempt below provably fails (and restores the
+        # cursor), so skip straight to the expression parse and save
+        # the raise/backtrack round trip per call/assignment statement.
+        kind = tok.kind
+        if kind in self._NEVER_DECL_START:
+            return self.parse_expr_stmt()
+        if kind is T.IDENT:
+            toks = self.toks
+            last = self._last
+            i = self.pos + 1
+            k1 = toks[i if i < last else last].kind
+            if k1 in self._EXPR_AFTER_IDENT or (
+                    k1 is T.LBRACKET
+                    and toks[i + 1 if i + 1 < last else last].kind
+                    is not T.RBRACKET):
+                return self.parse_expr_stmt()
         decl = self._try_parse_decl_stmt()
         if decl is not None:
             return decl
         return self.parse_expr_stmt()
+
+    #: statement-leading tokens that can never begin a declaration
+    #: (``parse_type`` rejects them outright).
+    _NEVER_DECL_START = frozenset({
+        T.INT, T.FLOAT, T.STRING, T.CHAR, T.CTOR, T.KW_TRUE, T.KW_FALSE,
+        T.KW_NULL, T.KW_NEW, T.MINUS, T.BANG, T.LBRACKET,
+    })
+
+    #: second tokens after a leading IDENT that rule out a declaration:
+    #: ``parse_type`` yields the bare name and the declarator name is
+    #: then missing.  ``<`` (type arguments), ``@``/``:`` (guards) and
+    #: ``[`` (array suffix, handled separately) stay speculative.
+    _EXPR_AFTER_IDENT = frozenset({
+        T.ASSIGN, T.DOT, T.LPAREN, T.SEMI, T.PLUSEQ, T.MINUSEQ,
+        T.PLUSPLUS, T.MINUSMINUS, T.PLUS, T.MINUS, T.STAR, T.SLASH,
+        T.PERCENT, T.EQ, T.NE, T.GT, T.LE, T.GE, T.AMPAMP, T.PIPEPIPE,
+    })
 
     def _try_parse_decl_stmt(self) -> Optional[ast.Stmt]:
         save = self.pos
@@ -527,18 +580,30 @@ class Parser:
         return None
 
     def parse_expr_stmt(self) -> ast.Stmt:
-        start = self._peek().span
+        toks = self.toks
+        start = toks[self.pos].span
         expr = self.parse_expr()
-        if self._at(T.ASSIGN) or self._at(T.PLUSEQ) or self._at(T.MINUSEQ):
-            op = self._advance().text
+        tok = toks[self.pos]
+        kind = tok.kind
+        if kind is T.ASSIGN or kind is T.PLUSEQ or kind is T.MINUSEQ:
+            self.pos += 1
             value = self.parse_expr()
+            if toks[self.pos].kind is T.SEMI:
+                self.pos += 1
+            else:
+                self._expect(T.SEMI)
+            return ast.Assign(self._span_from(start), expr, tok.text, value)
+        if kind is T.PLUSPLUS or kind is T.MINUSMINUS:
+            self.pos += 1
+            if toks[self.pos].kind is T.SEMI:
+                self.pos += 1
+            else:
+                self._expect(T.SEMI)
+            return ast.IncDec(self._span_from(start), expr, tok.text)
+        if kind is T.SEMI:
+            self.pos += 1
+        else:
             self._expect(T.SEMI)
-            return ast.Assign(self._span_from(start), expr, op, value)
-        if self._at(T.PLUSPLUS) or self._at(T.MINUSMINUS):
-            op = self._advance().text
-            self._expect(T.SEMI)
-            return ast.IncDec(self._span_from(start), expr, op)
-        self._expect(T.SEMI)
         return ast.ExprStmt(self._span_from(start), expr)
 
     def parse_if(self) -> ast.If:
@@ -616,47 +681,74 @@ class Parser:
     def _parse_binary(self, left: ast.Expr, min_prec: int) -> ast.Expr:
         """Precedence climbing over :data:`_BIN_PREC`."""
         prec_of = self._BIN_PREC.get
+        toks = self.toks
+        filename = self.filename
         while True:
-            tok = self._peek()
+            tok = toks[self.pos]
             prec = prec_of(tok.kind)
             if prec is None or prec < min_prec:
                 return left
-            self._advance()
+            self.pos += 1
             right = self.parse_unary()
             while True:
-                nxt = prec_of(self._peek().kind)
+                nxt = prec_of(toks[self.pos].kind)
                 if nxt is None or nxt <= prec:
                     break
                 right = self._parse_binary(right, prec + 1)
-            left = ast.Binary(left.span.merge(right.span), tok.text,
-                              left, right)
+            left = ast.Binary(Span(left.span.start, right.span.end,
+                                   filename), tok.text, left, right)
 
     def parse_unary(self) -> ast.Expr:
-        tok = self._peek()
-        if tok.kind is T.BANG or tok.kind is T.MINUS:
-            self._advance()
+        tok = self.toks[self.pos]
+        kind = tok.kind
+        if kind is T.BANG or kind is T.MINUS:
+            self.pos += 1
             operand = self.parse_unary()
-            return ast.Unary(tok.span.merge(operand.span), tok.text, operand)
+            return ast.Unary(Span(tok.span.start, operand.span.end,
+                                  self.filename), tok.text, operand)
         return self.parse_postfix()
 
     def parse_postfix(self) -> ast.Expr:
-        expr = self.parse_primary()
+        toks = self.toks
+        # The dominant atoms — a name or an integer literal — are
+        # recognised inline; everything else goes through the full
+        # ``parse_primary`` dispatch.
+        tok = toks[self.pos]
+        kind = tok.kind
+        if kind is T.IDENT:
+            self.pos += 1
+            expr = AST_POOL.name(tok)
+        elif kind is T.INT:
+            self.pos += 1
+            expr = AST_POOL.int_lit(tok)
+        else:
+            expr = self.parse_primary()
         while True:
-            if self._at(T.DOT):
-                self._advance()
-                fld = self._expect(T.IDENT).text
-                expr = ast.FieldAccess(self._span_from(expr.span), expr, fld)
-            elif self._at(T.LPAREN):
-                self._advance()
+            kind = toks[self.pos].kind
+            if kind is T.DOT:
+                self.pos += 1
+                ftok = toks[self.pos]
+                if ftok.kind is T.IDENT:
+                    self.pos += 1
+                else:
+                    ftok = self._expect(T.IDENT)
+                expr = ast.FieldAccess(self._span_from(expr.span), expr,
+                                       ftok.text)
+            elif kind is T.LPAREN:
+                self.pos += 1
                 args: List[ast.Expr] = []
-                if not self._at(T.RPAREN):
+                if toks[self.pos].kind is not T.RPAREN:
                     args.append(self.parse_expr())
-                    while self._accept(T.COMMA):
+                    while toks[self.pos].kind is T.COMMA:
+                        self.pos += 1
                         args.append(self.parse_expr())
-                self._expect(T.RPAREN)
+                if toks[self.pos].kind is T.RPAREN:
+                    self.pos += 1
+                else:
+                    self._expect(T.RPAREN)
                 expr = ast.Call(self._span_from(expr.span), expr, args)
-            elif self._at(T.LBRACKET):
-                self._advance()
+            elif kind is T.LBRACKET:
+                self.pos += 1
                 idx = self.parse_expr()
                 self._expect(T.RBRACKET)
                 expr = ast.Index(self._span_from(expr.span), expr, idx)
@@ -667,28 +759,28 @@ class Parser:
         tok = self._peek()
         if tok.kind is T.INT:
             self._advance()
-            return ast.IntLit(tok.span, int(tok.text, 0))
+            return AST_POOL.int_lit(tok)
         if tok.kind is T.FLOAT:
             self._advance()
-            return ast.FloatLit(tok.span, float(tok.text))
+            return AST_POOL.float_lit(tok)
         if tok.kind is T.STRING:
             self._advance()
-            return ast.StringLit(tok.span, tok.text)
+            return AST_POOL.string_lit(tok)
         if tok.kind is T.CHAR:
             self._advance()
-            return ast.CharLit(tok.span, tok.text)
+            return AST_POOL.char_lit(tok)
         if tok.kind is T.KW_TRUE:
             self._advance()
-            return ast.BoolLit(tok.span, True)
+            return AST_POOL.bool_lit(tok, True)
         if tok.kind is T.KW_FALSE:
             self._advance()
-            return ast.BoolLit(tok.span, False)
+            return AST_POOL.bool_lit(tok, False)
         if tok.kind is T.KW_NULL:
             self._advance()
-            return ast.NullLit(tok.span)
+            return AST_POOL.null_lit(tok)
         if tok.kind is T.IDENT:
             self._advance()
-            return ast.Name(tok.span, tok.text)
+            return AST_POOL.name(tok)
         if tok.kind is T.CTOR:
             return self.parse_ctor_app()
         if tok.kind is T.KW_NEW:
@@ -706,7 +798,8 @@ class Parser:
                 while self._accept(T.COMMA):
                     elems.append(self.parse_expr())
             close = self._expect(T.RBRACKET)
-            return ast.ArrayLit(tok.span.merge(close.span), elems)
+            return ast.ArrayLit(Span(tok.span.start, close.span.end,
+                                     self.filename), elems)
         raise ParseError(
             f"expected an expression, found {tok.kind.value} {tok.text!r}",
             tok.span)
@@ -755,23 +848,29 @@ class Parser:
 
 
 def parse_program(source: str, filename: str = "<input>",
-                  first_line: int = 1, first_col: int = 1) -> ast.Program:
+                  first_line: int = 1, first_col: int = 1,
+                  tokens: Optional[List[Token]] = None) -> ast.Program:
     """Parse a Vault compilation unit from source text.
 
     ``first_line``/``first_col`` place the text inside a larger unit,
     so that spans match a whole-unit parse; the incremental pipeline
-    uses this to parse single declaration chunks in place.
+    uses this to parse single declaration chunks in place.  ``tokens``
+    supplies a pre-lexed stream for ``source`` (from the session's
+    token cache or the incremental relexer) and skips lexing entirely;
+    it must equal ``tokenize(source, filename, first_line, first_col)``.
     """
     tracer = current_tracer()
     if tracer.enabled:
-        with tracer.span("lex", filename=filename):
-            tokens = tokenize(source, filename, first_line=first_line,
-                              first_col=first_col)
+        if tokens is None:
+            with tracer.span("lex", filename=filename):
+                tokens = tokenize(source, filename, first_line=first_line,
+                                  first_col=first_col)
         with tracer.span("parse", filename=filename):
             return Parser(tokens, filename).parse_program()
-    return Parser(tokenize(source, filename, first_line=first_line,
-                           first_col=first_col),
-                  filename).parse_program()
+    if tokens is None:
+        tokens = tokenize(source, filename, first_line=first_line,
+                          first_col=first_col)
+    return Parser(tokens, filename).parse_program()
 
 
 def parse_type(source: str, filename: str = "<type>") -> ast.Type:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 
-from ..diagnostics import Span
+from ..diagnostics import Pos, Span
 
 
 class T(enum.Enum):
@@ -145,23 +145,66 @@ BASE_TYPE_TOKENS = {
 class Token:
     """One lexed token.  A plain ``__slots__`` class (not a dataclass):
     the lexer mints one per token on the hot path of every check, and a
-    frozen dataclass pays ``object.__setattr__`` per field."""
+    frozen dataclass pays ``object.__setattr__`` per field.
 
-    __slots__ = ("kind", "text", "span")
+    Positions are stored as **scalars** (line / start and end column /
+    start and end byte offset) and the :class:`~repro.diagnostics.Span`
+    is materialized lazily on first access: most tokens — punctuation,
+    operators, keywords consumed by ``_expect`` — never have their span
+    read, so the two ``Pos`` and one ``Span`` allocations per token the
+    old representation paid are skipped entirely on the hot path.  A
+    token never contains a newline, so one ``line`` field covers both
+    ends.  Tokens are immutable by convention; the incremental relexer
+    (:mod:`repro.syntax.relex`) shares them between token streams.
+    """
 
-    def __init__(self, kind: T, text: str, span: Span):
+    __slots__ = ("kind", "text", "line", "col", "end_col",
+                 "offset", "end_offset", "filename", "_span", "_hash")
+
+    def __init__(self, kind: T, text: str, line: int = 0, col: int = 0,
+                 end_col: int = 0, offset: int = 0, end_offset: int = 0,
+                 filename: str = "<input>"):
         self.kind = kind
         self.text = text
-        self.span = span
+        self.line = line
+        self.col = col
+        self.end_col = end_col
+        self.offset = offset
+        self.end_offset = end_offset
+        self.filename = filename
+        self._span = None
+        self._hash = None
+
+    @property
+    def span(self) -> Span:
+        span = self._span
+        if span is None:
+            span = Span(Pos(self.line, self.col, self.offset),
+                        Pos(self.line, self.end_col, self.end_offset),
+                        self.filename)
+            self._span = span
+        return span
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Token):
             return NotImplemented
         return (self.kind is other.kind and self.text == other.text
-                and self.span == other.span)
+                and self.line == other.line and self.col == other.col
+                and self.end_col == other.end_col
+                and self.offset == other.offset
+                and self.end_offset == other.end_offset
+                and self.filename == other.filename)
 
     def __hash__(self) -> int:
-        return hash((self.kind, self.text, self.span))
+        # Cached: tokens are immutable by convention and the intern
+        # pool (repro.syntax.intern) hashes each one on every lookup.
+        h = self._hash
+        if h is None:
+            h = hash((self.kind, self.text, self.line, self.col,
+                      self.end_col, self.offset, self.end_offset,
+                      self.filename))
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         return f"Token(kind={self.kind!r}, text={self.text!r}, span={self.span!r})"

@@ -140,3 +140,30 @@ class TestSpans:
             T.LBRACKET, T.IDENT, T.AT, T.IDENT, T.ARROW, T.IDENT, T.COMMA,
             T.MINUS, T.IDENT, T.COMMA, T.PLUS, T.IDENT, T.COMMA, T.KW_NEW,
             T.IDENT, T.AT, T.IDENT, T.RBRACKET]
+
+
+class TestNextToken:
+    """The streaming interface's end-of-input contract."""
+
+    def test_serves_each_token_once_then_eof(self):
+        from repro.syntax import Lexer
+        lexer = Lexer("a b")
+        assert lexer.next_token().text == "a"
+        assert lexer.next_token().text == "b"
+        assert lexer.next_token().kind is T.EOF
+
+    def test_past_eof_raises_instead_of_reserving_eof(self):
+        from repro.syntax import Lexer
+        lexer = Lexer("x")
+        lexer.next_token()                    # x
+        eof = lexer.next_token()              # EOF, served exactly once
+        assert eof.kind is T.EOF
+        with pytest.raises(LexError, match="past end of input"):
+            lexer.next_token()
+
+    def test_past_eof_on_empty_input(self):
+        from repro.syntax import Lexer
+        lexer = Lexer("")
+        assert lexer.next_token().kind is T.EOF
+        with pytest.raises(LexError, match="past end of input"):
+            lexer.next_token()
