@@ -6,7 +6,7 @@ export PYTHONPATH := src
 COVERAGE_MIN ?= 85
 
 .PHONY: test bench bench-smoke trace-smoke chaos-smoke server-smoke \
-	coverage
+	cache-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,13 @@ bench-smoke:
 # quarantined and rebuilt.
 chaos-smoke:
 	$(PYTHON) benchmarks/chaos_smoke.py
+
+# Shared-store smoke: a second cold session over a warm shared store
+# must replay >=3x faster with byte-identical diagnostics; after one
+# edit the shared summary hit rate must stay >=0.9.  Writes the
+# "shared_cache" block of BENCH_checker.json.
+cache-smoke:
+	$(PYTHON) benchmarks/bench_cache.py
 
 # Daemon smoke: a real `vaultc serve` under three concurrent clients
 # must answer byte-identically to the in-process checker, shut down

@@ -1,0 +1,192 @@
+"""Shared-store smoke benchmark (the ``make cache-smoke`` gate).
+
+The scenario the tiered store exists for: developer A checks a 640
+function corpus cold; developer B (a different process, an empty L1,
+a brand-new store handle) checks the identical corpus against the same
+content-addressed store directory and must run at warm speed.  A third
+session edits one function and must rebuild *only* that function from
+the shared summaries.  A final round drives the same replay through a
+live daemon's ``cache_get``/``cache_put`` wire ops (the remote tier).
+
+Ratchets (enforced, then recorded under the ``"shared_cache"`` key of
+``BENCH_checker.json``):
+
+* second cold check >= **3x** faster than the first (unit replay);
+* post-edit summary hit rate >= **0.9** (one function of 640 edited);
+* diagnostics byte-identical across every path, including the remote
+  tier.
+
+Usable both as a script (``python benchmarks/bench_cache.py``) and as
+a pytest module.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.analysis import synthesize_program          # noqa: E402
+from repro.cache import open_store                     # noqa: E402
+from repro.pipeline import CheckSession                # noqa: E402
+
+N_FUNCTIONS = 640
+SEED = 42
+ERROR_RATE = 0.1
+UNITS = ["region"]
+
+MIN_REPLAY_SPEEDUP = 3.0
+MIN_SUMMARY_HIT_RATE = 0.9
+
+_REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+_BENCH_JSON = os.path.join(_REPO, "BENCH_checker.json")
+
+
+def _timed_check(source, store, **session_kw):
+    """One fresh session + one check against ``store``; returns
+    ``(seconds, rendered, stats)``."""
+    with CheckSession(units=UNITS, shared_store=store,
+                      **session_kw) as session:
+        started = time.perf_counter()
+        report = session.check(source, "corpus.vlt")
+        elapsed = time.perf_counter() - started
+    return elapsed, report.render(), session.stats
+
+
+def _measure():
+    source = synthesize_program(N_FUNCTIONS, seed=SEED,
+                                error_rate=ERROR_RATE)
+    edited = source.replace(
+        "int worker_3(int input) {\n    tracked",
+        "int worker_3(int input) {\n    // edited\n    tracked", 1)
+    assert edited != source
+
+    result = {"workload": {"functions": N_FUNCTIONS, "seed": SEED,
+                           "error_rate": ERROR_RATE, "units": UNITS}}
+    tmp = tempfile.mkdtemp(prefix="vaultc-cache-bench-")
+    try:
+        cas_dir = os.path.join(tmp, "cas")
+
+        # -- session A: cold, populating the store --------------------
+        store_a = open_store(cas_dir)
+        cold, expected, stats_a = _timed_check(source, store_a)
+        store_a.close()
+        assert stats_a.shared_puts > 0, "the cold session must publish"
+
+        # -- session B: cold process, warm store ----------------------
+        store_b = open_store(cas_dir)
+        replay, rendered, stats_b = _timed_check(source, store_b)
+        store_b.close()
+        assert rendered == expected, \
+            "shared-store replay must be byte-identical"
+        assert stats_b.shared_unit_hits == 1
+        assert stats_b.functions_checked == 0, \
+            "a whole-unit replay re-checks nothing"
+
+        # -- session C: one function edited ---------------------------
+        store_c = open_store(cas_dir)
+        edit_s, _rendered_c, stats_c = _timed_check(edited, store_c)
+        store_c.close()
+        lookups = stats_c.shared_summary_hits + stats_c.shared_summary_misses
+        hit_rate = stats_c.shared_summary_hits / lookups if lookups else 0.0
+        assert stats_c.shared_unit_hits == 0
+        assert stats_c.functions_checked <= max(
+            1, int(N_FUNCTIONS * (1 - MIN_SUMMARY_HIT_RATE)))
+
+        # -- remote tier: replay through a live daemon ----------------
+        from repro.server import CheckServer
+        sock = os.path.join(tmp, "d.sock")
+        server = CheckServer(socket_path=sock,
+                             shared_cache_dir=os.path.join(tmp, "dcas"))
+        server.bind()
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            writer = open_store("daemon:" + sock)
+            _elapsed, rendered_w, _stats = _timed_check(source, writer)
+            writer.close()
+            assert rendered_w == expected
+
+            reader = open_store("daemon:" + sock)
+            remote_s, rendered_r, stats_r = _timed_check(source, reader)
+            reader.close()
+            assert rendered_r == expected, \
+                "remote-tier replay must be byte-identical"
+            assert stats_r.shared_unit_hits == 1
+            assert stats_r.functions_checked == 0
+        finally:
+            server.request_stop()
+            thread.join(10)
+            server.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    result["seconds"] = {
+        "cold_populate": cold,
+        "cold_replay": replay,
+        "edit_one_function": edit_s,
+        "remote_replay": remote_s,
+    }
+    result["speedup"] = {
+        "replay_vs_cold": cold / replay if replay else float("inf"),
+        "remote_replay_vs_cold":
+            cold / remote_s if remote_s else float("inf"),
+    }
+    result["summary_hit_rate_after_edit"] = hit_rate
+    result["byte_identical"] = True
+    return result
+
+
+def test_shared_cache_smoke(benchmark=None):
+    if benchmark is not None:
+        result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    else:
+        result = _measure()
+
+    # Read-modify-write: bench_incremental.py owns the rest of the
+    # file; this gate owns only the "shared_cache" key.
+    try:
+        with open(_BENCH_JSON, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged["shared_cache"] = result
+    with open(_BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+
+    sec = result["seconds"]
+    speed = result["speedup"]
+    print(f"cache-smoke: cold populate          "
+          f"{sec['cold_populate'] * 1000:8.1f} ms")
+    print(f"cache-smoke: cold replay (CAS)      "
+          f"{sec['cold_replay'] * 1000:8.1f} ms  "
+          f"({speed['replay_vs_cold']:.1f}x)")
+    print(f"cache-smoke: edit one of {N_FUNCTIONS}      "
+          f"{sec['edit_one_function'] * 1000:8.1f} ms  "
+          f"(summary hit rate "
+          f"{result['summary_hit_rate_after_edit']:.3f})")
+    print(f"cache-smoke: cold replay (remote)   "
+          f"{sec['remote_replay'] * 1000:8.1f} ms  "
+          f"({speed['remote_replay_vs_cold']:.1f}x)")
+    print("cache-smoke: byte-identity across all tiers   OK")
+
+    assert speed["replay_vs_cold"] >= MIN_REPLAY_SPEEDUP, \
+        f"a second cold check over a warm store must be >= " \
+        f"{MIN_REPLAY_SPEEDUP}x faster (got " \
+        f"{speed['replay_vs_cold']:.2f}x)"
+    assert result["summary_hit_rate_after_edit"] >= \
+        MIN_SUMMARY_HIT_RATE, \
+        f"after one edit the summary hit rate must stay >= " \
+        f"{MIN_SUMMARY_HIT_RATE} (got " \
+        f"{result['summary_hit_rate_after_edit']:.3f})"
+
+
+if __name__ == "__main__":
+    test_shared_cache_smoke()
+    print("cache-smoke: PASS")

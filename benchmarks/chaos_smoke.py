@@ -81,7 +81,9 @@ def test_corrupt_cache_is_quarantined():
             rendered = victim.check(source).render()
         assert rendered == expected
         assert victim.stats.cache_quarantines == 1
-        assert os.path.exists(path + ".corrupt"), \
+        quarantined = [name for name in os.listdir(cache_dir)
+                       if name.startswith("summaries.pkl.corrupt.")]
+        assert quarantined, \
             "the corrupt original must be preserved for post-mortems"
 
         with CheckSession(units=UNITS, cache_dir=cache_dir) as reader:

@@ -1,0 +1,125 @@
+"""The remote store tier (L4): a check daemon as a cache server.
+
+Blobs travel over the existing length-prefixed frame protocol
+(:mod:`repro.server.protocol`) as two new ops::
+
+    {"op": "cache_get", "keys": [...]}          -> {"ok": true, "blobs": {...}}
+    {"op": "cache_put", "blobs": {key: b64}}    -> {"ok": true, "stored": N}
+
+Blob bytes are base64 inside the JSON payload — the protocol stays
+one-object-per-frame JSON, and the daemon verifies each envelope's
+checksum **without unpickling** before storing (the same reason the
+frame protocol itself is JSON: a hostile peer can at worst store junk
+that fails its checksum on the way out, never execute anything).
+
+Failure containment: the tier holds one lazily-opened connection.  Any
+transport error closes it, surfaces one :class:`StoreError` to the
+orchestrator (which counts and reports it), and opens a backoff window
+(:data:`RETRY_SECONDS`) during which every call is a silent miss — a
+dead daemon costs one failed round trip, not one per check.
+
+Batching discipline: the session batches all of a check's misses into
+one ``fetch``, so this tier sees one ``cache_get`` and at most one
+``cache_put`` per checked unit.  Replies are bounded by the frame
+limit; keys the daemon had to drop to fit are ordinary misses.
+"""
+
+from __future__ import annotations
+
+import base64
+import time
+from typing import Dict, Optional, Sequence
+
+from .store import StoreError, Tier
+
+#: seconds of silent misses after a transport failure before the tier
+#: tries the daemon again.
+RETRY_SECONDS = 30.0
+
+
+class RemoteTier(Tier):
+    """A daemon socket as a blob store."""
+
+    name = "remote"
+
+    def __init__(self, socket_path: Optional[str] = "auto",
+                 retry_seconds: float = RETRY_SECONDS):
+        self.socket_path = socket_path or "auto"
+        self.retry_seconds = retry_seconds
+        self._client = None
+        self._retry_at = 0.0
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self):
+        if self._client is not None:
+            return self._client
+        from ..server.client import DaemonClient, DaemonUnavailable
+        try:
+            self._client = DaemonClient(self.socket_path)
+        except DaemonUnavailable as exc:
+            self._fail()
+            raise StoreError(str(exc)) from None
+        return self._client
+
+    def _fail(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self._retry_at = time.monotonic() + self.retry_seconds
+
+    def _request(self, payload: dict) -> dict:
+        from ..server.client import DaemonUnavailable
+        client = self._connect()
+        try:
+            reply = client.request(payload)
+        except DaemonUnavailable as exc:
+            self._fail()
+            raise StoreError(str(exc)) from None
+        if not reply.get("ok"):
+            # The daemon answered but refused (old daemon without the
+            # cache ops, bad request): treat as a dead tier and back
+            # off the same way.
+            self._fail()
+            raise StoreError(
+                f"daemon rejected {payload.get('op')}: "
+                f"{reply.get('error', 'unknown error')}")
+        return reply
+
+    @property
+    def broken(self) -> bool:
+        return time.monotonic() < self._retry_at
+
+    # -- tier interface -------------------------------------------------------
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
+        if self.broken or not keys:
+            return {}
+        reply = self._request({"op": "cache_get", "keys": list(keys)})
+        blobs = reply.get("blobs")
+        if not isinstance(blobs, dict):
+            return {}
+        out: Dict[str, bytes] = {}
+        for key, encoded in blobs.items():
+            try:
+                out[key] = base64.b64decode(encoded, validate=True)
+            except (TypeError, ValueError):
+                continue             # orchestrator treats as a miss
+        return out
+
+    def put_many(self, blobs: Dict[str, bytes]) -> None:
+        if self.broken or not blobs:
+            return
+        encoded = {key: base64.b64encode(blob).decode("ascii")
+                   for key, blob in blobs.items()}
+        self._request({"op": "cache_put", "blobs": encoded})
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        return {"socket": self.socket_path,
+                "connected": self._client is not None,
+                "backing_off": self.broken}
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None

@@ -10,6 +10,7 @@ Subcommands::
     vaultc mutate  file.vlt [--limit N]      # seeded-fault study
     vaultc serve   [--socket PATH]           # persistent check daemon
     vaultc watch   DIR                       # re-check changed .vlt files
+    vaultc cache   stats|gc                  # shared result store ops
 """
 
 from __future__ import annotations
@@ -62,17 +63,27 @@ def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
     instrumented = args.trace or args.metrics
     faults = args.inject_faults or os.environ.get("VAULTC_FAULTS")
+    shared = args.shared_cache
+    if shared:
+        from .cache import is_remote_spec
+        shared_remote = is_remote_spec(shared)
+    else:
+        shared_remote = False
     # The daemon path only carries what the wire protocol can express;
     # introspection flags (--trace/--metrics/--profile) and the chaos
     # harness are inherently local, so they check in-process as before.
+    # A *remote* shared-cache spec means "use the daemon as a cache
+    # tier, check locally" — the opposite of daemon routing.
     if args.daemon is not None and not args.profile and not instrumented \
-            and not faults and args.batch_timeout is None:
+            and not faults and args.batch_timeout is None \
+            and not shared_remote:
         from .server.client import check_via_daemon
         outcome = check_via_daemon(
             source, args.file,
             {"jobs": args.jobs, "cache_dir": args.cache,
              "break_even": None if args.break_even is None
-             else args.break_even / 1000.0},
+             else args.break_even / 1000.0,
+             "shared_cache": shared},
             args.daemon)
         if outcome is not None:
             if outcome.ok:
@@ -85,7 +96,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         # in-process pipeline below.
     if args.jobs != 1 or args.cache or args.profile or instrumented \
             or args.break_even is not None \
-            or args.batch_timeout is not None or faults:
+            or args.batch_timeout is not None or faults or shared:
         from .obs import Telemetry
         from .pipeline import CheckSession
         from .pipeline.scheduler import (BREAK_EVEN_SECONDS,
@@ -96,22 +107,32 @@ def cmd_check(args: argparse.Namespace) -> int:
             else args.break_even / 1000.0
         batch_timeout = DEFAULT_BATCH_TIMEOUT \
             if args.batch_timeout is None else args.batch_timeout
-        with CheckSession(jobs=args.jobs, cache_dir=args.cache,
-                          telemetry=telemetry,
-                          break_even_seconds=break_even,
-                          batch_timeout=batch_timeout,
-                          fault_plan=_fault_plan(faults)) as session:
-            try:
-                report = session.check(source, filename=args.file)
-            finally:
-                # The trace is most valuable for the run that failed:
-                # write whatever was recorded even on a crash.
-                if args.trace:
-                    telemetry.tracer.export(args.trace)
-            if args.profile:
-                _print_profile(session, file=sys.stderr)
-            if args.metrics:
-                _write_metrics(telemetry, args.metrics)
+        store = None
+        if shared:
+            from .cache import open_store
+            store = open_store(shared, telemetry)
+        try:
+            with CheckSession(jobs=args.jobs, cache_dir=args.cache,
+                              telemetry=telemetry,
+                              break_even_seconds=break_even,
+                              batch_timeout=batch_timeout,
+                              fault_plan=_fault_plan(faults),
+                              shared_store=store) as session:
+                try:
+                    report = session.check(source, filename=args.file)
+                finally:
+                    # The trace is most valuable for the run that
+                    # failed: write whatever was recorded even on a
+                    # crash.
+                    if args.trace:
+                        telemetry.tracer.export(args.trace)
+                if args.profile:
+                    _print_profile(session, file=sys.stderr)
+                if args.metrics:
+                    _write_metrics(telemetry, args.metrics)
+        finally:
+            if store is not None:
+                store.close()
     else:
         report = check_source(source, filename=args.file)
     if report.ok:
@@ -160,6 +181,14 @@ def _print_profile(session, file) -> int:
     if stats.fingerprints_memoized:
         print(f"  {'fingerprints memoized':<22} "
               f"{stats.fingerprints_memoized:8d}", file=file)
+    if stats.shared_unit_hits or stats.shared_summary_hits \
+            or stats.shared_puts:
+        print(f"  {'shared unit replays':<22} "
+              f"{stats.shared_unit_hits:8d}", file=file)
+        print(f"  {'shared summary hits':<22} "
+              f"{stats.shared_summary_hits:8d} hits / "
+              f"{stats.shared_summary_misses} misses", file=file)
+        print(f"  {'shared puts':<22} {stats.shared_puts:8d}", file=file)
     if stats.pool_spawns:
         print(f"  {'worker pools forked':<22} {stats.pool_spawns:8d}",
               file=file)
@@ -324,7 +353,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
                  idle_timeout=args.idle_timeout,
                  telemetry=Telemetry(metrics=True),
                  default_jobs=args.jobs,
-                 ready_out=sys.stderr)
+                 ready_out=sys.stderr,
+                 shared_cache_dir=args.shared_cache)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+    if args.cache_cmd == "stats":
+        if args.dir:
+            from .cache import CASTier
+            print(json.dumps(CASTier(args.dir).stats_snapshot(),
+                             indent=2, sort_keys=True))
+            return 0
+        from .server.client import DaemonClient, DaemonUnavailable
+        try:
+            with DaemonClient(args.daemon) as client:
+                reply = client.stats()
+        except DaemonUnavailable as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        stats = reply.get("stats") if reply.get("ok") else None
+        if not isinstance(stats, dict):
+            print("error: daemon returned no stats", file=sys.stderr)
+            return 1
+        block = stats.get("shared_cache")
+        if block is None:
+            print("error: daemon predates the shared cache "
+                  "(no shared_cache stats block)", file=sys.stderr)
+            return 1
+        print(json.dumps(block, indent=2, sort_keys=True))
+        return 0
+    if args.cache_cmd == "gc":
+        from .cache import CASTier, DEFAULT_MAX_BYTES
+        max_bytes = DEFAULT_MAX_BYTES if args.max_bytes is None \
+            else args.max_bytes
+        report = CASTier(args.dir, max_bytes=max_bytes).gc(force=True)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    raise VaultError(f"unknown cache subcommand {args.cache_cmd!r}")
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
@@ -356,6 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="persist function summaries under DIR so "
                         "unchanged functions are not re-checked")
+    p.add_argument("--shared-cache", default=None,
+                   metavar="DIR|daemon[:SOCKET]",
+                   help="share summaries and unit results across "
+                        "sessions through a content-addressed store: "
+                        "a directory (crash-safe on-disk CAS) or "
+                        "'daemon'/'daemon:SOCKET' (a running 'vaultc "
+                        "serve' as a remote cache tier); a second "
+                        "cold check of identical code replays at "
+                        "warm speed")
     p.add_argument("--profile", action="store_true",
                    help="print phase timings and the scheduler's "
                         "verdict to stderr")
@@ -451,7 +526,34 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N|auto",
                    help="default worker count for requests that do "
                         "not specify one")
+    p.add_argument("--shared-cache", default=None, metavar="DIR",
+                   help="back the daemon-wide shared cache with a "
+                        "persistent on-disk CAS under DIR (all warm "
+                        "sessions and the cache_get/cache_put wire "
+                        "ops read and write it)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or collect a shared result store "
+             "(see --shared-cache)")
+    cache_sub = p.add_subparsers(dest="cache_cmd", required=True)
+    pc = cache_sub.add_parser(
+        "stats", help="per-tier hit/miss/occupancy counters")
+    pc.add_argument("--dir", default=None, metavar="DIR",
+                    help="inspect an on-disk CAS directory instead of "
+                         "a live daemon")
+    pc.add_argument("--daemon", nargs="?", const="auto", default="auto",
+                    metavar="auto|SOCKET",
+                    help="daemon socket to query (default 'auto')")
+    pc.set_defaults(fn=cmd_cache)
+    pc = cache_sub.add_parser(
+        "gc", help="collect an on-disk CAS down to its size budget")
+    pc.add_argument("dir", metavar="DIR")
+    pc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="size budget to collect toward (default "
+                         "512 MiB); oldest objects are deleted first")
+    pc.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser(
         "watch",

@@ -237,6 +237,9 @@ def cache_checksum(blob: bytes) -> str:
     The summary-cache file embeds this over its pickled body so a
     torn write or bit rot is *detected* at load time — corruption
     becomes a quarantine-and-rebuild, never a silently wrong replay.
+    The shared store (``repro.cache``) reuses it for both its blob
+    envelopes and its store keys, so every byte the checker persists
+    or ships over the wire carries the same checksum discipline.
     Lives here with the other content-hashing so every stable hash
     the pipeline persists is derived in one module.
     """

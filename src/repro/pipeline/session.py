@@ -22,7 +22,13 @@ invalidated:
   (sorted qualified name) order, so the diagnostic stream is
   byte-identical to serial mode.  Below the scheduler's break-even
   point the session checks serially — ``jobs > 1`` is never slower
-  than serial on small workloads.
+  than serial on small workloads;
+* **shared store** — with ``shared_store=`` (a
+  :class:`repro.cache.SharedStore`), summary misses batch-fetch from
+  the cross-session tiers before being checked, freshly checked
+  summaries are written back, and whole units replay from stored
+  diagnostic streams — a *second cold session* on identical code runs
+  at warm speed (see :mod:`repro.cache`).
 
 Determinism guarantee: for any ``source``, the reporter returned by
 ``check`` contains the same diagnostics in the same order as
@@ -33,9 +39,10 @@ retries/bisects their batches, and when the pool is beyond saving the
 serial fallback reuses every batch result that did complete instead of
 re-checking the whole unit.  On-disk summary caches are written
 atomically with a content checksum; a corrupt file is quarantined
-(``summaries.pkl.corrupt``) with a structured ``cache_corrupt`` event
-and the session continues cold.  See docs/CHECKER.md ("Failure modes
-and recovery").
+(``summaries.pkl.corrupt.<pid>.<seq>`` — unique names with bounded
+retention, so repeated corruption keeps the newest post-mortems) with
+a structured ``cache_corrupt`` event and the session continues cold.
+See docs/CHECKER.md ("Failure modes and recovery").
 """
 
 from __future__ import annotations
@@ -77,6 +84,19 @@ _MAX_TOKEN_STREAMS = 4096
 #: and before these caps its summary and cost maps grew forever.
 _MAX_SUMMARIES = 32768
 _MAX_COSTS = 32768
+#: unit-record keys this session already stored to / replayed from the
+#: shared store — a warm re-check of the same source skips the shared
+#: fetch (L1 serves it) instead of paying a tier round trip per check.
+_MAX_SEEN_UNITS = 4096
+
+#: quarantined ``summaries.pkl.corrupt.*`` files kept for post-mortems
+#: (newest first; older ones are collected at the next quarantine).
+_QUARANTINE_KEEP = 8
+
+#: per-process quarantine sequence — combined with the pid it makes
+#: every quarantine file name unique, so a second corruption can never
+#: clobber the first post-mortem.
+_quarantine_seq = 0
 
 #: version 3 wraps the summaries/costs body in a checksummed envelope
 #: (see ``_save_cache``) so on-disk corruption is detected and
@@ -130,6 +150,14 @@ class SessionStats:
         self.poisoned = 0
         self.cache_quarantines = 0
         self.fallback_reused = 0
+        # shared-store counters (mirrored by the ``cache.shared.unit.*``
+        # / ``cache.shared.summary.*`` metrics when the registry is
+        # enabled; per-tier traffic lives on the store itself)
+        self.shared_unit_hits = 0
+        self.shared_unit_misses = 0
+        self.shared_summary_hits = 0
+        self.shared_summary_misses = 0
+        self.shared_puts = 0
         self.last_checked: List[str] = []
         self.last_replayed: List[str] = []
 
@@ -214,7 +242,8 @@ class CheckSession:
                  break_even_seconds: float = BREAK_EVEN_SECONDS,
                  telemetry: Optional[Telemetry] = None,
                  batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 shared_store=None):
         self.stdlib = stdlib
         self.units = tuple(units) if units is not None else None
         self.jobs = self._resolve_jobs(jobs)
@@ -227,6 +256,19 @@ class CheckSession:
         #: deterministic chaos schedule (tests/CI only; ``None`` in
         #: normal operation).
         self.fault_plan = fault_plan
+        #: cross-session result store (:class:`repro.cache.SharedStore`)
+        #: or ``None``.  The session never closes it — the owner (CLI,
+        #: daemon, test) controls its lifetime.  Chaos sessions must
+        #: not publish their (deliberately poisoned) results, so a
+        #: fault plan disables the store.
+        self.shared_store = shared_store if fault_plan is None else None
+        self._shared_salt = ""
+        self._seen_units: Dict[str, bool] = {}
+        if self.shared_store is not None:
+            from ..cache.store import options_salt
+            self._shared_salt = options_salt(
+                self.stdlib, self.units, join_abstraction,
+                max_loop_iterations)
         self.stats = SessionStats()
         #: the session's observability bundle; ``Telemetry()`` (the
         #: default) records nothing beyond rare events — pass
@@ -311,6 +353,31 @@ class CheckSession:
         tracer = self.telemetry.tracer
         metrics = self.telemetry.metrics
         reporter = Reporter(source, filename)
+        # Shared-store unit replay: a stored record carries the unit's
+        # complete diagnostic stream (stdlib + context + per-function,
+        # already merged in serial order), so a hit skips parsing and
+        # elaboration entirely.  Keys this session has already stored
+        # or replayed skip the fetch — the in-process caches serve
+        # them without a tier round trip.
+        store_unit_key: Optional[str] = None
+        if self.shared_store is not None:
+            from ..cache.store import unit_store_key
+            ukey = unit_store_key(source, filename, self._shared_salt)
+            if ukey not in self._seen_units:
+                store_unit_key = ukey
+                record = self._shared_fetch_unit(ukey)
+                if record is not None:
+                    reporter.diagnostics.extend(record["diags"])
+                    self._mark_unit_seen(ukey)
+                    self.stats.shared_unit_hits += 1
+                    self.stats.functions_replayed += record["functions"]
+                    if metrics.enabled:
+                        metrics.counter("cache.shared.unit.hits").inc()
+                    profile["plan"] = "replayed whole unit (shared store)"
+                    return self._finish(reporter)
+                self.stats.shared_unit_misses += 1
+                if metrics.enabled:
+                    metrics.counter("cache.shared.unit.misses").inc()
         base = None
         if self.stdlib:
             with tracer.span("stdlib_base"):
@@ -326,6 +393,7 @@ class CheckSession:
         profile["context_seconds"] = time.perf_counter() - started
         reporter.diagnostics.extend(entry.diags)
         if not reporter.ok:
+            self._shared_store_unit(store_unit_key, reporter, 0)
             return self._finish(reporter)
         if entry.fn_results is not None:
             for qual, diags in entry.fn_results:
@@ -336,6 +404,8 @@ class CheckSession:
                 metrics.counter("cache.unit_replay.hits").inc(
                     len(entry.fn_results))
             profile["plan"] = "replayed whole unit"
+            self._shared_store_unit(store_unit_key, reporter,
+                                    len(entry.fn_results))
             return self._finish(reporter)
         check_started = time.perf_counter()
         with tracer.span("check_functions"):
@@ -350,6 +420,7 @@ class CheckSession:
         if self.cache_dir and self._cache_dirty:
             self._save_cache()
             self._cache_dirty = False
+        self._shared_store_unit(store_unit_key, reporter, len(results))
         return self._finish(reporter)
 
     def _finish(self, reporter: Reporter) -> Reporter:
@@ -674,6 +745,10 @@ class CheckSession:
                 metrics.counter("cache.summary.hits").inc(replayed)
             if to_check:
                 metrics.counter("cache.summary.misses").inc(len(to_check))
+        if self.shared_store is not None and to_check:
+            # L1 missed these: one batched fetch against the shared
+            # tiers before paying for any flow analysis.
+            to_check = self._shared_fetch_summaries(to_check, results)
         if to_check:
             checked = self._run_checks(ctx, to_check, jobs)
             for (qual, fundef, fp), diags in zip(to_check, checked):
@@ -683,6 +758,8 @@ class CheckSession:
                 self.stats.last_checked.append(qual)
                 self.stats.functions_checked += 1
             self._cache_dirty = True
+            if self.shared_store is not None:
+                self._shared_put_summaries(to_check)
             if len(self._summaries) > _MAX_SUMMARIES:
                 self._evict_traced(self._summaries, "summary")
             if len(self._cost_by_qual) > _MAX_COSTS:
@@ -834,6 +911,99 @@ class CheckSession:
             return ""
         return "\n".join(lines[span.start.line - 1:span.end.line])
 
+    # -- shared store ------------------------------------------------------
+
+    def _mark_unit_seen(self, ukey: str) -> None:
+        if len(self._seen_units) >= _MAX_SEEN_UNITS:
+            self._seen_units.clear()
+        self._seen_units[ukey] = True
+
+    def _shared_fetch_unit(self, ukey: str) -> Optional[Dict[str, object]]:
+        """One stored unit record, shape-validated, or ``None``."""
+        with self.telemetry.tracer.span("shared_fetch_unit"):
+            record = self.shared_store.fetch([ukey]).get(ukey)
+        if not isinstance(record, dict):
+            return None
+        if not isinstance(record.get("diags"), tuple) \
+                or not isinstance(record.get("functions"), int):
+            return None
+        return record
+
+    def _shared_store_unit(self, ukey: Optional[str], reporter: Reporter,
+                           functions: int) -> None:
+        """Publish one finished unit's diagnostic stream."""
+        if ukey is None or self.shared_store is None:
+            return
+        record = {"diags": tuple(reporter.diagnostics),
+                  "functions": functions}
+        with self.telemetry.tracer.span("shared_put_unit"):
+            self.stats.shared_puts += self.shared_store.store({ukey: record})
+        self._mark_unit_seen(ukey)
+
+    def _shared_fetch_summaries(self, to_check, results
+                                ) -> List[Tuple[str, ast.FunDef, str]]:
+        """Batch-fetch L1 summary misses from the shared store; merge
+        hits into the in-process summary map and return the functions
+        the store could not serve either."""
+        from ..cache.store import summary_store_key
+        metrics = self.telemetry.metrics
+        key_of = {fp: summary_store_key(fp, self._shared_salt)
+                  for _qual, _fundef, fp in to_check}
+        with self.telemetry.tracer.span("shared_fetch_summaries",
+                                        keys=len(key_of)):
+            fetched = self.shared_store.fetch(list(key_of.values()))
+        still: List[Tuple[str, ast.FunDef, str]] = []
+        hits = 0
+        for qual, fundef, fp in to_check:
+            entries = fetched.get(key_of[fp])
+            diags = None
+            if isinstance(entries, dict):
+                # Union-merge: entries are keyed by (filename, line)
+                # position (or the clean wildcard None), and identical
+                # fingerprint + options imply identical diagnostics,
+                # so keeping whichever side already has a position is
+                # always sound.
+                summary = self._summaries.setdefault(fp, _Summary())
+                for pos, stored in entries.items():
+                    if isinstance(stored, tuple) and (
+                            pos is None or (isinstance(pos, tuple)
+                                            and len(pos) == 2)):
+                        summary.entries.setdefault(pos, stored)
+                diags = summary.lookup(fundef.span.filename,
+                                       fundef.span.start.line)
+            if diags is not None:
+                results[qual] = diags
+                self.stats.last_replayed.append(qual)
+                self.stats.functions_replayed += 1
+                hits += 1
+                self._cache_dirty = True
+            else:
+                still.append((qual, fundef, fp))
+        self.stats.shared_summary_hits += hits
+        self.stats.shared_summary_misses += len(still)
+        if metrics.enabled:
+            if hits:
+                metrics.counter("cache.shared.summary.hits").inc(hits)
+            if still:
+                metrics.counter("cache.shared.summary.misses").inc(
+                    len(still))
+        return still
+
+    def _shared_put_summaries(self, checked) -> None:
+        """Write freshly computed summaries back to the shared tiers
+        (merged with anything the fetch brought in)."""
+        from ..cache.store import summary_store_key
+        payload: Dict[str, object] = {}
+        for _qual, _fundef, fp in checked:
+            summary = self._summaries.get(fp)
+            if summary is not None:
+                payload[summary_store_key(fp, self._shared_salt)] = \
+                    dict(summary.entries)
+        if payload:
+            with self.telemetry.tracer.span("shared_put_summaries",
+                                            keys=len(payload)):
+                self.stats.shared_puts += self.shared_store.store(payload)
+
     # -- persistence -------------------------------------------------------
 
     def _cache_path(self) -> str:
@@ -894,12 +1064,22 @@ class CheckSession:
         self._cost_by_qual.update(costs)
 
     def _quarantine_cache(self, path: str, exc: BaseException) -> None:
-        """Move a corrupt cache file aside and publish the failure."""
-        quarantined: Optional[str] = path + ".corrupt"
+        """Move a corrupt cache file aside and publish the failure.
+
+        Quarantine names are unique (``.corrupt.<pid>.<seq>``) so a
+        second corruption cannot clobber the first post-mortem, with
+        bounded retention: only the newest ``_QUARANTINE_KEEP``
+        quarantined files survive each new quarantine."""
+        global _quarantine_seq
+        _quarantine_seq += 1
+        quarantined: Optional[str] = \
+            f"{path}.corrupt.{os.getpid()}.{_quarantine_seq}"
         try:
             os.replace(path, quarantined)
         except OSError:
             quarantined = None                # even the move failed
+        else:
+            self._prune_quarantines(path)
         self.stats.cache_quarantines += 1
         if self.telemetry.metrics.enabled:
             self.telemetry.metrics.counter(
@@ -914,6 +1094,33 @@ class CheckSession:
             path=path, error=error, quarantined=quarantined)
         print(f"repro: summary cache {path} is corrupt ({error}); "
               f"rebuilding cold", file=sys.stderr)
+
+    @staticmethod
+    def _prune_quarantines(path: str) -> None:
+        """Keep only the newest ``_QUARANTINE_KEEP`` quarantined
+        copies of ``path`` (``.corrupt`` and ``.corrupt.<pid>.<seq>``
+        alike), deleting older ones — post-mortems stay available
+        without the cache directory growing without bound."""
+        directory = os.path.dirname(path) or "."
+        prefix = os.path.basename(path) + ".corrupt"
+        try:
+            names = [name for name in os.listdir(directory)
+                     if name.startswith(prefix)]
+        except OSError:
+            return
+        stamped: List[Tuple[float, str]] = []
+        for name in names:
+            full = os.path.join(directory, name)
+            try:
+                stamped.append((os.stat(full).st_mtime, full))
+            except OSError:
+                continue
+        stamped.sort(key=lambda item: (item[0], item[1]), reverse=True)
+        for _mtime, full in stamped[_QUARANTINE_KEEP:]:
+            try:
+                os.unlink(full)
+            except OSError:
+                pass
 
     def _save_cache(self) -> None:
         """Atomically persist the summary cache: unique temp file,

@@ -163,17 +163,27 @@ def check_detailed(source: str, filename: str = "<input>",
             return outcome
     from ..api import check_source
     options = normalize_options(options)
-    if options["cache_dir"] or options["jobs"] not in (1, None):
+    if options["cache_dir"] or options["jobs"] not in (1, None) \
+            or options["shared_cache"]:
         from ..pipeline import CheckSession
         from ..pipeline.scheduler import BREAK_EVEN_SECONDS
         break_even = options["break_even"]
-        with CheckSession(
-                stdlib=options["stdlib"], units=options["units"],
-                jobs=options["jobs"] or 1,
-                cache_dir=options["cache_dir"],
-                break_even_seconds=BREAK_EVEN_SECONDS
-                if break_even is None else float(break_even)) as session:
-            report = session.check(source, filename)
+        store = None
+        if options["shared_cache"]:
+            from ..cache import open_store
+            store = open_store(options["shared_cache"])
+        try:
+            with CheckSession(
+                    stdlib=options["stdlib"], units=options["units"],
+                    jobs=options["jobs"] or 1,
+                    cache_dir=options["cache_dir"],
+                    break_even_seconds=BREAK_EVEN_SECONDS
+                    if break_even is None else float(break_even),
+                    shared_store=store) as session:
+                report = session.check(source, filename)
+        finally:
+            if store is not None:
+                store.close()
     else:
         report = check_source(source, filename,
                               stdlib=options["stdlib"],

@@ -30,7 +30,15 @@ Design:
   every session's worker pool, and unlinks the socket;
 * **pool hygiene** — each loop tick reaps worker pools that have been
   idle past ``pool_linger`` seconds (the session and its caches stay
-  warm; a later parallel check re-forks).
+  warm; a later parallel check re-forks);
+* **shared store** — every warm session plugs into one daemon-wide
+  in-memory blob tier (:class:`repro.cache.MemoryTier`), so sessions
+  with different options cross-warm each other; ``vaultc serve
+  --shared-cache DIR`` adds a persistent CAS tier, and the
+  ``cache_get``/``cache_put`` wire ops export the store to remote
+  clients (:class:`repro.cache.RemoteTier`).  Uploaded blobs are
+  checksum-verified **without unpickling** — the daemon stores bytes,
+  it never executes them.
 
 Everything observable is published on the server's telemetry:
 ``server.*`` metrics, ``server_start``/``server_stop``/
@@ -41,6 +49,7 @@ the protocol and failure-mode reference.
 
 from __future__ import annotations
 
+import base64
 import os
 import selectors
 import socket
@@ -50,6 +59,7 @@ import time
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..cache import CASTier, MemoryTier, SharedStore, is_remote_spec
 from ..diagnostics import VaultError
 from ..obs import Telemetry
 from ..pipeline import CheckSession
@@ -73,7 +83,13 @@ _TICK_SECONDS = 0.5
 #: explicit zeros (mirrors the pool's RESILIENCE_COUNTERS idiom).
 SERVER_COUNTERS = ("server.connections", "server.requests",
                    "server.checks", "server.coalesced",
-                   "server.bad_requests", "server.client_errors")
+                   "server.bad_requests", "server.client_errors",
+                   "server.cache_gets", "server.cache_puts")
+
+#: byte budget for one ``cache_get`` reply's base64 payload — kept
+#: comfortably under MAX_FRAME so the encoded frame always fits;
+#: blobs that would overflow are dropped (the client sees misses).
+CACHE_REPLY_BUDGET = 48 << 20
 
 
 def unix_sockets_available() -> bool:
@@ -151,7 +167,8 @@ class CheckServer:
                  session_limit: int = DEFAULT_SESSION_LIMIT,
                  pool_linger: float = DEFAULT_POOL_LINGER,
                  default_jobs: object = 1,
-                 enable_test_ops: bool = False):
+                 enable_test_ops: bool = False,
+                 shared_cache_dir: Optional[str] = None):
         if not unix_sockets_available():
             raise VaultError(
                 "the check daemon needs AF_UNIX sockets, which this "
@@ -166,6 +183,15 @@ class CheckServer:
         #: default; ``vaultc serve`` gates it behind
         #: ``$VAULTC_SERVER_TEST_OPS``).
         self.enable_test_ops = enable_test_ops
+        #: the daemon-wide shared-cache tiers: every warm session (and
+        #: the ``cache_get``/``cache_put`` wire ops) reads and writes
+        #: one process-wide memory tier, plus one CAS tier per distinct
+        #: directory (``--shared-cache`` and per-request options).
+        self.shared_cache_dir = shared_cache_dir
+        self.shared_memory = MemoryTier()
+        self._cas_tiers: Dict[str, CASTier] = {}
+        self._stores: Dict[str, SharedStore] = {}
+        self.shared_store = self._store_for(None)
         self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._queue: Deque[_Request] = deque()
         self._conns: Dict[int, _Conn] = {}
@@ -435,6 +461,49 @@ class CheckServer:
         if op == "stats":
             self._send(conn, {"ok": True, "stats": self._stats()})
             return
+        if op == "cache_get":
+            keys = frame.get("keys")
+            if not isinstance(keys, list) \
+                    or not all(isinstance(k, str) for k in keys):
+                self._bad_request(
+                    conn, "cache_get needs a list of string 'keys'")
+                return
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter("server.cache_gets").inc()
+            blobs = self.shared_store.get_blobs(keys)
+            out: Dict[str, str] = {}
+            budget = CACHE_REPLY_BUDGET
+            for key, blob in blobs.items():
+                encoded = base64.b64encode(blob).decode("ascii")
+                if len(encoded) > budget:
+                    continue          # dropped blob = ordinary miss
+                budget -= len(encoded)
+                out[key] = encoded
+            self._send(conn, {"ok": True, "blobs": out})
+            return
+        if op == "cache_put":
+            blobs = frame.get("blobs")
+            if not isinstance(blobs, dict):
+                self._bad_request(
+                    conn, "cache_put needs an object 'blobs' of "
+                          "base64 strings")
+                return
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter("server.cache_puts").inc()
+            decoded: Dict[str, bytes] = {}
+            for key, encoded in blobs.items():
+                if not isinstance(key, str) or not isinstance(encoded, str):
+                    continue
+                try:
+                    decoded[key] = base64.b64decode(encoded, validate=True)
+                except (TypeError, ValueError):
+                    continue
+            # put_blobs re-validates every key (well-formed store keys
+            # only — client strings never reach a file path otherwise)
+            # and every envelope checksum, without unpickling anything.
+            stored = self.shared_store.put_blobs(decoded)
+            self._send(conn, {"ok": True, "stored": stored})
+            return
         if op == "shutdown":
             self._send(conn, {"ok": True, "stopping": True})
             self.request_stop()
@@ -551,6 +620,34 @@ class CheckServer:
 
     # -- warm sessions -------------------------------------------------------
 
+    def _store_for(self, spec: Optional[object]) -> SharedStore:
+        """The shared store serving one ``shared_cache`` option value.
+
+        Every store stacks on the daemon-wide memory tier; a directory
+        spec (from ``--shared-cache`` or the request options) adds a
+        CAS tier, deduplicated per path.  A *remote* spec is ignored —
+        a single-threaded daemon dialing a daemon (possibly itself)
+        for cache traffic would deadlock; remote tiers are strictly a
+        client-side construct.
+        """
+        spec = spec if isinstance(spec, str) and spec else None
+        if is_remote_spec(spec):
+            spec = None
+        key = spec or ""
+        store = self._stores.get(key)
+        if store is None:
+            tiers: List[object] = [self.shared_memory]
+            directory = spec or self.shared_cache_dir
+            if directory:
+                tier = self._cas_tiers.get(directory)
+                if tier is None:
+                    tier = CASTier(directory)
+                    self._cas_tiers[directory] = tier
+                tiers.append(tier)
+            store = SharedStore(tiers, telemetry=self.telemetry)
+            self._stores[key] = store
+        return store
+
     def _session_for(self, options: Dict[str, object]) -> CheckSession:
         key = session_key(options)
         entry = self._sessions.get(key)
@@ -572,7 +669,8 @@ class CheckServer:
             # pool's per-session resilience accounting.
             telemetry=Telemetry(tracer=self.telemetry.tracer,
                                 registry=self.telemetry.metrics,
-                                events=self.telemetry.events))
+                                events=self.telemetry.events),
+            shared_store=self._store_for(options.get("shared_cache")))
         while len(self._sessions) >= self.session_limit:
             _evicted_key, evicted = self._sessions.popitem(last=False)
             evicted.session.close()
@@ -594,6 +692,9 @@ class CheckServer:
                 "checks": stats.checks,
                 "functions_checked": stats.functions_checked,
                 "functions_replayed": stats.functions_replayed,
+                "shared_unit_hits": stats.shared_unit_hits,
+                "shared_summary_hits": stats.shared_summary_hits,
+                "shared_puts": stats.shared_puts,
                 "pool_alive": entry.session.pool_alive,
                 "idle_seconds": time.monotonic() - entry.last_used,
             })
@@ -601,6 +702,11 @@ class CheckServer:
         out["sessions"] = sessions
         out["pid"] = os.getpid()
         out["socket"] = self.socket_path
+        # Per-tier shared-store traffic, one block per distinct store
+        # (the default store first) — what `vaultc cache stats` reads.
+        out["shared_cache"] = {
+            spec or "<default>": store.stats_snapshot()
+            for spec, store in self._stores.items()}
         return out
 
 
@@ -608,7 +714,8 @@ def serve(socket_path: Optional[str] = None,
           idle_timeout: Optional[float] = None,
           telemetry: Optional[Telemetry] = None,
           default_jobs: object = 1,
-          ready_out=None) -> int:
+          ready_out=None,
+          shared_cache_dir: Optional[str] = None) -> int:
     """Run a daemon in the calling (main) thread until shutdown.
 
     Wires SIGTERM/SIGINT to a graceful stop through the server's
@@ -621,7 +728,8 @@ def serve(socket_path: Optional[str] = None,
     server = CheckServer(
         socket_path=socket_path, idle_timeout=idle_timeout,
         telemetry=telemetry, default_jobs=default_jobs,
-        enable_test_ops=bool(os.environ.get("VAULTC_SERVER_TEST_OPS")))
+        enable_test_ops=bool(os.environ.get("VAULTC_SERVER_TEST_OPS")),
+        shared_cache_dir=shared_cache_dir)
     server.bind()
     previous: List[Tuple[int, object]] = []
     old_wakeup = None

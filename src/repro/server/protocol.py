@@ -11,13 +11,23 @@ Requests are objects with an ``op`` field:
 
 ``{"op": "check", "source": ..., "filename": ..., "options": {...}}``
     Protocol-check one compilation unit.  ``options`` may carry
-    ``stdlib``, ``units``, ``jobs``, ``cache_dir`` and ``break_even``
-    (seconds); unknown keys are ignored so older clients keep working.
+    ``stdlib``, ``units``, ``jobs``, ``cache_dir``, ``break_even``
+    (seconds) and ``shared_cache`` (a shared-store directory); unknown
+    keys are ignored so older clients keep working.
 ``{"op": "ping"}``
     Liveness probe; the reply carries the daemon pid and the protocol
     version.
 ``{"op": "stats"}``
     The daemon's telemetry snapshot plus its session registry.
+``{"op": "cache_get", "keys": [...]}``
+    Fetch blobs from the daemon's shared store (the remote cache
+    tier's read path); the reply maps each found key to base64 blob
+    bytes, capped below the frame limit (dropped keys are misses).
+``{"op": "cache_put", "blobs": {key: base64}}``
+    Store blobs into the daemon's shared store.  Each key must be a
+    well-formed store key and each blob a checksummed envelope — the
+    daemon verifies the checksum *without unpickling* and silently
+    drops anything malformed; the reply carries ``stored``.
 ``{"op": "shutdown"}``
     Ask the daemon to exit after replying.
 
@@ -141,7 +151,7 @@ def _canonical(obj: object) -> bytes:
 #: option keys that select a :class:`~repro.pipeline.CheckSession`; two
 #: requests differing only in other keys share one warm session.
 SESSION_OPTION_KEYS = ("stdlib", "units", "jobs", "cache_dir",
-                       "break_even")
+                       "break_even", "shared_cache")
 
 
 def normalize_options(options: Optional[Dict[str, object]],
@@ -157,6 +167,7 @@ def normalize_options(options: Optional[Dict[str, object]],
         "jobs": options.get("jobs", default_jobs),
         "cache_dir": options.get("cache_dir"),
         "break_even": options.get("break_even"),
+        "shared_cache": options.get("shared_cache"),
     }
 
 

@@ -10,7 +10,10 @@ paths must all reproduce those bytes exactly:
   pool (``jobs=4``, zero break-even);
 * **cached** — a warm session replay, plus a cold cross-process replay
   from an on-disk summary cache;
-* **daemon** — a live ``CheckServer`` answering over its socket.
+* **daemon** — a live ``CheckServer`` answering over its socket;
+* **shared store** — a cold session replaying another session's
+  results out of a content-addressed store (both the on-disk CAS tier
+  and the remote tier served by a live daemon).
 
 Regenerate after an intentional diagnostics change with::
 
@@ -164,3 +167,60 @@ def test_daemon_output_matches_golden(rel, daemon_socket, update_golden):
     actual = cli_stdout(reply["check_ok"], reply["render"],
                         reply["errors"], rel)
     assert_matches_golden(actual, rel, update_golden, "daemon")
+
+
+# ---------------------------------------------------------------------------
+# Shared store: a cold session replaying another session's results
+# ---------------------------------------------------------------------------
+
+def test_shared_cas_output_matches_golden(tmp_path, update_golden):
+    from repro.cache import open_store
+
+    root = str(tmp_path / "cas")
+    writer_store = open_store(root)
+    try:
+        with CheckSession(shared_store=writer_store) as writer:
+            for rel in CORPUS:
+                writer.check(read_source(rel), filename=rel)
+        assert writer.stats.shared_puts > 0
+    finally:
+        writer_store.close()
+
+    # A brand-new session over a brand-new store handle: everything it
+    # knows comes off the CAS directory the writer populated.
+    reader_store = open_store(root)
+    try:
+        with CheckSession(shared_store=reader_store) as reader:
+            for rel in CORPUS:
+                report = reader.check(read_source(rel), filename=rel)
+                assert_matches_golden(report_stdout(report, rel), rel,
+                                      update_golden, "shared store (CAS)")
+        assert reader.stats.functions_checked == 0, \
+            "a shared-store replay should not re-check anything"
+        assert reader.stats.shared_unit_hits == len(CORPUS)
+    finally:
+        reader_store.close()
+
+
+def test_shared_remote_output_matches_golden(daemon_socket, update_golden):
+    from repro.cache import open_store
+
+    writer_store = open_store("daemon:" + daemon_socket)
+    try:
+        with CheckSession(shared_store=writer_store) as writer:
+            for rel in CORPUS:
+                writer.check(read_source(rel), filename=rel)
+    finally:
+        writer_store.close()
+
+    reader_store = open_store("daemon:" + daemon_socket)
+    try:
+        with CheckSession(shared_store=reader_store) as reader:
+            for rel in CORPUS:
+                report = reader.check(read_source(rel), filename=rel)
+                assert_matches_golden(report_stdout(report, rel), rel,
+                                      update_golden, "shared store (remote)")
+        assert reader.stats.functions_checked == 0, \
+            "a remote-tier replay should not re-check anything"
+    finally:
+        reader_store.close()

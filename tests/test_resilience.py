@@ -14,7 +14,8 @@ through the deterministic fault harness (:mod:`repro.pipeline.faults`):
 * when the pool truly cannot be saved, the serial fallback reuses the
   results of every batch that did complete;
 * a corrupt on-disk summary cache is quarantined (original preserved
-  under ``*.corrupt``) and transparently rebuilt;
+  under a unique ``*.corrupt.<pid>.<seq>`` name, bounded retention)
+  and transparently rebuilt;
 * no file descriptors leak across crash/respawn cycles, and
   ``WorkerPool.close`` is idempotent and survives already-dead
   children.
@@ -298,9 +299,12 @@ class TestCacheResilience:
         (event,) = session.telemetry.events.by_kind("cache_corrupt")
         assert event.fields["path"] == path
         assert event.fields["error"]
-        assert event.fields["quarantined"] == path + ".corrupt"
+        # quarantine names are unique (``.corrupt.<pid>.<seq>``) so a
+        # later corruption cannot clobber this post-mortem
+        quarantined = event.fields["quarantined"]
+        assert quarantined.startswith(path + ".corrupt.")
         # the corrupt original is preserved for post-mortems…
-        with open(path + ".corrupt", "rb") as handle:
+        with open(quarantined, "rb") as handle:
             assert handle.read() == bytes(corrupt)
         # …and the rebuilt cache replays cleanly on the next run.
         with CheckSession(units=UNITS, cache_dir=str(tmp_path)) as reader:
@@ -350,7 +354,8 @@ class TestCacheResilience:
             session.check(source)
         (event,) = session.telemetry.events.by_kind("cache_incompatible")
         assert event.fields["version"] == 99
-        assert not os.path.exists(path + ".corrupt")
+        assert not [name for name in os.listdir(os.path.dirname(path))
+                    if ".corrupt" in name]
 
     def test_legacy_version2_payload_still_loads(self, tmp_path):
         source, _ = _corpus(n=5, seed=11)
