@@ -6,7 +6,7 @@ export PYTHONPATH := src
 COVERAGE_MIN ?= 85
 
 .PHONY: test bench bench-smoke trace-smoke chaos-smoke server-smoke \
-	cache-smoke coverage
+	cache-smoke obs-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,15 @@ chaos-smoke:
 # "shared_cache" block of BENCH_checker.json.
 cache-smoke:
 	$(PYTHON) benchmarks/bench_cache.py
+
+# Telemetry smoke: a daemon with the full obs surface on (time-series
+# sampling, Prometheus textfile, slow-trace ring, JSONL event log)
+# must round-trip the telemetry op with monotone latency quantiles,
+# emit parseable exposition, capture exactly one forced-slow trace,
+# and serve `vaultc top --once --json`.  Writes the "observability"
+# block of BENCH_checker.json.
+obs-smoke:
+	$(PYTHON) benchmarks/obs_smoke.py
 
 # Daemon smoke: a real `vaultc serve` under three concurrent clients
 # must answer byte-identically to the in-process checker, shut down

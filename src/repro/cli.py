@@ -9,6 +9,7 @@ Subcommands::
     vaultc stats   file.vlt                  # size/annotation metrics
     vaultc mutate  file.vlt [--limit N]      # seeded-fault study
     vaultc serve   [--socket PATH]           # persistent check daemon
+    vaultc top     [SOCKET] [--once --json]  # live daemon dashboard
     vaultc watch   DIR                       # re-check changed .vlt files
     vaultc cache   stats|gc                  # shared result store ops
 """
@@ -101,8 +102,10 @@ def cmd_check(args: argparse.Namespace) -> int:
         from .pipeline import CheckSession
         from .pipeline.scheduler import (BREAK_EVEN_SECONDS,
                                          DEFAULT_BATCH_TIMEOUT)
+        # --profile turns metrics on too: the quantile lines in the
+        # profile read off the check.function_seconds histogram.
         telemetry = Telemetry(trace=bool(args.trace),
-                              metrics=bool(args.metrics))
+                              metrics=bool(args.metrics) or args.profile)
         break_even = BREAK_EVEN_SECONDS if args.break_even is None \
             else args.break_even / 1000.0
         batch_timeout = DEFAULT_BATCH_TIMEOUT \
@@ -170,6 +173,18 @@ def _print_profile(session, file) -> int:
           file=file)
     print(f"  {'functions replayed':<22} {stats.functions_replayed:8d}",
           file=file)
+    metrics = session.telemetry.metrics
+    if metrics.enabled:
+        snapshot = metrics.snapshot().get("check.function_seconds")
+        if snapshot and snapshot.get("count"):
+            from .obs import bucket_quantile
+            bounds = snapshot["bounds"]
+            counts = snapshot["bucket_counts"]
+            quants = " / ".join(
+                f"p{int(q * 100)} "
+                f"{bucket_quantile(bounds, counts, q) * 1000:.1f} ms"
+                for q in (0.5, 0.95, 0.99))
+            print(f"  {'function latency':<22} {quants}", file=file)
     token_total = stats.token_hits + stats.token_misses
     if token_total:
         print(f"  {'token cache':<22} {stats.token_hits:8d} hits / "
@@ -347,14 +362,32 @@ def cmd_mutate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .obs import Telemetry
+    from .obs import Telemetry, open_event_log
     from .server import serve
-    return serve(socket_path=args.socket,
-                 idle_timeout=args.idle_timeout,
-                 telemetry=Telemetry(metrics=True),
-                 default_jobs=args.jobs,
-                 ready_out=sys.stderr,
-                 shared_cache_dir=args.shared_cache)
+    telemetry = Telemetry(metrics=True)
+    # Subscribe the audit sink before serve() so server_start itself
+    # lands in the log.
+    writer = open_event_log(args.event_log, telemetry.events)
+    try:
+        return serve(socket_path=args.socket,
+                     idle_timeout=args.idle_timeout,
+                     telemetry=telemetry,
+                     default_jobs=args.jobs,
+                     ready_out=sys.stderr,
+                     shared_cache_dir=args.shared_cache,
+                     sample_interval=args.sample_interval,
+                     prom_file=args.prom_file,
+                     slow_ms=args.slow_ms,
+                     trace_dir=args.trace_dir)
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .server.top import run_top
+    return run_top(socket_path=args.socket, interval=args.interval,
+                   once=args.once or args.json, as_json=args.json)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -531,7 +564,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "persistent on-disk CAS under DIR (all warm "
                         "sessions and the cache_get/cache_put wire "
                         "ops read and write it)")
+    p.add_argument("--sample-interval", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="seconds between time-series samples of the "
+                        "daemon's metrics (default 5; the 'telemetry' "
+                        "op and 'vaultc top' read the sampled window)")
+    p.add_argument("--prom-file", default=None, metavar="PATH",
+                   help="atomically rewrite PATH with Prometheus text "
+                        "exposition on every sample tick (point a "
+                        "textfile collector at it)")
+    p.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                   help="capture a Chrome-trace span tree for every "
+                        "request slower than MS milliseconds into a "
+                        "bounded on-disk ring (see --trace-dir)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="directory for slow-request traces (default: "
+                        "'traces' beside the socket; newest 32 kept)")
+    p.add_argument("--event-log", default=None, metavar="PATH",
+                   help="append every daemon event to a size-rotated "
+                        "JSONL audit log at PATH")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a running daemon's telemetry op "
+             "(throughput, latency quantiles, cache hit rates, "
+             "sessions, slow traces)")
+    p.add_argument("socket", nargs="?", default="auto",
+                   metavar="SOCKET",
+                   help="daemon socket to poll (default 'auto')")
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS", help="refresh interval")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw telemetry reply as JSON "
+                        "(implies --once)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "cache",

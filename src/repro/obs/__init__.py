@@ -9,7 +9,17 @@ Three primitives, bundled by :class:`Telemetry`:
   histograms for cache layers, scheduler decisions, worker health and
   diagnostic-code frequencies;
 * :mod:`repro.obs.events` — a structured event log (the bus worker
-  crashes and runtime key transitions are published on).
+  crashes and runtime key transitions are published on), with an
+  optional size-rotated JSONL audit sink (:class:`JsonlEventWriter`).
+
+Two service-grade derivatives feed off the registry for the check
+daemon (PR 8): :mod:`repro.obs.timeseries` turns cumulative counters
+and histograms into a bounded ring of per-interval rate/quantile
+samples, and :mod:`repro.obs.expo` renders snapshots as Prometheus
+text exposition (plus the atomic textfile writer behind ``vaultc
+serve --prom-file``).  :class:`repro.obs.trace.TraceRing` is the
+bounded on-disk ring the daemon's slow-request capture writes
+Chrome-trace JSON into.
 
 ``Telemetry()`` with no arguments is the **disabled** configuration:
 the tracer and metrics are shared null singletons whose operations are
@@ -24,10 +34,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .events import Event, EventLog
+from .events import Event, EventLog, JsonlEventWriter, open_event_log
+from .expo import render_exposition, validate_exposition, write_textfile
 from .metrics import (LATENCY_BUCKETS, RATIO_BUCKETS, Counter, Gauge,
-                      Histogram, MetricsRegistry, NULL_METRICS, NullMetrics)
-from .trace import (NULL_TRACER, NullTracer, Tracer, activate,
+                      Histogram, MetricsRegistry, NULL_METRICS, NullMetrics,
+                      bucket_quantile)
+from .timeseries import TimeSeriesRing
+from .trace import (NULL_TRACER, NullTracer, TraceRing, Tracer, activate,
                     current_tracer, validate_chrome_trace)
 
 
@@ -82,6 +95,7 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "JsonlEventWriter",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_METRICS",
@@ -90,8 +104,15 @@ __all__ = [
     "NullTracer",
     "RATIO_BUCKETS",
     "Telemetry",
+    "TimeSeriesRing",
+    "TraceRing",
     "Tracer",
     "activate",
+    "bucket_quantile",
     "current_tracer",
+    "open_event_log",
+    "render_exposition",
     "validate_chrome_trace",
+    "validate_exposition",
+    "write_textfile",
 ]

@@ -45,10 +45,11 @@ on the same bus:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 #: cap on retained records; the oldest half is dropped on overflow so
 #: a long-lived session cannot grow without bound.
@@ -78,6 +79,9 @@ class EventLog:
     def __init__(self) -> None:
         self.records: List[Event] = []
         self._subscribers: List[Callable[[Event], None]] = []
+        #: subscriber callbacks that raised (swallowed — a broken
+        #: audit sink must never take the emitting pipeline down).
+        self.subscriber_errors = 0
 
     def emit(self, kind: str, message: str = "", **fields) -> Event:
         event = Event(kind, message, fields, ts=time.time(), pid=os.getpid())
@@ -89,7 +93,10 @@ class EventLog:
             del self.records[:_MAX_RECORDS // 2]
         self.records.append(event)
         for subscriber in self._subscribers:
-            subscriber(event)
+            try:
+                subscriber(event)
+            except Exception:                    # noqa: BLE001
+                self.subscriber_errors += 1
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
         self._subscribers.append(callback)
@@ -118,3 +125,74 @@ class EventLog:
         for each, same as a local emit)."""
         for event in records:
             self._record(event)
+
+
+class JsonlEventWriter:
+    """An :class:`EventLog` subscriber appending events to a
+    size-rotated JSONL audit file.
+
+    One JSON object per line (``ts``, ``pid``, ``kind``, ``message``,
+    ``fields``; non-JSON field values degrade to ``repr``).  When the
+    file grows past ``max_bytes`` it rotates shift-style
+    (``log`` → ``log.1`` → … → ``log.<backups>``, oldest dropped), so
+    a daemon's audit trail is bounded on disk however long it runs.
+    Write failures are swallowed — combined with the event log's
+    subscriber isolation, a full disk degrades the audit trail, never
+    the daemon.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 4 << 20,
+                 backups: int = 2):
+        self.path = path
+        self.max_bytes = max(1024, int(max_bytes))
+        self.backups = max(0, int(backups))
+        self._handle = None
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._open()
+
+    def _open(self) -> None:
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _rotate(self) -> None:
+        self.close()
+        if self.backups:
+            for i in range(self.backups, 1, -1):
+                older = f"{self.path}.{i - 1}"
+                if os.path.exists(older):
+                    os.replace(older, f"{self.path}.{i}")
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.unlink(self.path)
+        self._open()
+
+    def __call__(self, event: Event) -> None:
+        if self._handle is None:
+            return
+        line = json.dumps(
+            {"ts": event.ts, "pid": event.pid, "kind": event.kind,
+             "message": event.message, "fields": event.fields},
+            separators=(",", ":"), sort_keys=True, default=repr)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self._handle.tell() >= self.max_bytes:
+            self._rotate()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+def open_event_log(path: Optional[str], events: EventLog,
+                   max_bytes: int = 4 << 20) -> Optional[JsonlEventWriter]:
+    """Attach a :class:`JsonlEventWriter` to ``events`` (``None`` path
+    means no audit log; the returned writer wants ``close()``)."""
+    if not path:
+        return None
+    writer = JsonlEventWriter(path, max_bytes=max_bytes)
+    events.subscribe(writer)
+    return writer

@@ -1,0 +1,185 @@
+"""Prometheus text-exposition rendering for the metrics registry.
+
+Turns a :meth:`MetricsRegistry.snapshot` into the Prometheus text
+format (version 0.0.4): ``# TYPE`` comments, ``_total``-suffixed
+counters, plain gauges, and histograms as **cumulative** ``_bucket``
+series with ``le`` labels plus ``_sum``/``_count`` — the one wire
+format every metrics scraper already speaks, produced with zero
+dependencies.  Dotted registry names are mapped to the Prometheus
+grammar (``server.check_seconds`` → ``vaultc_server_check_seconds``).
+
+Two consumers:
+
+* ``vaultc serve --prom-file PATH`` rewrites a textfile atomically on
+  every sample tick (:func:`write_textfile`: tmp + fsync + rename, so
+  a scraper — e.g. node_exporter's textfile collector — never reads a
+  torn file);
+* :func:`validate_exposition` is the line-by-line checker the
+  ``obs-smoke`` gate and the tests run over the rendered text (name
+  grammar, float values, cumulative bucket monotonicity, ``+Inf`` ==
+  ``_count``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from typing import Dict, List, Optional
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)\Z")
+
+
+def metric_name(name: str, prefix: str = "vaultc") -> str:
+    """A registry name as a legal Prometheus metric name."""
+    flat = _SANITIZE.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _fmt(value: float) -> str:
+    """Floats in the shortest round-trippable form; ints stay ints."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"non-numeric sample value {value!r}")
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_exposition(snapshot: Dict[str, dict], prefix: str = "vaultc",
+                      extra_gauges: Optional[Dict[str, float]] = None
+                      ) -> str:
+    """A registry snapshot as Prometheus exposition text.
+
+    ``extra_gauges`` maps *already-final* metric names (no prefixing)
+    to values — the daemon uses it for uptime/queue-depth/session
+    gauges that live outside the registry.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        if kind == "counter":
+            flat = metric_name(name, prefix) + "_total"
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_fmt(data['value'])}")
+        elif kind == "gauge":
+            flat = metric_name(name, prefix)
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_fmt(data['value'])}")
+        elif kind == "histogram":
+            flat = metric_name(name, prefix)
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, count in zip(data["bounds"],
+                                    data["bucket_counts"]):
+                cumulative += count
+                lines.append(f'{flat}_bucket{{le="{_fmt(float(bound))}"}} '
+                             f"{cumulative}")
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {data["count"]}')
+            lines.append(f"{flat}_sum {_fmt(data['sum'])}")
+            lines.append(f"{flat}_count {data['count']}")
+    for name in sorted(extra_gauges or {}):
+        if not _NAME_OK.match(name):
+            raise ValueError(f"bad extra gauge name {name!r}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(extra_gauges[name])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_textfile(path: str, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (tmp + fsync + rename
+    in the destination directory, so readers never see a torn file)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".prom-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _parse_value(text: str) -> Optional[float]:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Line-by-line schema check of exposition text; the violations.
+
+    Checks the sample-line grammar, that every value parses as a
+    float, that ``# TYPE`` lines are well-formed, and that each
+    histogram's ``_bucket`` series is cumulative (non-decreasing, with
+    the ``+Inf`` bucket equal to ``_count``).
+    """
+    problems: List[str] = []
+    buckets: Dict[str, List[float]] = {}
+    inf_bucket: Dict[str, float] = {}
+    counts: Dict[str, float] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or not _NAME_OK.match(parts[2]) \
+                        or parts[3] not in ("counter", "gauge",
+                                            "histogram", "summary",
+                                            "untyped"):
+                    problems.append(f"line {i}: malformed TYPE comment")
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                pass
+            else:
+                problems.append(f"line {i}: unknown comment form")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {i}: not a valid sample line")
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(f"line {i}: non-float value "
+                            f"{match.group('value')!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        if name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels)
+            if le is None:
+                problems.append(f"line {i}: _bucket sample without an "
+                                f"le label")
+            elif le.group(1) == "+Inf":
+                inf_bucket[name[:-len("_bucket")]] = value
+            else:
+                buckets.setdefault(name[:-len("_bucket")], []).append(value)
+        elif name.endswith("_count"):
+            counts[name[:-len("_count")]] = value
+    for hist in sorted(set(buckets) | set(inf_bucket)):
+        series = buckets.get(hist, [])
+        if any(b > a for a, b in zip(series[1:], series)):
+            problems.append(f"{hist}: bucket counts are not cumulative")
+        total = inf_bucket.get(hist)
+        if total is not None:
+            if series and series[-1] > total:
+                problems.append(f"{hist}: finite buckets exceed +Inf")
+            if hist in counts and counts[hist] != total:
+                problems.append(f"{hist}: +Inf bucket != _count")
+    return problems

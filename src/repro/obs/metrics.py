@@ -51,6 +51,34 @@ class Gauge:
         self.value = value
 
 
+def bucket_quantile(bounds: Sequence[float],
+                    bucket_counts: Sequence[int], q: float) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket distribution.
+
+    Prometheus ``histogram_quantile`` semantics: observations are
+    assumed uniform inside their bucket, so the estimate interpolates
+    linearly between the bucket's lower and upper bound; a quantile
+    landing in the +Inf overflow bucket is clamped to the highest
+    finite bound.  An empty distribution estimates 0.0.  Increasing
+    ``q`` over the same buckets is monotone non-decreasing.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q!r} outside [0, 1]")
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(bounds, bucket_counts):
+        cumulative += count
+        if count and cumulative >= target:
+            fraction = 1.0 - (cumulative - target) / count
+            return lower + (bound - lower) * fraction
+        lower = bound
+    return bounds[-1] if bounds else 0.0
+
+
 class Histogram:
     """Counts observations into fixed buckets (``le`` semantics, plus
     an implicit +Inf overflow bucket)."""
@@ -72,6 +100,10 @@ class Histogram:
                 self.bucket_counts[i] += 1
                 return
         self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile (see :func:`bucket_quantile`)."""
+        return bucket_quantile(self.bounds, self.bucket_counts, q)
 
 
 class MetricsRegistry:
@@ -164,7 +196,10 @@ class MetricsRegistry:
                 assert isinstance(metric, Histogram)
                 mean = metric.sum / metric.count if metric.count else 0.0
                 rows.append((name, f"count={metric.count} "
-                                   f"sum={metric.sum:.6g} mean={mean:.6g}"))
+                                   f"sum={metric.sum:.6g} mean={mean:.6g} "
+                                   f"p50={metric.quantile(0.5):.6g} "
+                                   f"p95={metric.quantile(0.95):.6g} "
+                                   f"p99={metric.quantile(0.99):.6g}"))
         return rows
 
     def render(self) -> str:
@@ -188,6 +223,9 @@ class _NullMetric:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_METRIC = _NullMetric()

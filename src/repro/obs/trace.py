@@ -188,6 +188,57 @@ class NullTracer:
 
 NULL_TRACER = NullTracer()
 
+
+class TraceRing:
+    """A bounded on-disk ring of Chrome-trace JSON files.
+
+    The daemon's slow-request capture writes one file per offending
+    request (``slow-<millis>-<seq>.json``); after every write the
+    oldest files beyond ``keep`` are pruned, so the ring's disk
+    footprint is bounded no matter how long the daemon lives.  Writes
+    are atomic (tmp + rename) so a reader never sees a torn trace.
+    """
+
+    def __init__(self, directory: str, keep: int = 32,
+                 prefix: str = "slow-"):
+        self.directory = directory
+        self.keep = max(1, int(keep))
+        self.prefix = prefix
+        self._seq = 0
+
+    def paths(self) -> List[str]:
+        """Retained trace files, oldest first (names sort by write
+        time: a millisecond stamp plus a per-process sequence)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [os.path.join(self.directory, name) for name in sorted(names)
+                if name.startswith(self.prefix) and name.endswith(".json")]
+
+    def write(self, payload: dict) -> str:
+        """Write one trace object into the ring; the new file's path."""
+        os.makedirs(self.directory, exist_ok=True)
+        name = (f"{self.prefix}{int(time.time() * 1000):013d}"
+                f"-{self._seq:04d}.json")
+        self._seq += 1
+        path = os.path.join(self.directory, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        paths = self.paths()
+        for stale in paths[:max(0, len(paths) - self.keep)]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
 #: the tracer instrumented library code reports to; installed by the
 #: session (or any caller) via :func:`activate`.
 _ACTIVE: "Tracer | NullTracer" = NULL_TRACER
@@ -233,8 +284,18 @@ def validate_chrome_trace(payload: object) -> List[str]:
         ph = event.get("ph")
         if ph not in ("X", "B", "E", "i", "I", "M", "C"):
             problems.append(f"event {i}: unknown phase {ph!r}")
-        if ph == "X" and event.get("dur", 0) < 0:
-            problems.append(f"event {i}: negative duration")
+        ts = event.get("ts")
+        if "ts" in event and (isinstance(ts, bool)
+                              or not isinstance(ts, (int, float))):
+            problems.append(f"event {i}: ts must be numeric, "
+                            f"got {type(ts).__name__}")
+        if ph == "X":
+            dur = event.get("dur", 0)
+            if isinstance(dur, bool) or not isinstance(dur, (int, float)):
+                problems.append(f"event {i}: dur must be numeric, "
+                                f"got {type(dur).__name__}")
+            elif dur < 0:
+                problems.append(f"event {i}: negative duration")
         if not isinstance(event.get("pid"), int):
             problems.append(f"event {i}: pid must be an integer")
     return problems

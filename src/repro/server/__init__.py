@@ -14,6 +14,9 @@ worker pool — alive in a daemon behind a Unix domain socket:
   ``vaultc check --daemon``;
 * :class:`Watcher` / :func:`run_watch` — ``vaultc watch DIR``,
   mtime-polling re-check of changed ``.vlt`` files;
+* :func:`run_top` / :func:`render_top` — ``vaultc top``, a live
+  dashboard over the daemon's ``telemetry`` wire op (throughput,
+  latency quantiles, cache hit rates, session LRU, slow traces);
 * :mod:`repro.server.protocol` — the length-prefixed JSON frame
   format shared by both sides.
 
@@ -28,6 +31,7 @@ from .daemon import (CheckServer, default_socket_path, serve,
 from .protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
                        encode_frame, normalize_options, recv_frame,
                        request_key, send_frame, session_key, split_frames)
+from .top import render_top, run_top
 from .watch import Watcher, render_outcome, run_watch, scan_tree
 
 __all__ = [
@@ -46,8 +50,10 @@ __all__ = [
     "normalize_options",
     "recv_frame",
     "render_outcome",
+    "render_top",
     "request_key",
     "resolve_socket",
+    "run_top",
     "run_watch",
     "scan_tree",
     "send_frame",

@@ -91,6 +91,9 @@ class DaemonClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 
+    def telemetry(self) -> dict:
+        return self.request({"op": "telemetry"})
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})
 

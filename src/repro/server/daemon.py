@@ -61,7 +61,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..cache import CASTier, MemoryTier, SharedStore, is_remote_spec
 from ..diagnostics import VaultError
-from ..obs import Telemetry
+from ..obs import (Telemetry, TimeSeriesRing, TraceRing, Tracer,
+                   bucket_quantile, render_exposition, write_textfile)
 from ..pipeline import CheckSession
 from ..pipeline.scheduler import BREAK_EVEN_SECONDS
 from .protocol import (PROTOCOL_VERSION, ProtocolError, encode_frame,
@@ -84,7 +85,15 @@ _TICK_SECONDS = 0.5
 SERVER_COUNTERS = ("server.connections", "server.requests",
                    "server.checks", "server.coalesced",
                    "server.bad_requests", "server.client_errors",
-                   "server.cache_gets", "server.cache_puts")
+                   "server.cache_gets", "server.cache_puts",
+                   "server.pings", "server.telemetry_requests",
+                   "server.slow_requests")
+
+#: seconds between time-series samples (``--sample-interval``).
+DEFAULT_SAMPLE_INTERVAL = 5.0
+
+#: slow-trace files retained in the on-disk ring (keep-newest-N).
+DEFAULT_TRACE_KEEP = 32
 
 #: byte budget for one ``cache_get`` reply's base64 payload — kept
 #: comfortably under MAX_FRAME so the encoded frame always fits;
@@ -168,7 +177,12 @@ class CheckServer:
                  pool_linger: float = DEFAULT_POOL_LINGER,
                  default_jobs: object = 1,
                  enable_test_ops: bool = False,
-                 shared_cache_dir: Optional[str] = None):
+                 shared_cache_dir: Optional[str] = None,
+                 sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+                 prom_file: Optional[str] = None,
+                 slow_ms: Optional[float] = None,
+                 trace_dir: Optional[str] = None,
+                 trace_keep: int = DEFAULT_TRACE_KEEP):
         if not unix_sockets_available():
             raise VaultError(
                 "the check daemon needs AF_UNIX sockets, which this "
@@ -203,6 +217,29 @@ class CheckServer:
         self._closed = False
         self._stop = False
         self._last_activity = time.monotonic()
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
+        #: the SLO surface: a bounded ring of per-interval rate and
+        #: quantile samples over the daemon's registry, fed by the
+        #: selector loop, served by the ``telemetry`` op; rewrites the
+        #: Prometheus textfile (``--prom-file``) on every sample tick.
+        self.sample_interval = sample_interval
+        self.prom_file = prom_file
+        self.timeseries = TimeSeriesRing(interval=sample_interval) \
+            if self.telemetry.metrics.enabled else None
+        self._prom_write_failed = False
+        #: slow-request capture: requests whose ``server.request`` span
+        #: exceeds ``slow_ms`` dump their span tree as Chrome-trace
+        #: JSON into a keep-newest-N on-disk ring.  Needs a live
+        #: tracer — one is installed if the caller's is the null one.
+        self.slow_ms = slow_ms
+        self._trace_ring: Optional[TraceRing] = None
+        if slow_ms is not None:
+            if not self.telemetry.tracer.enabled:
+                self.telemetry.tracer = Tracer(process_name="vaultc-daemon")
+            directory = trace_dir or os.path.join(
+                os.path.dirname(self.socket_path) or ".", "traces")
+            self._trace_ring = TraceRing(directory, keep=trace_keep)
         if self.telemetry.metrics.enabled:
             for name in SERVER_COUNTERS:
                 self.telemetry.metrics.counter(name)
@@ -239,11 +276,14 @@ class CheckServer:
             self.close()
             raise
         self._bound = True
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
         self.telemetry.events.emit(
             "server_start",
             f"check daemon (pid {os.getpid()}) listening on "
             f"{self.socket_path}",
-            path=self.socket_path, pid=os.getpid(),
+            path=self.socket_path, socket=self.socket_path,
+            pid=os.getpid(), version=PROTOCOL_VERSION,
             idle_timeout=self.idle_timeout)
         return self
 
@@ -344,8 +384,42 @@ class CheckServer:
                 if self._queue:
                     self._process_queue()
                 self._reap_idle_pools()
+                self._sample_tick()
         finally:
             self.close()
+
+    def _sample_tick(self) -> None:
+        """One selector-loop visit to the time-series aggregator: a
+        cheap no-op until the sample interval elapses, then one sample
+        plus (when configured) an atomic Prometheus textfile rewrite."""
+        if self.timeseries is None:
+            return
+        sample = self.timeseries.maybe_sample(self.telemetry.metrics)
+        if sample is None or not self.prom_file:
+            return
+        try:
+            write_textfile(self.prom_file, self.render_exposition())
+            self._prom_write_failed = False
+        except OSError as exc:
+            if not self._prom_write_failed:       # report once per outage
+                self._prom_write_failed = True
+                self.telemetry.events.emit(
+                    "prom_write_failed",
+                    f"cannot rewrite {self.prom_file}: {exc}",
+                    path=self.prom_file,
+                    error=f"{type(exc).__name__}: {exc}")
+
+    def render_exposition(self) -> str:
+        """The daemon's registry (plus uptime/queue/session gauges) as
+        Prometheus text exposition."""
+        extra = {
+            "vaultc_uptime_seconds":
+                time.monotonic() - self._started_monotonic,
+            "vaultc_queue_depth": len(self._queue),
+            "vaultc_sessions": len(self._sessions),
+        }
+        return render_exposition(self.telemetry.metrics.snapshot(),
+                                 extra_gauges=extra)
 
     def _handle_event(self, key: selectors.SelectorKey, mask: int) -> None:
         kind, conn = key.data
@@ -454,12 +528,22 @@ class CheckServer:
                 conn, request_key(source, filename, options), frame))
             return
         if op == "ping":
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter("server.pings").inc()
             self._send(conn, {"ok": True, "pid": os.getpid(),
                               "version": PROTOCOL_VERSION,
-                              "socket": self.socket_path})
+                              "socket": self.socket_path,
+                              "uptime_seconds": time.monotonic()
+                              - self._started_monotonic})
             return
         if op == "stats":
             self._send(conn, {"ok": True, "stats": self._stats()})
+            return
+        if op == "telemetry":
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter(
+                    "server.telemetry_requests").inc()
+            self._send(conn, {"ok": True, **self._telemetry_payload()})
             return
         if op == "cache_get":
             keys = frame.get("keys")
@@ -589,34 +673,72 @@ class CheckServer:
             os._exit(86)
         session = self._session_for(options)
         started = time.perf_counter()
+        response: Optional[dict] = None
         try:
             with self.telemetry.tracer.span("server.request",
                                             filename=filename):
+                if self.enable_test_ops and payload.get("test_sleep"):
+                    # Chaos hook (tests only): a deterministically slow
+                    # request, for exercising the slow-trace ring.
+                    time.sleep(float(payload["test_sleep"]))
                 report = session.check(source, filename)
         except VaultError as exc:
             # Checker *input* errors (syntax crashes, bad units) are a
             # normal reply; the client re-raises locally so the CLI
             # output is byte-identical to the in-process path.
-            return {"ok": False, "kind": "vault_error", "error": str(exc)}
+            response = {"ok": False, "kind": "vault_error",
+                        "error": str(exc)}
         except Exception as exc:                     # noqa: BLE001
             self.telemetry.events.emit(
                 "check_aborted",
                 f"daemon check of {filename} raised: {exc}",
                 filename=filename,
                 error=f"{type(exc).__name__}: {exc}")
-            return {"ok": False, "kind": "internal_error",
-                    "error": f"{type(exc).__name__}: {exc}"}
+            response = {"ok": False, "kind": "internal_error",
+                        "error": f"{type(exc).__name__}: {exc}"}
         elapsed = time.perf_counter() - started
+        if response is None:
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter("server.checks").inc()
+                self.telemetry.metrics.histogram(
+                    "server.check_seconds").observe(elapsed)
+            response = {"ok": True,
+                        "check_ok": report.ok,
+                        "render": report.render(),
+                        "errors": len(report.errors),
+                        "diagnostics": len(report.diagnostics),
+                        "seconds": elapsed}
+        self._capture_slow(filename, elapsed)
+        return response
+
+    def _capture_slow(self, filename: str, elapsed: float) -> None:
+        """Slow-request capture: drain the request's span tree off the
+        shared tracer (bounding tracer memory whether or not the
+        request was slow) and, past the ``--slow-ms`` threshold, land
+        it in the on-disk trace ring as Chrome-trace JSON."""
+        if self._trace_ring is None:
+            return
+        events = self.telemetry.tracer.drain()
+        if elapsed * 1000.0 < self.slow_ms:
+            return
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        try:
+            path = self._trace_ring.write(payload)
+        except OSError as exc:
+            self.telemetry.events.emit(
+                "trace_write_failed",
+                f"cannot write a slow trace for {filename}: {exc}",
+                filename=filename,
+                error=f"{type(exc).__name__}: {exc}")
+            return
         if self.telemetry.metrics.enabled:
-            self.telemetry.metrics.counter("server.checks").inc()
-            self.telemetry.metrics.histogram(
-                "server.check_seconds").observe(elapsed)
-        return {"ok": True,
-                "check_ok": report.ok,
-                "render": report.render(),
-                "errors": len(report.errors),
-                "diagnostics": len(report.diagnostics),
-                "seconds": elapsed}
+            self.telemetry.metrics.counter("server.slow_requests").inc()
+        self.telemetry.events.emit(
+            "slow_request",
+            f"check of {filename} took {elapsed * 1000:.1f} ms "
+            f"(threshold {self.slow_ms:g} ms); trace at {path}",
+            filename=filename, seconds=elapsed,
+            slow_ms=self.slow_ms, trace=path)
 
     # -- warm sessions -------------------------------------------------------
 
@@ -683,7 +805,8 @@ class CheckServer:
         for entry in self._sessions.values():
             entry.session.reap_idle_pool(self.pool_linger)
 
-    def _stats(self) -> dict:
+    def _session_rows(self) -> List[dict]:
+        """One row per warm session, in LRU order (oldest first)."""
         sessions = []
         for key, entry in self._sessions.items():
             stats = entry.session.stats
@@ -698,8 +821,60 @@ class CheckServer:
                 "pool_alive": entry.session.pool_alive,
                 "idle_seconds": time.monotonic() - entry.last_used,
             })
+        return sessions
+
+    def _telemetry_payload(self) -> dict:
+        """The ``telemetry`` op's reply body: live counters, latency
+        quantiles, the time-series window, and per-session LRU state —
+        everything ``vaultc top`` renders, as one frame."""
+        counters: Dict[str, float] = {}
+        quantiles: Dict[str, dict] = {}
+        gauges: Dict[str, float] = {}
+        for name, data in sorted(self.telemetry.metrics.snapshot().items()):
+            kind = data.get("type")
+            if kind == "counter":
+                counters[name] = data["value"]
+            elif kind == "gauge":
+                gauges[name] = data["value"]
+            elif kind == "histogram":
+                bounds = data["bounds"]
+                bucket_counts = data["bucket_counts"]
+                quantiles[name] = {
+                    "count": data["count"],
+                    "sum": data["sum"],
+                    "p50": bucket_quantile(bounds, bucket_counts, 0.5),
+                    "p95": bucket_quantile(bounds, bucket_counts, 0.95),
+                    "p99": bucket_quantile(bounds, bucket_counts, 0.99),
+                }
+        out = {
+            "pid": os.getpid(),
+            "version": PROTOCOL_VERSION,
+            "socket": self.socket_path,
+            "started": self._started_wall,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "queue_depth": len(self._queue),
+            "connections": len(self._conns),
+            "counters": counters,
+            "gauges": gauges,
+            "quantiles": quantiles,
+            "sessions": self._session_rows(),
+            "session_limit": self.session_limit,
+            "event_counts": self.telemetry.events.counts(),
+            "timeseries": self.timeseries.describe()
+            if self.timeseries is not None else None,
+        }
+        if self._trace_ring is not None:
+            out["slow_traces"] = {
+                "slow_ms": self.slow_ms,
+                "directory": self._trace_ring.directory,
+                "keep": self._trace_ring.keep,
+                "files": len(self._trace_ring.paths()),
+            }
+        return out
+
+    def _stats(self) -> dict:
         out = self.telemetry.snapshot()
-        out["sessions"] = sessions
+        out["sessions"] = self._session_rows()
         out["pid"] = os.getpid()
         out["socket"] = self.socket_path
         # Per-tier shared-store traffic, one block per distinct store
@@ -715,7 +890,12 @@ def serve(socket_path: Optional[str] = None,
           telemetry: Optional[Telemetry] = None,
           default_jobs: object = 1,
           ready_out=None,
-          shared_cache_dir: Optional[str] = None) -> int:
+          shared_cache_dir: Optional[str] = None,
+          sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+          prom_file: Optional[str] = None,
+          slow_ms: Optional[float] = None,
+          trace_dir: Optional[str] = None,
+          trace_keep: int = DEFAULT_TRACE_KEEP) -> int:
     """Run a daemon in the calling (main) thread until shutdown.
 
     Wires SIGTERM/SIGINT to a graceful stop through the server's
@@ -729,7 +909,9 @@ def serve(socket_path: Optional[str] = None,
         socket_path=socket_path, idle_timeout=idle_timeout,
         telemetry=telemetry, default_jobs=default_jobs,
         enable_test_ops=bool(os.environ.get("VAULTC_SERVER_TEST_OPS")),
-        shared_cache_dir=shared_cache_dir)
+        shared_cache_dir=shared_cache_dir,
+        sample_interval=sample_interval, prom_file=prom_file,
+        slow_ms=slow_ms, trace_dir=trace_dir, trace_keep=trace_keep)
     server.bind()
     previous: List[Tuple[int, object]] = []
     old_wakeup = None

@@ -15,10 +15,16 @@ Requests are objects with an ``op`` field:
     (seconds) and ``shared_cache`` (a shared-store directory); unknown
     keys are ignored so older clients keep working.
 ``{"op": "ping"}``
-    Liveness probe; the reply carries the daemon pid and the protocol
-    version.
+    Liveness probe; the reply carries the daemon pid, the protocol
+    version, the socket path, and ``uptime_seconds``.
 ``{"op": "stats"}``
     The daemon's telemetry snapshot plus its session registry.
+``{"op": "telemetry"}``
+    The live SLO surface: flat ``counters``, per-histogram latency
+    ``quantiles`` (count/sum/p50/p95/p99), the bounded ``timeseries``
+    window of per-interval rate samples, per-session LRU ``sessions``
+    rows, ``queue_depth``, uptime, and (when slow-request capture is
+    on) the ``slow_traces`` ring state.  What ``vaultc top`` polls.
 ``{"op": "cache_get", "keys": [...]}``
     Fetch blobs from the daemon's shared store (the remote cache
     tier's read path); the reply maps each found key to base64 blob

@@ -581,3 +581,209 @@ class TestWatcher:
             assert outcomes[0][1].ok
         finally:
             handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# Telemetry op, slow traces, Prometheus file, vaultc top
+# ---------------------------------------------------------------------------
+
+@needs_unix
+class TestTelemetryOp:
+    def test_ping_carries_uptime_and_socket(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.ping()
+            assert reply["socket"] == handle.socket_path
+            assert reply["uptime_seconds"] >= 0
+        finally:
+            handle.stop()
+
+    def test_telemetry_round_trip(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.ping()
+                client.check(OK_SOURCE, "a.vlt")
+                client.check(OK_SOURCE, "a.vlt")
+                tel = client.telemetry()
+            assert tel["ok"] is True
+            assert tel["pid"] == os.getpid()
+            assert tel["socket"] == handle.socket_path
+            assert tel["uptime_seconds"] >= 0
+            assert tel["queue_depth"] == 0
+            counters = tel["counters"]
+            assert counters["server.checks"] == 2
+            assert counters["server.pings"] == 1
+            assert counters["server.telemetry_requests"] == 1
+            # Pre-registered counters report explicit zeros.
+            assert counters["server.slow_requests"] == 0
+            q = tel["quantiles"]["server.check_seconds"]
+            assert q["count"] == 2
+            assert 0 <= q["p50"] <= q["p95"] <= q["p99"]
+            assert len(tel["sessions"]) == 1
+            assert tel["sessions"][0]["checks"] == 2
+            assert tel["timeseries"]["capacity"] > 0
+            assert tel["event_counts"]["server_start"] == 1
+        finally:
+            handle.stop()
+
+    def test_server_start_event_payload(self, tmp_path):
+        from repro.server.protocol import PROTOCOL_VERSION
+        handle = _start_server(tmp_path)
+        try:
+            (event,) = handle.server.telemetry.events.by_kind("server_start")
+            assert event.fields["pid"] == os.getpid()
+            assert event.fields["socket"] == handle.socket_path
+            assert event.fields["version"] == PROTOCOL_VERSION
+        finally:
+            handle.stop()
+
+    def test_slow_request_lands_one_valid_trace(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+        traces = tmp_path / "traces"
+        handle = _start_server(tmp_path, enable_test_ops=True,
+                               slow_ms=1000.0, trace_dir=str(traces),
+                               trace_keep=2)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                # Fast requests drain the tracer but write nothing...
+                client.check(OK_SOURCE, "fast.vlt")
+                # ...the forced-slow one lands exactly one trace file.
+                reply = client.request(
+                    {"op": "check", "source": OK_SOURCE,
+                     "filename": "slow.vlt", "test_sleep": 1.2})
+                assert reply["ok"] is True
+                tel = client.telemetry()
+            files = sorted(traces.glob("slow-*.json"))
+            assert len(files) == 1
+            import json
+            payload = json.loads(files[0].read_text())
+            assert validate_chrome_trace(payload) == []
+            names = [e.get("name") for e in payload["traceEvents"]]
+            assert "server.request" in names
+            assert tel["counters"]["server.slow_requests"] == 1
+            assert tel["slow_traces"]["files"] == 1
+            events = handle.server.telemetry.events.by_kind("slow_request")
+            assert len(events) == 1
+            assert events[0].fields["filename"] == "slow.vlt"
+        finally:
+            handle.stop()
+
+    def test_trace_ring_keeps_newest_n(self, tmp_path):
+        traces = tmp_path / "traces"
+        handle = _start_server(tmp_path, enable_test_ops=True,
+                               slow_ms=0.0, trace_dir=str(traces),
+                               trace_keep=2)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                for i in range(5):
+                    client.check(OK_SOURCE, f"f{i}.vlt")
+            assert len(list(traces.glob("slow-*.json"))) == 2
+        finally:
+            handle.stop()
+
+    def test_prom_file_rewritten_and_valid(self, tmp_path):
+        from repro.obs import validate_exposition
+        prom = tmp_path / "metrics.prom"
+        handle = _start_server(tmp_path, sample_interval=0.05,
+                               prom_file=str(prom))
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.check(OK_SOURCE, "a.vlt")
+            deadline = time.monotonic() + 10
+            while not prom.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert prom.exists(), "prom file never written"
+            text = prom.read_text()
+            assert validate_exposition(text) == []
+            assert "vaultc_server_checks_total" in text
+            assert "vaultc_uptime_seconds" in text
+        finally:
+            handle.stop()
+
+    def test_timeseries_samples_accumulate(self, tmp_path):
+        handle = _start_server(tmp_path, sample_interval=0.05)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                client.check(OK_SOURCE, "a.vlt")
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    tel = client.telemetry()
+                    if len(tel["timeseries"]["samples"]) >= 2:
+                        break
+                    time.sleep(0.05)
+            assert len(tel["timeseries"]["samples"]) >= 2
+        finally:
+            handle.stop()
+
+
+class TestTopRenderer:
+    def _reply(self):
+        return {
+            "ok": True, "pid": 1234, "version": 1, "socket": "/tmp/d.sock",
+            "uptime_seconds": 3723.0, "queue_depth": 1, "connections": 2,
+            "session_limit": 8,
+            "counters": {"server.checks": 10, "server.requests": 12,
+                         "cache.shared.memory.hits": 3,
+                         "cache.shared.memory.misses": 1,
+                         "server.slow_requests": 1},
+            "quantiles": {"server.check_seconds":
+                          {"count": 10, "sum": 1.0, "p50": 0.01,
+                           "p95": 0.05, "p99": 0.09}},
+            "sessions": [{"key": "abc123", "checks": 10,
+                          "functions_replayed": 40, "pool_alive": True,
+                          "idle_seconds": 5.0}],
+            "event_counts": {"server_start": 1},
+            "timeseries": {"interval": 5.0, "capacity": 120,
+                           "samples": [{"time": 0.0, "dt": 5.0,
+                                        "rates": {"server.requests": 2.4,
+                                                  "server.checks": 2.0},
+                                        "gauges": {}, "quantiles": {}}]},
+            "slow_traces": {"slow_ms": 500.0, "directory": "/tmp/traces",
+                            "keep": 32, "files": 1},
+        }
+
+    def test_render_top_mentions_everything(self):
+        from repro.server import render_top
+        screen = render_top(self._reply())
+        assert "pid 1234" in screen
+        assert "up 1h02m03s" in screen
+        assert "requests/s     2.40" in screen
+        assert "p50     10.0ms" in screen
+        assert "server.checks" in screen
+        assert "memory   hit rate   75.0%" in screen
+        assert "abc123" in screen
+        assert "slow traces  threshold 500ms" in screen
+
+    def test_render_top_survives_minimal_reply(self):
+        from repro.server import render_top
+        screen = render_top({"ok": True})
+        assert "vaultc daemon" in screen
+
+    @needs_unix
+    def test_cli_top_once_json(self, tmp_path):
+        sock = str(tmp_path / "top.sock")
+        proc = _spawn_daemon(sock)
+        try:
+            with DaemonClient(sock) as client:
+                client.check(OK_SOURCE, "a.vlt")
+            result = _vaultc(["top", sock, "--once", "--json"])
+            assert result.returncode == 0, result.stderr
+            import json
+            reply = json.loads(result.stdout)
+            assert reply["counters"]["server.checks"] == 1
+            assert "server.check_seconds" in reply["quantiles"]
+            plain = _vaultc(["top", sock, "--once"])
+            assert plain.returncode == 0, plain.stderr
+            assert "vaultc daemon" in plain.stdout
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=20)
+
+    def test_cli_top_unreachable_daemon_fails_cleanly(self, tmp_path):
+        if not hasattr(socket_mod, "AF_UNIX"):
+            pytest.skip("needs AF_UNIX sockets")
+        result = _vaultc(["top", str(tmp_path / "absent.sock"), "--once"])
+        assert result.returncode == 1
+        assert "vaultc top:" in result.stderr
