@@ -6,7 +6,7 @@ export PYTHONPATH := src
 COVERAGE_MIN ?= 85
 
 .PHONY: test bench bench-smoke trace-smoke chaos-smoke server-smoke \
-	cache-smoke obs-smoke coverage
+	cache-smoke obs-smoke daemon-chaos-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +54,15 @@ obs-smoke:
 # cleanly on SIGTERM, and fall back transparently once gone.
 server-smoke:
 	$(PYTHON) benchmarks/server_smoke.py
+
+# Wire-level chaos smoke: a real daemon behind the ChaosProxy must
+# keep the diagnostics byte-identical under every wire fault (torn,
+# garbage, oversize, disconnect, stall, kill mid-check), shed a burst
+# past --max-queue with busy replies, survive 3 SIGKILLs under
+# --supervise, and degrade an injected CAS ENOSPC to a miss.  Writes
+# the "daemon_resilience" block of BENCH_checker.json.
+daemon-chaos-smoke:
+	$(PYTHON) benchmarks/daemon_chaos_smoke.py
 
 # Branch coverage of the server package, ratcheted via COVERAGE_MIN.
 # Skips (loudly) where coverage.py is not installed; CI installs it

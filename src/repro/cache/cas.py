@@ -54,7 +54,7 @@ class CASTier(Tier):
     name = "cas"
 
     def __init__(self, root: str, max_bytes: int = DEFAULT_MAX_BYTES,
-                 fsync: bool = True):
+                 fsync: bool = True, fault_plan=None):
         self.root = root
         self.max_bytes = max_bytes
         self.fsync = fsync
@@ -62,6 +62,10 @@ class CASTier(Tier):
         self.quarantines = 0
         self.io_errors = 0
         self._seq = 0
+        #: chaos harness (tests only): a :class:`~repro.pipeline.faults.
+        #: FaultPlan` whose ``enospc`` budget makes object writes fail
+        #: as a full disk would — the store must degrade to misses.
+        self.fault_plan = fault_plan
         #: approximate store size; ``None`` until the first full scan.
         self._bytes: Optional[int] = None
 
@@ -107,6 +111,11 @@ class CASTier(Tier):
             self._seq += 1
             tmp = f"{path}.tmp.{os.getpid()}.{self._seq}"
             try:
+                if self.fault_plan is not None \
+                        and self.fault_plan.take_enospc():
+                    import errno
+                    raise OSError(errno.ENOSPC,
+                                  "injected ENOSPC (chaos harness)")
                 os.makedirs(shard, exist_ok=True)
                 with open(tmp, "wb") as handle:
                     handle.write(blob)

@@ -48,6 +48,11 @@ class RemoteTier(Tier):
         self.retry_seconds = retry_seconds
         self._client = None
         self._retry_at = 0.0
+        #: breaker bookkeeping, surfaced by :meth:`stats_snapshot` (and
+        #: from there the ``telemetry`` op and ``vaultc cache stats``)
+        #: so an open breaker reads as "backing off", not silent misses.
+        self.failures = 0
+        self.last_error: Optional[str] = None
 
     # -- connection management ------------------------------------------------
 
@@ -58,14 +63,17 @@ class RemoteTier(Tier):
         try:
             self._client = DaemonClient(self.socket_path)
         except DaemonUnavailable as exc:
-            self._fail()
+            self._fail(str(exc))
             raise StoreError(str(exc)) from None
         return self._client
 
-    def _fail(self) -> None:
+    def _fail(self, error: Optional[str] = None) -> None:
         if self._client is not None:
             self._client.close()
             self._client = None
+        self.failures += 1
+        if error is not None:
+            self.last_error = error
         self._retry_at = time.monotonic() + self.retry_seconds
 
     def _request(self, payload: dict) -> dict:
@@ -74,16 +82,16 @@ class RemoteTier(Tier):
         try:
             reply = client.request(payload)
         except DaemonUnavailable as exc:
-            self._fail()
+            self._fail(str(exc))
             raise StoreError(str(exc)) from None
         if not reply.get("ok"):
             # The daemon answered but refused (old daemon without the
             # cache ops, bad request): treat as a dead tier and back
             # off the same way.
-            self._fail()
-            raise StoreError(
-                f"daemon rejected {payload.get('op')}: "
-                f"{reply.get('error', 'unknown error')}")
+            message = (f"daemon rejected {payload.get('op')}: "
+                       f"{reply.get('error', 'unknown error')}")
+            self._fail(message)
+            raise StoreError(message)
         return reply
 
     @property
@@ -115,9 +123,18 @@ class RemoteTier(Tier):
         self._request({"op": "cache_put", "blobs": encoded})
 
     def stats_snapshot(self) -> Dict[str, object]:
+        """Connection and breaker state.  ``breaker_open`` with a
+        positive ``retry_in_seconds`` means every lookup is currently a
+        silent L4 miss; ``failures``/``last_error`` say why."""
+        retry_in = max(0.0, self._retry_at - time.monotonic())
         return {"socket": self.socket_path,
                 "connected": self._client is not None,
-                "backing_off": self.broken}
+                "backing_off": self.broken,
+                "breaker_open": self.broken,
+                "retry_in_seconds": round(retry_in, 3),
+                "retry_seconds": self.retry_seconds,
+                "failures": self.failures,
+                "last_error": self.last_error}
 
     def close(self) -> None:
         if self._client is not None:

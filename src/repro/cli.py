@@ -361,9 +361,45 @@ def cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_child_args(args: argparse.Namespace) -> list:
+    """Rebuild the ``serve`` argv for a supervised child — this very
+    invocation minus ``--supervise``."""
+    argv = [sys.executable, "-m", "repro.cli", "serve"]
+    if args.socket:
+        argv += ["--socket", args.socket]
+    if args.idle_timeout is not None:
+        argv += ["--idle-timeout", str(args.idle_timeout)]
+    argv += ["--jobs", str(args.jobs)]
+    if args.shared_cache:
+        argv += ["--shared-cache", args.shared_cache]
+    argv += ["--sample-interval", str(args.sample_interval)]
+    if args.prom_file:
+        argv += ["--prom-file", args.prom_file]
+    if args.slow_ms is not None:
+        argv += ["--slow-ms", str(args.slow_ms)]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    if args.event_log:
+        argv += ["--event-log", args.event_log]
+    argv += ["--max-queue", str(args.max_queue),
+             "--io-timeout", str(args.io_timeout)]
+    return argv
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .obs import Telemetry, open_event_log
     from .server import serve
+    if args.supervise:
+        from .server import Supervisor
+        telemetry = Telemetry(metrics=True)
+        writer = open_event_log(args.event_log and args.event_log
+                                + ".supervisor", telemetry.events)
+        try:
+            return Supervisor(_serve_child_args(args),
+                              telemetry=telemetry).run()
+        finally:
+            if writer is not None:
+                writer.close()
     telemetry = Telemetry(metrics=True)
     # Subscribe the audit sink before serve() so server_start itself
     # lands in the log.
@@ -378,7 +414,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                      sample_interval=args.sample_interval,
                      prom_file=args.prom_file,
                      slow_ms=args.slow_ms,
-                     trace_dir=args.trace_dir)
+                     trace_dir=args.trace_dir,
+                     max_queue=args.max_queue,
+                     io_timeout=args.io_timeout or None)
     finally:
         if writer is not None:
             writer.close()
@@ -400,7 +438,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
             return 0
         from .server.client import DaemonClient, DaemonUnavailable
         try:
-            with DaemonClient(args.daemon) as client:
+            # Short read timeout: a wedged daemon is an rc-1 error,
+            # not a hung CLI.
+            with DaemonClient(args.daemon, read_timeout=10.0) as client:
                 reply = client.stats()
         except DaemonUnavailable as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -583,6 +623,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--event-log", default=None, metavar="PATH",
                    help="append every daemon event to a size-rotated "
                         "JSONL audit log at PATH")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="pending check requests buffered before the "
+                        "daemon load-sheds with busy replies "
+                        "(default 64)")
+    p.add_argument("--io-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="reap connections that stall mid-frame for "
+                        "this long (slow-loris guard; default 30, "
+                        "0 disables)")
+    p.add_argument("--supervise", action="store_true",
+                   help="run the daemon in a child process and "
+                        "respawn it on crash (crash-loop backoff, "
+                        "rate-limited; clean exits end supervision)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

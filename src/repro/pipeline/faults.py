@@ -36,6 +36,31 @@ is what makes chaos runs deterministic and convergent.
 ``seed=N``          seeds the offset/choice RNG (default 0)
 ==================  =======================================================
 
+Wire-level faults key off the **request index**: the chaos proxy
+(:class:`repro.server.chaos.ChaosProxy`) numbers every daemon request
+it relays, so a fault pinned to request ``R`` fires exactly once and
+the client's retry of the same check travels under a fresh index.
+The daemon-level resilience layer (admission control, client retry,
+supervision) must recover byte-identically from every one of these —
+``make daemon-chaos-smoke`` is the gate.
+
+===================  ======================================================
+``torn@R``           the reply frame is cut off halfway, then the
+                     connection closes (EOF mid-frame at the client)
+``garbage-frame@R``  the reply is a well-framed but undecodable payload
+``oversize@R``       the reply header announces a >64MB frame, which
+                     the client must reject before allocating
+``disconnect@R``     the connection drops right after the request,
+                     before any reply byte
+``stall@R``          the peer stops responding but keeps the connection
+                     open (the client's read timeout must fire)
+``kill@R``           the daemon is killed mid-check (the proxy injects
+                     the ``test_die`` chaos hook into the request)
+``enospc``           the next shared-CAS write fails with ``ENOSPC``
+                     (``enospc@N`` arms N writes); the store must
+                     degrade to a miss, never a wrong replay
+===================  ======================================================
+
 ``crash@0-3`` ranges and bare kinds (``crash`` = ``crash@0``) are
 accepted; parts are comma-separated, e.g.::
 
@@ -53,11 +78,22 @@ from __future__ import annotations
 import random
 from typing import FrozenSet, Iterable, Optional, Set, Tuple
 
-__all__ = ["FaultError", "FaultPlan", "DISPATCH_FAULT_KINDS"]
+__all__ = ["FaultError", "FaultPlan", "DISPATCH_FAULT_KINDS",
+           "WIRE_FAULT_KINDS"]
 
 #: worker-side fault kinds keyed by dispatch id, in precedence order
 #: (a dispatch named under several kinds takes the first match).
 DISPATCH_FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "eof", "garbage")
+
+#: socket-level fault kinds keyed by request index, in precedence
+#: order; acted out by :class:`repro.server.chaos.ChaosProxy`.
+WIRE_FAULT_KINDS: Tuple[str, ...] = ("torn", "garbage-frame", "oversize",
+                                     "disconnect", "stall", "kill")
+
+#: spec name -> FaultPlan attribute for the wire kinds.
+_WIRE_ATTRS = {"torn": "torn", "garbage-frame": "garbage_frame",
+               "oversize": "oversize", "disconnect": "disconnect",
+               "stall": "stall", "kill": "kill"}
 
 
 class FaultError(ValueError):
@@ -94,14 +130,28 @@ class FaultPlan:
                  garbage: Iterable[int] = (),
                  poison: Iterable[str] = (),
                  cache_flips: int = 0,
+                 torn: Iterable[int] = (),
+                 garbage_frame: Iterable[int] = (),
+                 oversize: Iterable[int] = (),
+                 disconnect: Iterable[int] = (),
+                 stall: Iterable[int] = (),
+                 kill: Iterable[int] = (),
+                 enospc: int = 0,
                  seed: int = 0):
         self.crash: FrozenSet[int] = frozenset(crash)
         self.hang: FrozenSet[int] = frozenset(hang)
         self.eof: FrozenSet[int] = frozenset(eof)
         self.garbage: FrozenSet[int] = frozenset(garbage)
         self.poison: FrozenSet[str] = frozenset(poison)
+        self.torn: FrozenSet[int] = frozenset(torn)
+        self.garbage_frame: FrozenSet[int] = frozenset(garbage_frame)
+        self.oversize: FrozenSet[int] = frozenset(oversize)
+        self.disconnect: FrozenSet[int] = frozenset(disconnect)
+        self.stall: FrozenSet[int] = frozenset(stall)
+        self.kill: FrozenSet[int] = frozenset(kill)
         self.seed = seed
         self._cache_flips_left = int(cache_flips)
+        self._enospc_left = int(enospc)
         self._rng = random.Random(seed)
 
     # -- construction --------------------------------------------------------
@@ -110,8 +160,10 @@ class FaultPlan:
     def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
         """Parse a ``--inject-faults`` / ``VAULTC_FAULTS`` spec string."""
         ids = {kind: set() for kind in DISPATCH_FAULT_KINDS}
+        wire_ids = {kind: set() for kind in WIRE_FAULT_KINDS}
         poison: Set[str] = set()
         cache_flips = 0
+        enospc = 0
         for raw in spec.split(","):
             part = raw.strip()
             if not part:
@@ -137,16 +189,37 @@ class FaultPlan:
                 except ValueError:
                     raise FaultError(f"bad flip count in {part!r}") from None
                 continue
+            if part == "enospc":
+                enospc += 1
+                continue
+            if part.startswith("enospc@"):
+                try:
+                    enospc += int(part[len("enospc@"):])
+                except ValueError:
+                    raise FaultError(
+                        f"bad enospc count in {part!r}") from None
+                continue
             kind, at, where = part.partition("@")
-            if kind not in DISPATCH_FAULT_KINDS:
+            if kind in DISPATCH_FAULT_KINDS:
+                ids[kind].update(_parse_ids(where) if at else {0})
+            elif kind in WIRE_FAULT_KINDS:
+                wire_ids[kind].update(_parse_ids(where) if at else {0})
+            else:
                 raise FaultError(
                     f"unknown fault {part!r} (kinds: "
-                    f"{', '.join(DISPATCH_FAULT_KINDS)}, poison:QUAL, "
-                    f"flip-cache, seed=N)")
-            ids[kind].update(_parse_ids(where) if at else {0})
+                    f"{', '.join(DISPATCH_FAULT_KINDS)}, "
+                    f"{', '.join(WIRE_FAULT_KINDS)}, poison:QUAL, "
+                    f"flip-cache, enospc, seed=N)")
         return cls(crash=ids["crash"], hang=ids["hang"], eof=ids["eof"],
                    garbage=ids["garbage"], poison=poison,
-                   cache_flips=cache_flips, seed=seed)
+                   cache_flips=cache_flips,
+                   torn=wire_ids["torn"],
+                   garbage_frame=wire_ids["garbage-frame"],
+                   oversize=wire_ids["oversize"],
+                   disconnect=wire_ids["disconnect"],
+                   stall=wire_ids["stall"],
+                   kill=wire_ids["kill"],
+                   enospc=enospc, seed=seed)
 
     # -- worker-side triggers ------------------------------------------------
 
@@ -161,6 +234,16 @@ class FaultPlan:
         """Does checking ``qual`` in a worker hard-crash it (every time)?"""
         return qual in self.poison
 
+    # -- wire-side triggers --------------------------------------------------
+
+    def wire_fault(self, request_id: int) -> Optional[str]:
+        """The socket-level fault (if any) to act out for the
+        ``request_id``-th relayed daemon request."""
+        for kind in WIRE_FAULT_KINDS:
+            if request_id in getattr(self, _WIRE_ATTRS[kind]):
+                return kind
+        return None
+
     # -- parent-side triggers ------------------------------------------------
 
     def take_cache_flip(self) -> bool:
@@ -168,6 +251,14 @@ class FaultPlan:
         if self._cache_flips_left <= 0:
             return False
         self._cache_flips_left -= 1
+        return True
+
+    def take_enospc(self) -> bool:
+        """Consume one ``enospc`` budget unit: the shared CAS fails its
+        next object write with ``OSError(ENOSPC)``."""
+        if self._enospc_left <= 0:
+            return False
+        self._enospc_left -= 1
         return True
 
     def flip_file_byte(self, path: str) -> int:
@@ -186,16 +277,24 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.crash or self.hang or self.eof or self.garbage
-                    or self.poison or self._cache_flips_left)
+                    or self.poison or self._cache_flips_left
+                    or self.torn or self.garbage_frame or self.oversize
+                    or self.disconnect or self.stall or self.kill
+                    or self._enospc_left)
 
     def describe(self) -> str:
         parts = []
         for kind in DISPATCH_FAULT_KINDS:
             for did in sorted(getattr(self, kind)):
                 parts.append(f"{kind}@{did}")
+        for kind in WIRE_FAULT_KINDS:
+            for rid in sorted(getattr(self, _WIRE_ATTRS[kind])):
+                parts.append(f"{kind}@{rid}")
         parts.extend(f"poison:{qual}" for qual in sorted(self.poison))
         if self._cache_flips_left:
             parts.append(f"flip-cache@{self._cache_flips_left}")
+        if self._enospc_left:
+            parts.append(f"enospc@{self._enospc_left}")
         parts.append(f"seed={self.seed}")
         return ",".join(parts)
 

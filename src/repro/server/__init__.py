@@ -11,7 +11,11 @@ worker pool — alive in a daemon behind a Unix domain socket:
   shutdown);
 * :class:`DaemonClient`, :func:`check_detailed` — the wire client and
   the daemon-first/in-process-fallback check used by
-  ``vaultc check --daemon``;
+  ``vaultc check --daemon`` (bounded timeouts, jittered retry);
+* :class:`Supervisor` — ``vaultc serve --supervise``, crash-loop
+  respawn of the daemon with backoff and rate limiting;
+* :class:`ChaosProxy` — the test-only wire-fault injector behind
+  ``make daemon-chaos-smoke``;
 * :class:`Watcher` / :func:`run_watch` — ``vaultc watch DIR``,
   mtime-polling re-check of changed ``.vlt`` files;
 * :func:`run_top` / :func:`render_top` — ``vaultc top``, a live
@@ -24,10 +28,12 @@ See ``docs/SERVER.md`` for the protocol reference, lifecycle and
 failure modes.
 """
 
+from .chaos import ChaosProxy
 from .client import (CheckOutcome, DaemonClient, DaemonUnavailable,
                      check_detailed, check_via_daemon, resolve_socket)
 from .daemon import (CheckServer, default_socket_path, serve,
                      unix_sockets_available)
+from .supervise import Supervisor
 from .protocol import (MAX_FRAME, PROTOCOL_VERSION, ProtocolError,
                        encode_frame, normalize_options, recv_frame,
                        request_key, send_frame, session_key, split_frames)
@@ -35,6 +41,7 @@ from .top import render_top, run_top
 from .watch import Watcher, render_outcome, run_watch, scan_tree
 
 __all__ = [
+    "ChaosProxy",
     "CheckOutcome",
     "CheckServer",
     "DaemonClient",
@@ -42,6 +49,7 @@ __all__ = [
     "MAX_FRAME",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "Supervisor",
     "Watcher",
     "check_detailed",
     "check_via_daemon",

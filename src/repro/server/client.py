@@ -14,22 +14,61 @@ kind ``vault_error``: that means the daemon successfully determined
 the *input* is broken (e.g. a syntax crash), so the client raises the
 same :class:`~repro.diagnostics.VaultError` the in-process path would
 have raised — identical CLI behaviour, no wasted re-check.
+
+Resilience contract (the client half of the daemon's admission
+control):
+
+* every socket carries a **read timeout** — a *hung* daemon (accepted
+  the connection, never replies) surfaces as
+  :class:`DaemonUnavailable` after ``read_timeout`` seconds instead of
+  wedging the caller forever;
+* :func:`check_via_daemon` retries **transport** failures and ``busy``
+  replies a bounded number of times with exponential backoff plus full
+  jitter (checks are idempotent: the daemon recomputes from the
+  request bytes, so a retry can only produce the same reply);
+* ``draining`` and ``deadline_exceeded`` replies and exhausted retries
+  all collapse to "no daemon" — the caller falls back in-process and
+  output stays byte-identical either way.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..diagnostics import VaultError
 from .daemon import default_socket_path, unix_sockets_available
 from .protocol import (PROTOCOL_VERSION, ProtocolError, normalize_options,
                        recv_frame, send_frame)
 
-#: seconds allowed for connect + ping; actual checks run uncapped (the
-#: daemon's watchdog bounds runaway work server-side).
+#: seconds allowed for connect + ping.
 CONNECT_TIMEOUT = 5.0
+
+#: seconds allowed for one reply.  Generous — a cold parallel check of
+#: a big module is legitimate work — but finite, so a wedged daemon
+#: costs one bounded wait and a fallback, never a hang.
+READ_TIMEOUT = 120.0
+
+#: transport-failure / busy retries in :func:`check_via_daemon`.
+DEFAULT_RETRIES = 2
+
+#: first backoff window; doubles per attempt, full jitter.
+BACKOFF_BASE_SECONDS = 0.05
+
+#: ceiling on honouring a ``busy`` reply's ``retry_after_ms`` hint —
+#: the daemon may ask for seconds, but an interactive client prefers
+#: falling back to waiting that long.
+MAX_BUSY_WAIT_SECONDS = 0.5
+
+
+def backoff_delay(attempt: int, rng: Callable[[], float]) -> float:
+    """Exponential backoff with full jitter: a uniform draw from
+    ``[0, BACKOFF_BASE * 2^attempt]`` — retries from a burst of
+    clients decorrelate instead of reconverging."""
+    return BACKOFF_BASE_SECONDS * (2 ** attempt) * rng()
 
 
 class DaemonUnavailable(Exception):
@@ -48,7 +87,8 @@ class DaemonClient:
     """A blocking client for one daemon connection."""
 
     def __init__(self, socket_path: Optional[str] = None,
-                 connect_timeout: float = CONNECT_TIMEOUT):
+                 connect_timeout: float = CONNECT_TIMEOUT,
+                 read_timeout: Optional[float] = READ_TIMEOUT):
         if not unix_sockets_available():
             raise DaemonUnavailable("no AF_UNIX support on this platform")
         self.socket_path = resolve_socket(socket_path)
@@ -61,8 +101,10 @@ class DaemonClient:
             raise DaemonUnavailable(
                 f"cannot reach a check daemon at {self.socket_path}: "
                 f"{exc}") from None
-        # Checks may legitimately take a while; only connect is capped.
-        self._sock.settimeout(None)
+        # Every round trip stays bounded: a daemon that accepted the
+        # connection but never replies (wedged, not dead) must surface
+        # as DaemonUnavailable, not hang the caller.
+        self._sock.settimeout(read_timeout)
 
     def request(self, payload: dict) -> dict:
         """One request/reply round trip; :class:`DaemonUnavailable` on
@@ -94,14 +136,27 @@ class DaemonClient:
     def telemetry(self) -> dict:
         return self.request({"op": "telemetry"})
 
-    def shutdown(self) -> dict:
-        return self.request({"op": "shutdown"})
+    def health(self) -> dict:
+        """Cheap liveness + load: pid, queue depth/limit, drain state."""
+        return self.request({"op": "health"})
+
+    def shutdown(self, drain: bool = False) -> dict:
+        payload = {"op": "shutdown"}
+        if drain:
+            payload["drain"] = True
+        return self.request(payload)
 
     def check(self, source: str, filename: str = "<input>",
-              options: Optional[Dict[str, object]] = None) -> dict:
-        return self.request({"op": "check", "source": source,
-                             "filename": filename,
-                             "options": options or {}})
+              options: Optional[Dict[str, object]] = None,
+              deadline_ms: Optional[float] = None,
+              req_id: object = None) -> dict:
+        payload = {"op": "check", "source": source,
+                   "filename": filename, "options": options or {}}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if req_id is not None:
+            payload["id"] = req_id
+        return self.request(payload)
 
     def close(self) -> None:
         try:
@@ -128,27 +183,62 @@ class CheckOutcome:
 
 def check_via_daemon(source: str, filename: str = "<input>",
                      options: Optional[Dict[str, object]] = None,
-                     socket_path: Optional[str] = "auto"
+                     socket_path: Optional[str] = "auto",
+                     retries: int = DEFAULT_RETRIES,
+                     read_timeout: Optional[float] = READ_TIMEOUT,
+                     _sleep: Callable[[float], None] = time.sleep,
+                     _rng: Optional[Callable[[], float]] = None
                      ) -> Optional[CheckOutcome]:
     """Try one check through the daemon; ``None`` means "no daemon —
     check in-process yourself".  Raises :class:`VaultError` only when
-    the daemon proved the input itself is broken."""
-    try:
-        with DaemonClient(socket_path) as client:
-            reply = client.check(source, filename,
-                                 normalize_options(options))
-    except DaemonUnavailable:
+    the daemon proved the input itself is broken.
+
+    Transport failures (daemon died mid-reply, torn frame, read
+    timeout) and ``busy`` replies are retried up to ``retries`` times
+    with exponential backoff plus jitter.  A check request is
+    idempotent — the daemon recomputes the reply from the request
+    bytes — so a retry can only yield the same diagnostics, never a
+    duplicate.  ``draining``/``deadline_exceeded`` replies and an
+    exhausted budget fall back (return ``None``) instead of piling
+    onto a daemon that asked us to go away."""
+    rng = _rng if _rng is not None else random.random
+    normalized = normalize_options(options)
+    attempt = 0
+    while True:
+        try:
+            with DaemonClient(socket_path,
+                              read_timeout=read_timeout) as client:
+                reply = client.check(source, filename, normalized)
+        except DaemonUnavailable:
+            if attempt >= retries:
+                return None
+            _sleep(backoff_delay(attempt, rng))
+            attempt += 1
+            continue
+        if reply.get("ok") is True and isinstance(reply.get("render"),
+                                                  str):
+            return CheckOutcome(ok=bool(reply.get("check_ok")),
+                                render=reply["render"],
+                                errors=int(reply.get("errors", 0)),
+                                via_daemon=True)
+        kind = reply.get("kind")
+        if kind == "vault_error":
+            raise VaultError(str(reply.get("error",
+                                           "daemon check failed")))
+        if kind == "busy" and attempt < retries:
+            hint = reply.get("retry_after_ms")
+            wait = (float(hint) / 1000.0
+                    if isinstance(hint, (int, float))
+                    and not isinstance(hint, bool)
+                    else BACKOFF_BASE_SECONDS)
+            wait = min(wait, MAX_BUSY_WAIT_SECONDS)
+            _sleep(wait * (0.5 + 0.5 * rng()))     # jittered hint
+            attempt += 1
+            continue
+        # draining, deadline_exceeded, internal_error, unknown shape,
+        # or an exhausted busy budget: behave as if there were no
+        # daemon at all.
         return None
-    if reply.get("ok") is True and isinstance(reply.get("render"), str):
-        return CheckOutcome(ok=bool(reply.get("check_ok")),
-                            render=reply["render"],
-                            errors=int(reply.get("errors", 0)),
-                            via_daemon=True)
-    if reply.get("kind") == "vault_error":
-        raise VaultError(str(reply.get("error", "daemon check failed")))
-    # Unusable reply (internal daemon error, unknown shape): behave as
-    # if there were no daemon at all.
-    return None
 
 
 def check_detailed(source: str, filename: str = "<input>",

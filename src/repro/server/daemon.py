@@ -24,10 +24,26 @@ Design:
   run of the checker; just before executing, the loop drains every
   readable socket once more so a burst of identical requests from
   several editors collapses into one check;
+* **admission control** — the pending-request queue is bounded
+  (``max_queue``): past the bound the daemon *sheds* instead of
+  buffering, answering ``busy`` with a ``retry_after_ms`` hint sized
+  from the observed check rate, so a burst costs clients one cheap
+  round trip each rather than the daemon unbounded memory;
+* **deadlines** — a request may carry ``deadline_ms``; one that is
+  already expired when its turn comes gets a structured
+  ``deadline_exceeded`` reply (with the time it waited) instead of a
+  stale result, and never a half-written frame;
+* **slow-loris reaping** — connections with bytes pending in either
+  direction that make no I/O progress for ``io_timeout`` seconds are
+  dropped (``server.conns_reaped``), so a client that trickles half a
+  header or never reads its reply cannot pin buffers forever;
 * **graceful shutdown** — SIGTERM/SIGINT (via :func:`serve`), the
   ``shutdown`` op, and the idle timeout all funnel into one idempotent
   :meth:`CheckServer.close` that closes client connections, shuts down
-  every session's worker pool, and unlinks the socket;
+  every session's worker pool, and unlinks the socket.  The first
+  SIGTERM *drains*: in-flight checks finish and are answered, queued
+  requests are shed with ``draining`` replies, then the loop exits (a
+  second signal stops immediately);
 * **pool hygiene** — each loop tick reaps worker pools that have been
   idle past ``pool_linger`` seconds (the session and its caches stay
   warm; a later parallel check re-forks);
@@ -76,6 +92,22 @@ DEFAULT_POOL_LINGER = 60.0
 #: warm sessions kept before the least-recently-used one is closed.
 DEFAULT_SESSION_LIMIT = 8
 
+#: pending ``check`` requests buffered before the daemon load-sheds
+#: with ``busy`` replies instead of growing the queue.
+DEFAULT_MAX_QUEUE = 64
+
+#: seconds a connection with pending bytes (half a frame in, an
+#: unread reply out) may stall before it is reaped as a slow loris.
+DEFAULT_IO_TIMEOUT = 30.0
+
+#: bounds on the ``retry_after_ms`` hint in ``busy`` replies.
+_RETRY_AFTER_MIN_MS = 50.0
+_RETRY_AFTER_MAX_MS = 5000.0
+
+#: seconds the drain path spends flushing final replies to slow
+#: readers before giving up on them.
+_DRAIN_FLUSH_SECONDS = 2.0
+
 #: upper bound on one ``select`` sleep, so stop requests and idle
 #: deadlines are honoured promptly even with no socket traffic.
 _TICK_SECONDS = 0.5
@@ -87,7 +119,10 @@ SERVER_COUNTERS = ("server.connections", "server.requests",
                    "server.bad_requests", "server.client_errors",
                    "server.cache_gets", "server.cache_puts",
                    "server.pings", "server.telemetry_requests",
-                   "server.slow_requests")
+                   "server.slow_requests", "server.shed",
+                   "server.deadline_exceeded", "server.drained",
+                   "server.conns_reaped", "server.protocol_errors",
+                   "server.health_requests")
 
 #: seconds between time-series samples (``--sample-interval``).
 DEFAULT_SAMPLE_INTERVAL = 5.0
@@ -118,26 +153,47 @@ def default_socket_path() -> str:
 
 
 class _Conn:
-    """One connected client: its socket plus incremental I/O buffers."""
+    """One connected client: its socket plus incremental I/O buffers.
 
-    __slots__ = ("sock", "inbuf", "outbuf", "closed")
+    ``last_io`` advances on every byte of progress in either direction
+    and anchors slow-loris reaping.  ``closing`` marks a connection
+    whose final reply is queued: once the outbuf drains, the daemon
+    closes it — the clean-close half of the ``protocol_error`` path.
+    """
+
+    __slots__ = ("sock", "inbuf", "outbuf", "closed", "closing",
+                 "last_io")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.inbuf = b""
         self.outbuf = b""
         self.closed = False
+        self.closing = False
+        self.last_io = time.monotonic()
 
 
 class _Request:
-    """One queued ``check`` request awaiting execution."""
+    """One queued ``check`` request awaiting execution.
 
-    __slots__ = ("conn", "key", "payload")
+    ``req_id`` is the client's optional ``id`` field, echoed in the
+    reply so a retrying client can match replies to attempts.
+    ``deadline`` is an absolute monotonic time (or ``None``); an
+    expired request is answered ``deadline_exceeded``, never checked.
+    """
 
-    def __init__(self, conn: _Conn, key: str, payload: dict):
+    __slots__ = ("conn", "key", "payload", "req_id", "deadline",
+                 "enqueued")
+
+    def __init__(self, conn: _Conn, key: str, payload: dict,
+                 req_id: object = None,
+                 deadline: Optional[float] = None):
         self.conn = conn
         self.key = key
         self.payload = payload
+        self.req_id = req_id
+        self.deadline = deadline
+        self.enqueued = time.monotonic()
 
 
 def coalesce_group(queue: Deque[_Request]) -> List[_Request]:
@@ -182,7 +238,9 @@ class CheckServer:
                  prom_file: Optional[str] = None,
                  slow_ms: Optional[float] = None,
                  trace_dir: Optional[str] = None,
-                 trace_keep: int = DEFAULT_TRACE_KEEP):
+                 trace_keep: int = DEFAULT_TRACE_KEEP,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT):
         if not unix_sockets_available():
             raise VaultError(
                 "the check daemon needs AF_UNIX sockets, which this "
@@ -216,6 +274,14 @@ class CheckServer:
         self._bound = False
         self._closed = False
         self._stop = False
+        #: admission control: queue bound, drain flag, and the running
+        #: check-duration average that sizes ``retry_after_ms`` hints.
+        self.max_queue = max(1, max_queue)
+        self.io_timeout = io_timeout
+        self._draining = False
+        self._shedding = False
+        self._check_count = 0
+        self._check_seconds_sum = 0.0
         self._last_activity = time.monotonic()
         self._started_monotonic = time.monotonic()
         self._started_wall = time.time()
@@ -315,6 +381,21 @@ class CheckServer:
             except OSError:
                 pass
 
+    def request_drain(self) -> None:
+        """Ask the loop to drain: finish and answer in-flight checks,
+        shed everything still queued with ``draining`` replies, then
+        exit.  Safe from signal handlers and other threads."""
+        self._draining = True
+        if self._wake_w is not None:
+            try:
+                self._wake_w.send(b"\x00")
+            except OSError:
+                pass
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def close(self) -> None:
         """Tear everything down; idempotent, callable at any point."""
         if self._closed:
@@ -383,10 +464,94 @@ class CheckServer:
                     self._handle_event(key, mask)
                 if self._queue:
                     self._process_queue()
+                if self._draining:
+                    self._finish_drain()
+                    break
+                self._reap_stalled_conns()
                 self._reap_idle_pools()
                 self._sample_tick()
         finally:
             self.close()
+
+    def _finish_drain(self) -> None:
+        """The drain endgame, run once after the loop notices
+        ``_draining``: stop accepting, shed whatever is still queued
+        with ``draining`` replies, give slow readers a short grace
+        window to take their final bytes, then fall through to
+        ``close()``."""
+        if self._listener is not None:
+            try:
+                if self._sel is not None:
+                    self._sel.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        # One last ingest pass so stragglers that arrived during the
+        # final check get a structured ``draining`` reply (via
+        # _on_frame) instead of a dead socket.
+        try:
+            self._drain_ready_once()
+        except OSError:
+            pass
+        shed = 0
+        while self._queue:
+            req = self._queue.popleft()
+            self._reply(req.conn, {"ok": False, "kind": "draining",
+                                   "error": "daemon is draining; "
+                                            "retry or fall back"},
+                        req.req_id)
+            shed += 1
+        if shed and self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("server.drained").inc(shed)
+        self.telemetry.events.emit(
+            "server_drain",
+            f"drained: {shed} queued request(s) shed, "
+            f"{len(self._conns)} connection(s) open",
+            shed=shed, connections=len(self._conns))
+        deadline = time.monotonic() + _DRAIN_FLUSH_SECONDS
+        while time.monotonic() < deadline:
+            pending = [c for c in self._conns.values() if c.outbuf]
+            if not pending:
+                break
+            for conn in pending:
+                self._flush(conn)
+            if self._sel is not None:
+                try:
+                    for key, mask in self._sel.select(0.05):
+                        if key.data[0] == "conn" \
+                                and mask & selectors.EVENT_WRITE:
+                            self._flush(key.data[1])
+                except OSError:
+                    break
+
+    def _reap_stalled_conns(self) -> None:
+        """Drop connections with pending bytes in either direction and
+        no I/O progress for ``io_timeout`` seconds — a client trickling
+        half a header (slow loris) or never reading its reply."""
+        if self.io_timeout is None:
+            return
+        now = time.monotonic()
+        for conn in list(self._conns.values()):
+            if not conn.inbuf and not conn.outbuf:
+                continue                 # idle-but-quiet is fine
+            stalled = now - conn.last_io
+            if stalled <= self.io_timeout:
+                continue
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter("server.conns_reaped").inc()
+            self.telemetry.events.emit(
+                "conn_reaped",
+                f"dropping stalled client after {stalled:.1f}s "
+                f"({len(conn.inbuf)}B pending in, "
+                f"{len(conn.outbuf)}B pending out)",
+                stalled_seconds=stalled,
+                pending_in=len(conn.inbuf),
+                pending_out=len(conn.outbuf))
+            self._drop_conn(conn)
 
     def _sample_tick(self) -> None:
         """One selector-loop visit to the time-series aggregator: a
@@ -416,6 +581,8 @@ class CheckServer:
             "vaultc_uptime_seconds":
                 time.monotonic() - self._started_monotonic,
             "vaultc_queue_depth": len(self._queue),
+            "vaultc_queue_limit": self.max_queue,
+            "vaultc_draining": 1.0 if self._draining else 0.0,
             "vaultc_sessions": len(self._sessions),
         }
         return render_exposition(self.telemetry.metrics.snapshot(),
@@ -470,6 +637,12 @@ class CheckServer:
             self._drop_conn(conn)
             return
         conn.inbuf += chunk
+        conn.last_io = time.monotonic()
+        if conn.closing:
+            # Already condemned (protocol error): ignore further input,
+            # just let the final reply drain.
+            conn.inbuf = b""
+            return
         try:
             frames, conn.inbuf = split_frames(conn.inbuf)
         except ProtocolError as exc:
@@ -479,15 +652,21 @@ class CheckServer:
             self._on_frame(conn, frame)
 
     def _client_error(self, conn: _Conn, exc: Exception) -> None:
+        """An unframeable byte stream (oversized or malformed frame):
+        answer with a structured ``protocol_error`` so a conforming
+        client can report *why*, then close cleanly — the reply is
+        flushed first (``closing``), never a silent RST."""
         if self.telemetry.metrics.enabled:
             self.telemetry.metrics.counter("server.client_errors").inc()
+            self.telemetry.metrics.counter("server.protocol_errors").inc()
         self.telemetry.events.emit(
             "client_error",
             f"dropping client after protocol error: {exc}",
             error=f"{type(exc).__name__}: {exc}")
-        self._send(conn, {"ok": False, "kind": "bad_request",
+        conn.inbuf = b""
+        conn.closing = True
+        self._send(conn, {"ok": False, "kind": "protocol_error",
                           "error": str(exc)})
-        self._drop_conn(conn)
 
     def _drop_conn(self, conn: _Conn) -> None:
         if conn.closed:
@@ -511,21 +690,46 @@ class CheckServer:
         if self.telemetry.metrics.enabled:
             self.telemetry.metrics.counter("server.requests").inc()
         op = frame.get("op")
+        req_id = frame.get("id")
         if op == "check":
             source = frame.get("source")
             filename = frame.get("filename", "<input>")
             if not isinstance(source, str) or not isinstance(filename, str):
                 self._bad_request(conn, "check needs string 'source' "
-                                        "(and optional string 'filename')")
+                                        "(and optional string 'filename')",
+                                  req_id)
                 return
             options = frame.get("options")
             if options is not None and not isinstance(options, dict):
-                self._bad_request(conn, "'options' must be an object")
+                self._bad_request(conn, "'options' must be an object",
+                                  req_id)
                 return
+            deadline_ms = frame.get("deadline_ms")
+            deadline: Optional[float] = None
+            if deadline_ms is not None:
+                if isinstance(deadline_ms, bool) \
+                        or not isinstance(deadline_ms, (int, float)) \
+                        or deadline_ms < 0:
+                    self._bad_request(
+                        conn, "'deadline_ms' must be a non-negative "
+                              "number", req_id)
+                    return
+                deadline = time.monotonic() + float(deadline_ms) / 1000.0
+            if self._draining:
+                self._reply(conn, {"ok": False, "kind": "draining",
+                                   "error": "daemon is draining; "
+                                            "retry or fall back"},
+                            req_id)
+                return
+            if len(self._queue) >= self.max_queue:
+                self._shed(conn, req_id)
+                return
+            self._shedding = False
             options = normalize_options(options, self.default_jobs)
             frame["options"] = options
             self._queue.append(_Request(
-                conn, request_key(source, filename, options), frame))
+                conn, request_key(source, filename, options), frame,
+                req_id=req_id, deadline=deadline))
             return
         if op == "ping":
             if self.telemetry.metrics.enabled:
@@ -535,6 +739,22 @@ class CheckServer:
                               "socket": self.socket_path,
                               "uptime_seconds": time.monotonic()
                               - self._started_monotonic})
+            return
+        if op == "health":
+            # Cheap liveness for external orchestration (supervisors,
+            # load balancers): no session or store access, one frame.
+            if self.telemetry.metrics.enabled:
+                self.telemetry.metrics.counter(
+                    "server.health_requests").inc()
+            self._reply(conn, {"ok": True, "pid": os.getpid(),
+                               "version": PROTOCOL_VERSION,
+                               "queue_depth": len(self._queue),
+                               "queue_limit": self.max_queue,
+                               "draining": self._draining,
+                               "connections": len(self._conns),
+                               "sessions": len(self._sessions),
+                               "uptime_seconds": time.monotonic()
+                               - self._started_monotonic}, req_id)
             return
         if op == "stats":
             self._send(conn, {"ok": True, "stats": self._stats()})
@@ -589,8 +809,13 @@ class CheckServer:
             self._send(conn, {"ok": True, "stored": stored})
             return
         if op == "shutdown":
-            self._send(conn, {"ok": True, "stopping": True})
-            self.request_stop()
+            if frame.get("drain"):
+                self._send(conn, {"ok": True, "stopping": True,
+                                  "draining": True})
+                self.request_drain()
+            else:
+                self._send(conn, {"ok": True, "stopping": True})
+                self.request_stop()
             return
         if op == "die" and self.enable_test_ops:
             # Chaos hook (tests only): drop dead without replying, as
@@ -598,14 +823,53 @@ class CheckServer:
             os._exit(86)
         self._bad_request(conn, f"unknown op {op!r}")
 
-    def _bad_request(self, conn: _Conn, message: str) -> None:
+    def _bad_request(self, conn: _Conn, message: str,
+                     req_id: object = None) -> None:
         if self.telemetry.metrics.enabled:
             self.telemetry.metrics.counter("server.bad_requests").inc()
-        self._send(conn, {"ok": False, "kind": "bad_request",
-                          "error": message})
+        self._reply(conn, {"ok": False, "kind": "bad_request",
+                           "error": message}, req_id)
+
+    def _reply(self, conn: _Conn, obj: dict, req_id: object) -> None:
+        """Send a reply, echoing the client's request ``id`` if it
+        supplied one."""
+        if req_id is not None:
+            obj = dict(obj, id=req_id)
+        self._send(conn, obj)
+
+    def _retry_after_ms(self) -> float:
+        """Size the ``busy`` hint from observed behaviour: roughly how
+        long until the current queue drains, given the running average
+        check duration, clamped to a sane band."""
+        avg = (self._check_seconds_sum / self._check_count) \
+            if self._check_count else 0.05
+        estimate = len(self._queue) * avg * 1000.0
+        return max(_RETRY_AFTER_MIN_MS,
+                   min(_RETRY_AFTER_MAX_MS, estimate))
+
+    def _shed(self, conn: _Conn, req_id: object) -> None:
+        """Load-shed one check request: the queue is at ``max_queue``,
+        so answer ``busy`` (with a data-driven ``retry_after_ms``)
+        instead of buffering without bound."""
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("server.shed").inc()
+        if not self._shedding:
+            # Edge-triggered: one event per episode of overload, not
+            # one per shed request.
+            self._shedding = True
+            self.telemetry.events.emit(
+                "request_shed",
+                f"queue full ({self.max_queue}); shedding with busy "
+                f"replies",
+                queue_limit=self.max_queue)
+        self._reply(conn, {"ok": False, "kind": "busy",
+                           "error": "daemon queue is full",
+                           "queue_depth": len(self._queue),
+                           "retry_after_ms": self._retry_after_ms()},
+                    req_id)
 
     def _process_queue(self) -> None:
-        while self._queue:
+        while self._queue and not self._stop and not self._draining:
             # Coalescing window: ingest whatever already arrived so a
             # burst of identical requests is grouped before we commit
             # to a check.  Bounded rounds — a firehose client must not
@@ -613,15 +877,50 @@ class CheckServer:
             for _ in range(8):
                 if not self._drain_ready_once():
                     break
+            if not self._queue:
+                break
             group = coalesce_group(self._queue)
-            response = self._execute_check(group[0].payload)
-            blob = encode_frame(response)
-            for req in group:
-                self._send_bytes(req.conn, blob)
-            if len(group) > 1 and self.telemetry.metrics.enabled:
+            live = [req for req in group if not self._expire(req)]
+            if not live:
+                continue          # whole group expired: skip the check
+            response = self._execute_check(live[0].payload)
+            # A deadline that expires *mid-check* still gets the
+            # result: the work is done, and a late result beats a
+            # wasted check plus a retry of the same bytes.
+            blob: Optional[bytes] = None
+            for req in live:
+                if req.req_id is not None:
+                    self._reply(req.conn, response, req.req_id)
+                else:
+                    # id-less members of a coalesced group share one
+                    # encoded blob — the byte-identity fast path.
+                    if blob is None:
+                        blob = encode_frame(response)
+                    self._send_bytes(req.conn, blob)
+            if len(live) > 1 and self.telemetry.metrics.enabled:
                 self.telemetry.metrics.counter(
-                    "server.coalesced").inc(len(group) - 1)
+                    "server.coalesced").inc(len(live) - 1)
             self._last_activity = time.monotonic()
+
+    def _expire(self, req: _Request) -> bool:
+        """Answer ``deadline_exceeded`` (and return True) if the
+        request's deadline passed while it sat in the queue."""
+        if req.deadline is None or time.monotonic() <= req.deadline:
+            return False
+        waited_ms = (time.monotonic() - req.enqueued) * 1000.0
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter(
+                "server.deadline_exceeded").inc()
+        self.telemetry.events.emit(
+            "deadline_exceeded",
+            f"request expired after {waited_ms:.1f} ms in queue",
+            waited_ms=waited_ms)
+        self._reply(req.conn,
+                    {"ok": False, "kind": "deadline_exceeded",
+                     "error": "deadline expired before the check "
+                              "started",
+                     "waited_ms": waited_ms}, req.req_id)
+        return True
 
     def _drain_ready_once(self) -> bool:
         """One zero-timeout selector pass; True if anything was ready."""
@@ -650,9 +949,15 @@ class CheckServer:
             while conn.outbuf:
                 sent = conn.sock.send(conn.outbuf)
                 conn.outbuf = conn.outbuf[sent:]
+                if sent:
+                    conn.last_io = time.monotonic()
         except (BlockingIOError, InterruptedError):
             pass
         except OSError:
+            self._drop_conn(conn)
+            return
+        if conn.closing and not conn.outbuf:
+            # Final reply delivered: complete the clean close.
             self._drop_conn(conn)
             return
         mask = selectors.EVENT_READ
@@ -697,6 +1002,8 @@ class CheckServer:
             response = {"ok": False, "kind": "internal_error",
                         "error": f"{type(exc).__name__}: {exc}"}
         elapsed = time.perf_counter() - started
+        self._check_count += 1
+        self._check_seconds_sum += elapsed
         if response is None:
             if self.telemetry.metrics.enabled:
                 self.telemetry.metrics.counter("server.checks").inc()
@@ -853,6 +1160,8 @@ class CheckServer:
             "started": self._started_wall,
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "queue_depth": len(self._queue),
+            "queue_limit": self.max_queue,
+            "draining": self._draining,
             "connections": len(self._conns),
             "counters": counters,
             "gauges": gauges,
@@ -862,6 +1171,11 @@ class CheckServer:
             "event_counts": self.telemetry.events.counts(),
             "timeseries": self.timeseries.describe()
             if self.timeseries is not None else None,
+            # Per-tier shared-store rows (includes the remote tier's
+            # breaker state when a session configured one).
+            "shared_cache": {
+                spec or "<default>": store.stats_snapshot()
+                for spec, store in self._stores.items()},
         }
         if self._trace_ring is not None:
             out["slow_traces"] = {
@@ -895,13 +1209,17 @@ def serve(socket_path: Optional[str] = None,
           prom_file: Optional[str] = None,
           slow_ms: Optional[float] = None,
           trace_dir: Optional[str] = None,
-          trace_keep: int = DEFAULT_TRACE_KEEP) -> int:
+          trace_keep: int = DEFAULT_TRACE_KEEP,
+          max_queue: int = DEFAULT_MAX_QUEUE,
+          io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT) -> int:
     """Run a daemon in the calling (main) thread until shutdown.
 
-    Wires SIGTERM/SIGINT to a graceful stop through the server's
+    Wires SIGTERM/SIGINT to a graceful *drain* through the server's
     wake-up pipe (a signal landing mid-``select`` interrupts the sleep
-    immediately instead of waiting out the tick).  Returns the process
-    exit code.
+    immediately instead of waiting out the tick): in-flight checks
+    finish and are answered, queued requests are shed with
+    ``draining`` replies, then the process exits.  A second signal
+    stops immediately.  Returns the process exit code.
     """
     import signal
 
@@ -911,13 +1229,17 @@ def serve(socket_path: Optional[str] = None,
         enable_test_ops=bool(os.environ.get("VAULTC_SERVER_TEST_OPS")),
         shared_cache_dir=shared_cache_dir,
         sample_interval=sample_interval, prom_file=prom_file,
-        slow_ms=slow_ms, trace_dir=trace_dir, trace_keep=trace_keep)
+        slow_ms=slow_ms, trace_dir=trace_dir, trace_keep=trace_keep,
+        max_queue=max_queue, io_timeout=io_timeout)
     server.bind()
     previous: List[Tuple[int, object]] = []
     old_wakeup = None
 
     def _on_signal(_signum, _frame):
-        server.request_stop()
+        if server.draining:
+            server.request_stop()
+        else:
+            server.request_drain()
 
     try:
         for signum in (signal.SIGTERM, signal.SIGINT):

@@ -13,10 +13,20 @@ Requests are objects with an ``op`` field:
     Protocol-check one compilation unit.  ``options`` may carry
     ``stdlib``, ``units``, ``jobs``, ``cache_dir``, ``break_even``
     (seconds) and ``shared_cache`` (a shared-store directory); unknown
-    keys are ignored so older clients keep working.
+    keys are ignored so older clients keep working.  Two optional
+    top-level fields: ``deadline_ms`` (a non-negative number — a
+    request still queued when it expires is answered
+    ``deadline_exceeded`` instead of checked) and ``id`` (any JSON
+    value, echoed verbatim in the reply so a retrying client can match
+    replies to attempts).
 ``{"op": "ping"}``
     Liveness probe; the reply carries the daemon pid, the protocol
     version, the socket path, and ``uptime_seconds``.
+``{"op": "health"}``
+    Load-aware liveness for orchestration (supervisors, balancers):
+    ``queue_depth``, ``queue_limit``, ``draining``, ``connections``,
+    ``sessions``, ``uptime_seconds`` — no session or store access, so
+    it stays cheap under load.
 ``{"op": "stats"}``
     The daemon's telemetry snapshot plus its session registry.
 ``{"op": "telemetry"}``
@@ -35,13 +45,34 @@ Requests are objects with an ``op`` field:
     daemon verifies the checksum *without unpickling* and silently
     drops anything malformed; the reply carries ``stored``.
 ``{"op": "shutdown"}``
-    Ask the daemon to exit after replying.
+    Ask the daemon to exit after replying; ``{"drain": true}`` asks
+    for a graceful drain (finish in-flight, shed queued) instead of an
+    immediate stop.
 
 Replies always carry ``"ok"``: ``true`` with op-specific fields
 (a ``check`` reply has ``check_ok``, ``render``, ``errors``), or
-``false`` with ``error`` and a machine-readable ``kind``
-(``"vault_error"`` for checker input errors, ``"bad_request"`` for
-protocol misuse).  See ``docs/SERVER.md`` for the full schema.
+``false`` with ``error`` and a machine-readable ``kind``:
+
+``"vault_error"``
+    checker *input* errors (the client re-raises locally);
+``"bad_request"``
+    a well-framed request the daemon cannot honour;
+``"protocol_error"``
+    an unframeable byte stream (oversized or malformed frame) — sent
+    as the connection's final frame before a clean close;
+``"busy"``
+    load shed: the pending queue is at its bound; carries
+    ``retry_after_ms`` (a data-driven hint) and ``queue_depth``;
+``"deadline_exceeded"``
+    the request's ``deadline_ms`` expired in the queue; carries
+    ``waited_ms``;
+``"draining"``
+    the daemon is shutting down gracefully; retry elsewhere or fall
+    back;
+``"internal_error"``
+    the check itself raised (a daemon bug, reported not hidden).
+
+See ``docs/SERVER.md`` for the full schema.
 """
 
 from __future__ import annotations

@@ -73,9 +73,13 @@ def render_top(reply: dict) -> str:
         f"up {_fmt_seconds(reply.get('uptime_seconds', 0))}  "
         f"proto v{reply.get('version', '?')}  "
         f"socket {reply.get('socket', '?')}")
+    queue = f"queue {reply.get('queue_depth', 0)}"
+    if reply.get("queue_limit") is not None:
+        queue += f"/{reply['queue_limit']}"
     lines.append(
-        f"queue {reply.get('queue_depth', 0)}  "
-        f"connections {reply.get('connections', 0)}  "
+        queue
+        + ("  DRAINING" if reply.get("draining") else "")
+        + f"  connections {reply.get('connections', 0)}  "
         f"sessions {len(reply.get('sessions') or [])}"
         f"/{reply.get('session_limit', '?')}  "
         f"samples {len(samples)}"
@@ -104,6 +108,14 @@ def render_top(reply: dict) -> str:
                          f"cache.shared.{label}.misses")
         if rate is not None:
             cache_rows.append(f"  {label:<8} hit rate {rate * 100:6.1f}%")
+    for store in (reply.get("shared_cache") or {}).values():
+        for tier in (store or {}).get("tiers", []):
+            if not isinstance(tier, dict) or not tier.get("breaker_open"):
+                continue
+            why = tier.get("last_error") or "transport failure"
+            cache_rows.append(
+                f"  remote   breaker OPEN, retry in "
+                f"{tier.get('retry_in_seconds', 0):g}s ({why})")
     if cache_rows:
         lines.append("shared cache")
         lines.extend(cache_rows)
@@ -139,7 +151,9 @@ def run_top(socket_path: Optional[str] = "auto", interval: float = 2.0,
     out = out if out is not None else sys.stdout
 
     def _fetch() -> dict:
-        with DaemonClient(socket_path) as client:
+        # Short read timeout: a wedged daemon turns into one rc-1
+        # error line, not a dashboard that hangs forever.
+        with DaemonClient(socket_path, read_timeout=10.0) as client:
             return client.telemetry()
 
     try:

@@ -259,11 +259,16 @@ class TestDaemon:
             import struct
             raw.sendall(struct.pack("!I", 1 << 30) + b"boom")
             reply = recv_frame(raw)
-            assert reply is not None and reply["kind"] == "bad_request"
+            # A structured protocol_error reply, then a clean close —
+            # never a silent teardown.
+            assert reply is not None and reply["kind"] == "protocol_error"
+            assert "announces" in reply["error"]
             assert recv_frame(raw) is None      # we were dropped
             raw.close()
             with DaemonClient(handle.socket_path) as client:
                 assert client.ping()["ok"] is True
+            snapshot = handle.server.telemetry.metrics.snapshot()
+            assert snapshot["server.protocol_errors"]["value"] == 1
         finally:
             handle.stop()
 
@@ -787,3 +792,652 @@ class TestTopRenderer:
         result = _vaultc(["top", str(tmp_path / "absent.sock"), "--once"])
         assert result.returncode == 1
         assert "vaultc top:" in result.stderr
+
+    def test_render_top_shows_queue_bound_drain_and_breaker(self):
+        from repro.server import render_top
+        reply = self._reply()
+        reply["queue_limit"] = 64
+        reply["draining"] = True
+        reply["shared_cache"] = {"<default>": {"tiers": [
+            {"tier": "memory"},
+            {"tier": "remote", "breaker_open": True,
+             "retry_in_seconds": 12.5,
+             "last_error": "connection refused"}]}}
+        screen = render_top(reply)
+        assert "queue 1/64" in screen
+        assert "DRAINING" in screen
+        assert "breaker OPEN, retry in 12.5s" in screen
+        assert "connection refused" in screen
+
+
+# ---------------------------------------------------------------------------
+# Admission control, deadlines, slow-loris reaping, drain
+# ---------------------------------------------------------------------------
+
+@needs_unix
+class TestAdmissionControl:
+    def test_burst_past_queue_bound_sheds_with_busy(self, tmp_path):
+        handle = _start_server(tmp_path, max_queue=2,
+                               enable_test_ops=True)
+        try:
+            raw = socket_mod.socket(socket_mod.AF_UNIX,
+                                    socket_mod.SOCK_STREAM)
+            raw.connect(handle.socket_path)
+            raw.settimeout(30)
+            # Occupy the loop first so the burst below is ingested in
+            # one readable event once the sleeper finishes...
+            raw.sendall(encode_frame({"op": "check", "source": OK_SOURCE,
+                                      "filename": "sleeper.vlt",
+                                      "test_sleep": 0.4, "id": 99}))
+            time.sleep(0.15)
+            # ... then 5 distinct checks, ids 0..4, in a single write:
+            # 2 queue, 3 must shed.
+            blob = b"".join(
+                encode_frame({"op": "check", "source": OK_SOURCE,
+                              "filename": f"burst{i}.vlt", "id": i})
+                for i in range(5))
+            raw.sendall(blob)
+            sleeper = recv_frame(raw)
+            assert sleeper["ok"] is True and sleeper["id"] == 99
+            replies = [recv_frame(raw) for _ in range(5)]
+            raw.close()
+            busy = [r for r in replies if r.get("kind") == "busy"]
+            ok = [r for r in replies if r.get("ok") is True]
+            assert len(busy) == 3 and len(ok) == 2
+            assert sorted(r["id"] for r in busy) == [2, 3, 4]
+            assert sorted(r["id"] for r in ok) == [0, 1]
+            for r in busy:
+                assert r["queue_depth"] == 2
+                assert 50 <= r["retry_after_ms"] <= 5000
+            snapshot = handle.server.telemetry.metrics.snapshot()
+            assert snapshot["server.shed"]["value"] == 3
+            events = handle.server.telemetry.events.by_kind("request_shed")
+            assert len(events) == 1          # edge-triggered, not per shed
+        finally:
+            handle.stop()
+
+    def test_expired_deadline_answered_not_checked(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            raw = socket_mod.socket(socket_mod.AF_UNIX,
+                                    socket_mod.SOCK_STREAM)
+            raw.connect(handle.socket_path)
+            raw.settimeout(30)
+            send_frame(raw, {"op": "check", "source": OK_SOURCE,
+                             "filename": "late.vlt", "deadline_ms": 0,
+                             "id": "req-1"})
+            reply = recv_frame(raw)
+            raw.close()
+            assert reply["ok"] is False
+            assert reply["kind"] == "deadline_exceeded"
+            assert reply["id"] == "req-1"
+            assert reply["waited_ms"] >= 0
+            snapshot = handle.server.telemetry.metrics.snapshot()
+            assert snapshot["server.deadline_exceeded"]["value"] == 1
+            assert snapshot["server.checks"]["value"] == 0
+        finally:
+            handle.stop()
+
+    def test_bad_deadline_type_is_bad_request(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.request(
+                    {"op": "check", "source": OK_SOURCE,
+                     "filename": "a.vlt", "deadline_ms": "soon"})
+            assert reply["kind"] == "bad_request"
+        finally:
+            handle.stop()
+
+    def test_generous_deadline_checks_normally(self, tmp_path):
+        handle = _start_server(tmp_path)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.check(OK_SOURCE, "ok.vlt",
+                                     deadline_ms=60_000, req_id=7)
+            assert reply["ok"] is True and reply["id"] == 7
+        finally:
+            handle.stop()
+
+    def test_slow_loris_is_reaped_healthy_client_unaffected(
+            self, tmp_path):
+        handle = _start_server(tmp_path, io_timeout=0.2)
+        try:
+            loris = socket_mod.socket(socket_mod.AF_UNIX,
+                                      socket_mod.SOCK_STREAM)
+            loris.connect(handle.socket_path)
+            loris.sendall(b"\x00\x00")       # half a header, then nothing
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                snapshot = handle.server.telemetry.metrics.snapshot()
+                if snapshot["server.conns_reaped"]["value"] >= 1:
+                    break
+                time.sleep(0.05)
+            assert snapshot["server.conns_reaped"]["value"] == 1
+            loris.settimeout(5)
+            assert loris.recv(1) == b""      # we were dropped
+            loris.close()
+            with DaemonClient(handle.socket_path) as client:
+                assert client.check(OK_SOURCE, "fine.vlt")["ok"] is True
+            events = handle.server.telemetry.events.by_kind("conn_reaped")
+            assert len(events) == 1
+            assert events[0].fields["pending_in"] == 2
+        finally:
+            handle.stop()
+
+    def test_health_op_reports_load_and_drain_state(self, tmp_path):
+        handle = _start_server(tmp_path, max_queue=7)
+        try:
+            with DaemonClient(handle.socket_path) as client:
+                reply = client.health()
+            assert reply["ok"] is True
+            assert reply["pid"] == os.getpid()
+            assert reply["queue_depth"] == 0
+            assert reply["queue_limit"] == 7
+            assert reply["draining"] is False
+            assert reply["uptime_seconds"] >= 0
+            snapshot = handle.server.telemetry.metrics.snapshot()
+            assert snapshot["server.health_requests"]["value"] == 1
+        finally:
+            handle.stop()
+
+    def test_drain_finishes_inflight_sheds_queued_then_exits(
+            self, tmp_path):
+        handle = _start_server(tmp_path, enable_test_ops=True)
+        try:
+            raw = socket_mod.socket(socket_mod.AF_UNIX,
+                                    socket_mod.SOCK_STREAM)
+            raw.connect(handle.socket_path)
+            raw.settimeout(30)
+            # Two distinct checks in one write: the first holds the
+            # loop for ~0.6s, the second waits in the queue.
+            raw.sendall(
+                encode_frame({"op": "check", "source": OK_SOURCE,
+                              "filename": "inflight.vlt",
+                              "test_sleep": 0.6, "id": 1})
+                + encode_frame({"op": "check", "source": OK_SOURCE,
+                                "filename": "queued.vlt", "id": 2}))
+            time.sleep(0.2)                  # first check is executing
+            handle.server.request_drain()
+            first = recv_frame(raw)
+            second = recv_frame(raw)
+            assert first["ok"] is True and first["id"] == 1
+            assert second["kind"] == "draining" and second["id"] == 2
+            raw.close()
+            handle.thread.join(15)
+            assert not handle.thread.is_alive()
+            assert not os.path.exists(handle.socket_path)
+            snapshot = handle.server.telemetry.metrics.snapshot()
+            assert snapshot["server.drained"]["value"] == 1
+            assert len(handle.server.telemetry.events.by_kind(
+                "server_drain")) == 1
+        finally:
+            handle.stop()
+
+    def test_shutdown_op_with_drain_flag(self, tmp_path):
+        handle = _start_server(tmp_path)
+        with DaemonClient(handle.socket_path) as client:
+            reply = client.shutdown(drain=True)
+            assert reply["stopping"] is True and reply["draining"] is True
+        handle.thread.join(15)
+        assert not handle.thread.is_alive()
+        assert not os.path.exists(handle.socket_path)
+        handle.server.close()
+
+    def test_check_during_drain_gets_draining_reply(self, tmp_path):
+        # Exercise the _on_frame drain branch directly: flag set, then
+        # a check arrives before the loop's drain pass completes.
+        handle = _start_server(tmp_path, enable_test_ops=True)
+        try:
+            raw = socket_mod.socket(socket_mod.AF_UNIX,
+                                    socket_mod.SOCK_STREAM)
+            raw.connect(handle.socket_path)
+            raw.settimeout(30)
+            raw.sendall(
+                encode_frame({"op": "check", "source": OK_SOURCE,
+                              "filename": "hold.vlt",
+                              "test_sleep": 0.5, "id": 1}))
+            time.sleep(0.15)
+            handle.server.request_drain()
+            # Lands while the sleeper executes; the drain endgame's
+            # final ingest pass must answer it with ``draining``.
+            raw.sendall(
+                encode_frame({"op": "check", "source": OK_SOURCE,
+                              "filename": "straggler.vlt", "id": 2}))
+            replies = [recv_frame(raw), recv_frame(raw)]
+            raw.close()
+            by_id = {r["id"]: r for r in replies}
+            assert by_id[1]["ok"] is True
+            assert by_id[2]["kind"] == "draining"
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# Client resilience: timeouts, retry, backoff
+# ---------------------------------------------------------------------------
+
+class _ScriptedDaemon:
+    """A minimal fake daemon: each incoming request consumes the next
+    script step.  Steps: a dict (reply it), ``"close"`` (EOF without
+    replying), ``"hang"`` (hold the connection open, never reply)."""
+
+    def __init__(self, path, script):
+        self.path = path
+        self.script = list(script)
+        self._listener = socket_mod.socket(socket_mod.AF_UNIX,
+                                           socket_mod.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(8)
+        self.requests = []
+        self._threads = []
+        self._stop = False
+        self._accept = threading.Thread(target=self._loop, daemon=True)
+        self._accept.start()
+
+    def _loop(self):
+        while not self._stop:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            t = threading.Thread(target=self._serve, args=(sock,),
+                                 daemon=True)
+            self._threads.append(t)
+            t.start()
+
+    def _serve(self, sock):
+        try:
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    return
+                self.requests.append(frame)
+                step = self.script.pop(0) if self.script else "close"
+                if step == "close":
+                    return
+                if step == "hang":
+                    sock.settimeout(10)
+                    try:
+                        sock.recv(1)         # block until client quits
+                    except OSError:
+                        pass
+                    return
+                send_frame(sock, step)
+        except (OSError, ProtocolError):
+            return
+        finally:
+            sock.close()
+
+    def close(self):
+        self._stop = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept.join(2)
+
+
+@needs_unix
+class TestClientResilience:
+    def test_backoff_delay_grows_exponentially(self):
+        from repro.server.client import BACKOFF_BASE_SECONDS, backoff_delay
+        delays = [backoff_delay(a, lambda: 1.0) for a in range(4)]
+        assert delays == [BACKOFF_BASE_SECONDS * 2 ** a for a in range(4)]
+        assert backoff_delay(3, lambda: 0.0) == 0.0   # full jitter floor
+
+    def test_busy_reply_retried_with_hint_then_succeeds(self, tmp_path):
+        report = check_source(OK_SOURCE, "b.vlt")
+        daemon = _ScriptedDaemon(str(tmp_path / "s.sock"), [
+            {"ok": False, "kind": "busy", "retry_after_ms": 100},
+            {"ok": True, "check_ok": report.ok, "render": report.render(),
+             "errors": len(report.errors)},
+        ])
+        sleeps = []
+        try:
+            outcome = check_via_daemon(
+                OK_SOURCE, "b.vlt", socket_path=daemon.path,
+                _sleep=sleeps.append, _rng=lambda: 1.0)
+        finally:
+            daemon.close()
+        assert outcome is not None and outcome.via_daemon is True
+        assert outcome.render == report.render()
+        assert sleeps == [0.1]               # honoured the hint, jittered
+        assert len(daemon.requests) == 2
+
+    def test_transport_failure_retried_then_succeeds(self, tmp_path):
+        report = check_source(OK_SOURCE, "t.vlt")
+        daemon = _ScriptedDaemon(str(tmp_path / "s.sock"), [
+            "close",                         # EOF without a reply
+            {"ok": True, "check_ok": report.ok, "render": report.render(),
+             "errors": len(report.errors)},
+        ])
+        sleeps = []
+        try:
+            outcome = check_via_daemon(
+                OK_SOURCE, "t.vlt", socket_path=daemon.path,
+                _sleep=sleeps.append, _rng=lambda: 1.0)
+        finally:
+            daemon.close()
+        assert outcome is not None and outcome.render == report.render()
+        assert len(sleeps) == 1 and sleeps[0] > 0
+
+    def test_hung_daemon_times_out_and_falls_back_bounded(self, tmp_path):
+        daemon = _ScriptedDaemon(str(tmp_path / "s.sock"),
+                                 ["hang", "hang", "hang"])
+        started = time.monotonic()
+        try:
+            outcome = check_via_daemon(
+                OK_SOURCE, "h.vlt", socket_path=daemon.path,
+                read_timeout=0.2, _sleep=lambda s: None)
+        finally:
+            daemon.close()
+        elapsed = time.monotonic() - started
+        assert outcome is None               # caller falls back in-process
+        assert elapsed < 5, "a hung daemon must not wedge the client"
+
+    def test_draining_reply_falls_back_without_retry(self, tmp_path):
+        daemon = _ScriptedDaemon(str(tmp_path / "s.sock"), [
+            {"ok": False, "kind": "draining", "error": "going away"},
+        ])
+        sleeps = []
+        try:
+            outcome = check_via_daemon(
+                OK_SOURCE, "d.vlt", socket_path=daemon.path,
+                _sleep=sleeps.append)
+        finally:
+            daemon.close()
+        assert outcome is None and sleeps == []
+        assert len(daemon.requests) == 1
+
+    def test_busy_budget_exhausted_falls_back(self, tmp_path):
+        busy = {"ok": False, "kind": "busy", "retry_after_ms": 1}
+        daemon = _ScriptedDaemon(str(tmp_path / "s.sock"),
+                                 [busy, busy, busy, busy])
+        try:
+            outcome = check_via_daemon(
+                OK_SOURCE, "x.vlt", socket_path=daemon.path,
+                retries=2, _sleep=lambda s: None)
+        finally:
+            daemon.close()
+        assert outcome is None
+        assert len(daemon.requests) == 3     # 1 try + 2 retries, bounded
+
+    def test_check_detailed_identical_after_fallback(self, tmp_path):
+        daemon = _ScriptedDaemon(str(tmp_path / "s.sock"),
+                                 ["close", "close", "close"])
+        try:
+            outcome = check_detailed(OK_SOURCE, "f.vlt",
+                                     socket_path=daemon.path)
+        finally:
+            daemon.close()
+        assert outcome.via_daemon is False
+        assert outcome.render == check_source(OK_SOURCE, "f.vlt").render()
+
+
+# ---------------------------------------------------------------------------
+# Supervision
+# ---------------------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class _FakeChild:
+    def __init__(self, rc, lived, clock):
+        self.rc = rc
+        self.lived = lived
+        self._clock = clock
+        self.signals = []
+
+    def wait(self):
+        self._clock.now += self.lived
+        return self.rc
+
+    def poll(self):
+        return self.rc
+
+    def send_signal(self, signum):
+        self.signals.append(signum)
+
+
+class TestSupervisorPolicy:
+    @staticmethod
+    def _supervisor(children, clock, **kwargs):
+        from repro.server import Supervisor
+        import io
+        queue = list(children)
+
+        def spawn(_args):
+            return queue.pop(0)
+
+        return Supervisor(["daemon"], spawn=spawn, sleep=clock.sleep,
+                          monotonic=clock.monotonic,
+                          stderr=io.StringIO(), **kwargs)
+
+    def test_backoff_doubles_per_quick_crash(self):
+        clock = _FakeClock()
+        children = [_FakeChild(1, 0.0, clock) for _ in range(3)] \
+            + [_FakeChild(0, 0.0, clock)]
+        sup = self._supervisor(children, clock)
+        assert sup._run_loop() == 0
+        assert clock.sleeps == [0.5, 1.0, 2.0]
+        assert sup.respawns == 3
+
+    def test_healthy_child_resets_backoff_streak(self):
+        clock = _FakeClock()
+        children = [_FakeChild(1, 0.0, clock),
+                    _FakeChild(1, 0.0, clock),
+                    _FakeChild(1, 60.0, clock),   # healthy, then crashes
+                    _FakeChild(0, 0.0, clock)]
+        sup = self._supervisor(children, clock)
+        assert sup._run_loop() == 0
+        # Third respawn delay is back at the base after the healthy run.
+        assert clock.sleeps == [0.5, 1.0, 0.5]
+
+    def test_rate_limit_gives_up(self):
+        clock = _FakeClock()
+        children = [_FakeChild(1, 0.0, clock) for _ in range(10)]
+        sup = self._supervisor(children, clock, max_respawns=3,
+                               respawn_window=1e9, backoff_base=0.0)
+        assert sup._run_loop() == 1
+        assert sup.respawns == 3             # then the window said no
+        events = sup.telemetry.events.by_kind("daemon_giveup")
+        assert len(events) == 1
+
+    def test_clean_exit_ends_supervision(self):
+        clock = _FakeClock()
+        sup = self._supervisor([_FakeChild(0, 1.0, clock)], clock)
+        assert sup._run_loop() == 0
+        assert clock.sleeps == [] and sup.respawns == 0
+
+    def test_respawn_event_payload(self):
+        clock = _FakeClock()
+        sup = self._supervisor([_FakeChild(9, 0.0, clock),
+                                _FakeChild(0, 0.0, clock)], clock)
+        sup._run_loop()
+        (event,) = sup.telemetry.events.by_kind("daemon_respawn")
+        assert event.fields["rc"] == 9
+        assert event.fields["respawn"] == 1
+        assert event.fields["delay_seconds"] == 0.5
+
+
+@needs_unix
+class TestSupervisedDaemon:
+    def test_supervised_daemon_survives_sigkill(self, tmp_path):
+        sock = str(tmp_path / "sup.sock")
+        proc = _spawn_daemon(sock, "--supervise")
+        try:
+            with DaemonClient(sock) as client:
+                first_pid = client.ping()["pid"]
+            assert first_pid != proc.pid     # the daemon is a child
+            os.kill(first_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            second_pid = None
+            while time.monotonic() < deadline:
+                try:
+                    with DaemonClient(sock) as client:
+                        second_pid = client.ping()["pid"]
+                    if second_pid != first_pid:
+                        break
+                except DaemonUnavailable:
+                    pass
+                time.sleep(0.1)
+            assert second_pid is not None and second_pid != first_pid, \
+                "daemon was not respawned after SIGKILL"
+            outcome = check_via_daemon(OK_SOURCE, "sup.vlt",
+                                       socket_path=sock)
+            assert outcome is not None and outcome.via_daemon is True
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+
+# ---------------------------------------------------------------------------
+# Wire-level chaos: the proxy, and retries never duplicating output
+# ---------------------------------------------------------------------------
+
+@needs_unix
+class TestChaosProxy:
+    @pytest.fixture()
+    def stack(self, tmp_path):
+        from repro.server import ChaosProxy
+        from repro.pipeline.faults import FaultPlan
+        handle = _start_server(tmp_path)
+        proxy = ChaosProxy(str(tmp_path / "chaos.sock"),
+                           handle.socket_path, FaultPlan()).start()
+        yield handle, proxy
+        proxy.close()
+        handle.stop()
+
+    def test_no_faults_relays_transparently(self, stack):
+        handle, proxy = stack
+        expected = check_source(OK_SOURCE, "c.vlt").render()
+        outcome = check_via_daemon(OK_SOURCE, "c.vlt",
+                                   socket_path=proxy.listen_path)
+        assert outcome is not None and outcome.via_daemon is True
+        assert outcome.render == expected
+        assert proxy.faults_acted == {}
+
+    @pytest.mark.parametrize("kind", ["torn", "garbage-frame",
+                                      "oversize", "disconnect"])
+    def test_faulted_first_attempt_retries_byte_identical(
+            self, stack, kind):
+        from repro.pipeline.faults import FaultPlan
+        handle, proxy = stack
+        proxy.plan = FaultPlan.parse(f"{kind}@0")
+        proxy.reset()
+        expected = check_source(OK_SOURCE, "c.vlt").render()
+        outcome = check_via_daemon(OK_SOURCE, "c.vlt",
+                                   socket_path=proxy.listen_path,
+                                   _sleep=lambda s: None)
+        assert outcome is not None, f"{kind}: retry should have succeeded"
+        assert outcome.via_daemon is True
+        assert outcome.render == expected
+        assert proxy.faults_acted[kind] == 1
+        assert proxy.requests_seen == 2      # the fault, then the retry
+
+    def test_stall_times_out_then_retry_succeeds(self, stack):
+        from repro.pipeline.faults import FaultPlan
+        handle, proxy = stack
+        proxy.plan = FaultPlan.parse("stall@0")
+        proxy.reset()
+        expected = check_source(OK_SOURCE, "c.vlt").render()
+        outcome = check_via_daemon(OK_SOURCE, "c.vlt",
+                                   socket_path=proxy.listen_path,
+                                   read_timeout=0.3,
+                                   _sleep=lambda s: None)
+        assert outcome is not None and outcome.render == expected
+        assert proxy.faults_acted["stall"] == 1
+
+
+@needs_unix
+class TestRetryNeverDuplicates:
+    """Property: whatever single wire fault hits the first attempt,
+    the client's bounded retry yields exactly the in-process
+    diagnostics — byte-identical, never duplicated or interleaved."""
+
+    SOURCES = [OK_SOURCE, BAD_SOURCE]
+
+    @pytest.fixture(scope="class")
+    def stack(self, tmp_path_factory):
+        from repro.server import ChaosProxy
+        from repro.pipeline.faults import FaultPlan
+        tmp_path = tmp_path_factory.mktemp("chaosprop")
+        handle = _start_server(tmp_path)
+        proxy = ChaosProxy(str(tmp_path / "chaos.sock"),
+                           handle.socket_path, FaultPlan()).start()
+        expected = {i: check_source(src, f"prop{i}.vlt").render()
+                    for i, src in enumerate(self.SOURCES)}
+        yield proxy, expected
+        proxy.close()
+        handle.stop()
+
+    def test_retries_never_duplicate_diagnostics(self, stack):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+        from repro.pipeline.faults import FaultPlan
+        proxy, expected = stack
+
+        @settings(max_examples=12, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        @given(source_idx=st.integers(0, len(self.SOURCES) - 1),
+               kind=st.sampled_from(["torn", "garbage-frame", "oversize",
+                                     "disconnect", None]))
+        def prop(source_idx, kind):
+            proxy.plan = FaultPlan.parse(f"{kind}@0") if kind \
+                else FaultPlan()
+            proxy.reset()
+            outcome = check_via_daemon(
+                self.SOURCES[source_idx], f"prop{source_idx}.vlt",
+                socket_path=proxy.listen_path, _sleep=lambda s: None)
+            assert outcome is not None
+            assert outcome.render == expected[source_idx]
+
+        prop()
+
+
+# ---------------------------------------------------------------------------
+# Injected ENOSPC in the shared CAS
+# ---------------------------------------------------------------------------
+
+class TestEnospcInjection:
+    def test_cas_degrades_to_miss_under_enospc(self, tmp_path):
+        from repro.cache import CASTier, encode_blob
+        from repro.pipeline.faults import FaultPlan
+        plan = FaultPlan.parse("enospc@1")
+        tier = CASTier(str(tmp_path / "cas"), fsync=False,
+                       fault_plan=plan)
+        key1 = "1" * 64 + "-s"
+        key2 = "2" * 64 + "-s"
+        tier.put_many({key1: encode_blob("one")})
+        assert tier.get_many([key1]) == {}   # the write failed as ENOSPC
+        assert tier.io_errors == 1
+        tier.put_many({key2: encode_blob("two")})   # budget consumed
+        assert key2 in tier.get_many([key2])
+        assert tier.io_errors == 1
+
+    def test_store_counts_enospc_as_tier_error_not_corruption(
+            self, tmp_path):
+        from repro.cache import CASTier, SharedStore, encode_blob
+        from repro.pipeline.faults import FaultPlan
+        plan = FaultPlan.parse("enospc@1")
+        store = SharedStore([CASTier(str(tmp_path / "cas"), fsync=False,
+                                     fault_plan=plan)])
+        key = "a" * 64 + "-s"
+        blob = encode_blob({"v": 1})
+        store.put_blobs({key: blob})
+        assert store.get_blobs([key]) == {}  # degraded to a miss
+        store.put_blobs({key: blob})
+        assert store.get_blobs([key]) == {key: blob}
+        rows = store.stats_snapshot()["tiers"]
+        assert rows[0]["io_errors"] == 1
