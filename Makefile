@@ -6,7 +6,7 @@ export PYTHONPATH := src
 COVERAGE_MIN ?= 85
 
 .PHONY: test bench bench-smoke trace-smoke chaos-smoke server-smoke \
-	cache-smoke obs-smoke daemon-chaos-smoke coverage
+	cache-smoke obs-smoke daemon-chaos-smoke fuzz-smoke coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -63,6 +63,14 @@ server-smoke:
 # the "daemon_resilience" block of BENCH_checker.json.
 daemon-chaos-smoke:
 	$(PYTHON) benchmarks/daemon_chaos_smoke.py
+
+# Differential-fuzzing smoke: 200 seeded adversarial protocol
+# programs (random keyed state machines + violating clients) must
+# check byte-identically through serial, the forked worker pool, a
+# warm cached session and a live check daemon — zero divergences.
+# Writes the "fuzz" block of BENCH_checker.json.
+fuzz-smoke:
+	$(PYTHON) benchmarks/fuzz_smoke.py
 
 # Branch coverage of the server package, ratcheted via COVERAGE_MIN.
 # Skips (loudly) where coverage.py is not installed; CI installs it

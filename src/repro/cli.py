@@ -8,6 +8,7 @@ Subcommands::
     vaultc erase   file.vlt                  # print the key-erased source
     vaultc stats   file.vlt                  # size/annotation metrics
     vaultc mutate  file.vlt [--limit N]      # seeded-fault study
+    vaultc fuzz    [--count N --seed S]      # differential path fuzzing
     vaultc serve   [--socket PATH]           # persistent check daemon
     vaultc top     [SOCKET] [--once --json]  # live daemon dashboard
     vaultc watch   DIR                       # re-check changed .vlt files
@@ -361,6 +362,60 @@ def cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import derive_seed, generate_program, run_fuzz
+
+    if args.emit is not None:
+        sys.stdout.write(generate_program(args.emit).source)
+        return 0
+
+    def progress(index: int, program_seed: int, verdict: str) -> None:
+        if verdict == "DIVERGED":
+            print(f"[{index + 1}/{args.count}] seed {program_seed}: "
+                  f"DIVERGED", flush=True)
+        elif not args.quiet and (index + 1) % 25 == 0:
+            print(f"[{index + 1}/{args.count}] ...", flush=True)
+
+    report = run_fuzz(args.count, seed=args.seed, jobs=args.jobs,
+                      use_daemon=not args.no_daemon,
+                      use_parallel=not args.no_parallel,
+                      on_program=progress)
+
+    print(f"fuzz: seed {report.seed}, {report.count} programs via "
+          f"{'/'.join(report.paths)}"
+          + (f" (skipped: {'/'.join(report.skipped_paths)})"
+             if report.skipped_paths else ""))
+    print(f"  {report.programs_ok} checked clean, "
+          f"{report.programs_rejected} rejected")
+    if report.diagnostics:
+        tally = ", ".join(f"{code}x{n}" for code, n
+                          in sorted(report.diagnostics.items()))
+        print(f"  diagnostics: {tally}")
+
+    if args.out:
+        import json
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    if report.divergences:
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for record in report.divergences:
+            path = os.path.join(args.repro_dir,
+                                f"repro-{record.program_seed}.vlt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(record.shrunk)
+            print(f"  DIVERGENCE seed {record.program_seed} "
+                  f"(paths {', '.join(record.paths)}): shrunk "
+                  f"reproducer written to {path}")
+            print(f"    replay: vaultc fuzz --emit {record.program_seed}")
+        print(f"fuzz: {len(report.divergences)} divergence(s) — the "
+              f"checking paths are NOT byte-identical")
+        return 1
+    print("fuzz: all paths byte-identical on every program")
+    return 0
+
+
 def _serve_child_args(args: argparse.Namespace) -> list:
     """Rebuild the ``serve`` argv for a supervised child — this very
     invocation minus ``--supervise``."""
@@ -583,6 +638,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--limit", type=int, default=None)
     p.set_defaults(fn=cmd_mutate)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated protocol programs must "
+             "check byte-identically through every execution path "
+             "(see docs/PROTOCOLS.md)")
+    p.add_argument("--count", "-n", type=int, default=50, metavar="N",
+                   help="number of programs to generate (default 50)")
+    p.add_argument("--seed", type=int, default=0, metavar="S",
+                   help="master seed; the same seed and count replay "
+                        "exactly the same programs (default 0)")
+    p.add_argument("--jobs", "-j", type=int, default=2, metavar="N",
+                   help="worker count for the parallel path (default 2)")
+    p.add_argument("--no-daemon", action="store_true",
+                   help="skip the check-daemon path")
+    p.add_argument("--no-parallel", action="store_true",
+                   help="skip the forked worker-pool path")
+    p.add_argument("--out", default=None, metavar="REPORT.json",
+                   help="write the full machine-readable report here")
+    p.add_argument("--repro-dir", default=".", metavar="DIR",
+                   help="where shrunk reproducers are written on "
+                        "divergence (default: current directory)")
+    p.add_argument("--emit", type=int, default=None, metavar="SEED",
+                   help="print the program for one *program* seed "
+                        "(as reported in a divergence) and exit")
+    p.add_argument("--quiet", "-q", action="store_true",
+                   help="no periodic progress lines")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "serve",

@@ -209,6 +209,7 @@ class Interpreter:
         if not isinstance(value, VVariant):
             raise InterpError(f"switch on non-variant value {value!r}",
                               stmt.span)
+        self._on_switch_value(value)
         default_case: Optional[ast.Case] = None
         for case in stmt.cases:
             if case.pattern.ctor is None:
@@ -227,6 +228,11 @@ class Interpreter:
             return
         raise InterpError(
             f"switch did not match constructor '{value.ctor}'", stmt.span)
+
+    def _on_switch_value(self, value: "VVariant") -> None:
+        """Hook invoked with every switch scrutinee before matching.
+        The dynamic key monitor overrides this to restore keys a
+        key-capturing variant carried out of the call that built it."""
 
     def _free(self, value: Any, span: Span) -> None:
         if isinstance(value, VStruct):

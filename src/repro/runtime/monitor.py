@@ -82,6 +82,11 @@ class KeyMonitor:
         #: stack of Vault function names currently executing (the
         #: monitored interpreter pushes/pops around defined calls).
         self._fn_stack: List[str] = []
+        #: keys consumed by a call but carried inside its keyed-variant
+        #: result (``'Next {I@avail}``): id(variant value) -> (value,
+        #: [RuntimeKey, ...]).  The value itself is kept as a strong
+        #: reference so the id cannot be recycled before the switch.
+        self._captured: Dict[int, Tuple[Any, List[RuntimeKey]]] = {}
 
     # -- execution context --------------------------------------------------
 
@@ -170,6 +175,37 @@ class KeyMonitor:
                          f"{what} re-produced {key!r}",
                          key_id=key.id, label=key.label,
                          from_state=previous, to_state=state, by=what,
+                         origin=key.origin)
+
+    def capture(self, value: Any, key: RuntimeKey) -> None:
+        """Record that ``key`` (already consumed from the held table)
+        travels inside the keyed-variant ``value``; matching the value
+        in a ``switch`` restores it (:meth:`take_captured`)."""
+        self._captured.setdefault(id(value), (value, []))[1].append(key)
+
+    def take_captured(self, value: Any) -> List[RuntimeKey]:
+        """Pop (and return) the keys captured inside ``value``."""
+        entry = self._captured.pop(id(value), None)
+        return entry[1] if entry is not None else []
+
+    def restore(self, key: RuntimeKey, state: Optional[str],
+                what: str) -> None:
+        """Re-admit a captured key to the held table — the dynamic
+        analogue of the checker's switch rule (§3.3): matching a
+        key-capturing constructor restores the key at the state the
+        constructor declares (``None`` keeps its prior state, the
+        any-state capture ``{K}``)."""
+        if key.id in self.held:
+            self._fail(Code.RT_PROTOCOL,
+                       f"{what}: key {key!r} restored while already held")
+        previous = key.state
+        if state is not None:
+            key.state = state
+        self.held[key.id] = key
+        self.events.emit("key_transition",
+                         f"{what} restored {key!r}",
+                         key_id=key.id, label=key.label,
+                         from_state=previous, to_state=key.state, by=what,
                          origin=key.origin)
 
     def set_state(self, key: RuntimeKey, state: str) -> None:
@@ -263,11 +299,27 @@ class MonitoredInterpreter(Interpreter):
                                            sig.qualified_name)
         # Execute.
         result = self._dispatch_call(expr, args, env)
+        if self._is_defined(expr.fn):
+            # A Vault-defined callee's *body* just ran under the
+            # monitor, performing every consume/produce/transition its
+            # effect clause declares; applying the clause again here
+            # would double-account (a body's ``fclose`` would read as
+            # consuming the key twice).  The clause is still enforced:
+            # preconditions above, and the static checker guarantees
+            # the body realises the declared postcondition.
+            return result
         # Postconditions / transitions.
+        from .values import VVariant
         for item, resource in keys:
             key = self.monitor.key_of(resource)
             if item.mode == "consume" and key is not None:
                 self.monitor.consume(key, sig.qualified_name)
+                # A consumed key may travel on inside a keyed-variant
+                # result (``tracked status<S> bind_checked(...)
+                # [-S@raw]``): matching the result restores it.
+                if isinstance(result, VVariant) and \
+                        self._variant_captures(result.ctor):
+                    self.monitor.capture(result, key)
             elif item.mode == "produce":
                 self.monitor.produce(resource, sig.name,
                                      _static_state(item.post),
@@ -277,6 +329,40 @@ class MonitoredInterpreter(Interpreter):
                 self.monitor.set_state(key, _static_state(item.post))
         self._maybe_mint_tracked(sig, result)
         return result
+
+    def _is_defined(self, fn) -> bool:
+        """Is the callee a Vault-defined function (its body runs under
+        this monitor), as opposed to a host/extern primitive?"""
+        from ..syntax import ast
+        if isinstance(fn, ast.Name):
+            return fn.ident in self.ctx.fun_defs
+        if isinstance(fn, ast.FieldAccess) and isinstance(fn.obj, ast.Name):
+            return f"{fn.obj.ident}.{fn.field}" in self.ctx.fun_defs
+        return False
+
+    def _variant_captures(self, ctor_name: str) -> bool:
+        vname = self.ctx.ctor_index.get(ctor_name)
+        vinfo = self.ctx.variants.get(vname) if vname else None
+        return vinfo is not None and \
+            any(c.key_attach for c in vinfo.ctors)
+
+    def _on_switch_value(self, value) -> None:
+        """Matching a key-capturing constructor restores the captured
+        keys at the states the constructor declares (§3.3)."""
+        pending = self.monitor.take_captured(value)
+        if not pending:
+            return
+        vname = self.ctx.ctor_index.get(value.ctor)
+        vinfo = self.ctx.variants.get(vname) if vname else None
+        cinfo = vinfo.ctor(value.ctor) if vinfo is not None else None
+        if cinfo is None or not cinfo.key_attach:
+            # The matched constructor does not carry the key on: it
+            # stays consumed on this path (mirrors the checker).
+            return
+        for key, (_kname, req) in zip(pending, cinfo.key_attach):
+            state = req.state if isinstance(req, ExactState) and \
+                isinstance(req.state, str) else None
+            self.monitor.restore(key, state, f"switch '{value.ctor}")
 
     def _dispatch_call(self, expr, args, env):
         from ..syntax import ast

@@ -48,6 +48,46 @@ class SimFile:
                 f"{what} on closed file '{self.name}'")
 
 
+class SimVector:
+    """Backing store for the iterator scenario (Mota et al.)."""
+
+    def __init__(self):
+        self.items: List[int] = []
+
+
+class SimIterator:
+    """A live cursor over a :class:`SimVector`."""
+
+    def __init__(self, ident: int, vector: SimVector):
+        self.id = ident
+        self.vector = vector
+        self.pos = 0
+        self.open = True
+
+
+class SimChannel:
+    """One endpoint of the session-typed negotiation channel.
+
+    The "peer" is simulated: an offer is accepted when the requested
+    amount is even (deterministic, so checked programs replay)."""
+
+    def __init__(self, ident: int, endpoint: str):
+        self.id = ident
+        self.endpoint = endpoint
+        self.pending = 0
+        self.settled_total = 0
+        self.open = True
+
+
+class SimStack:
+    """The state-dependent stack collection."""
+
+    def __init__(self, ident: int):
+        self.id = ident
+        self.items: List[int] = []
+        self.open = True
+
+
 def _handle(kind: str):
     """Build an argument validator/extractor for VHandle arguments."""
     def extract(value: Any, what: str):
@@ -81,6 +121,9 @@ class Host:
         self.store = TxStore()
         self.gdi = GdiSystem()
         self.files: List[SimFile] = []
+        self.iterators: List[SimIterator] = []
+        self.channels: List[SimChannel] = []
+        self.stacks: List[SimStack] = []
         self.env = HostEnv()
         self._register_regions()
         self._register_files()
@@ -88,6 +131,7 @@ class Host:
         self._register_kernel()
         self._register_transactions()
         self._register_gdi()
+        self._register_scenarios()
 
     # -- audits across every substrate -----------------------------------------
 
@@ -99,6 +143,9 @@ class Host:
         report.extend(f"transaction {tid}" for tid in self.store.audit())
         report.extend(f"gdi {name}" for name in self.gdi.audit())
         report.extend(self.kernel.audit())
+        report.extend(f"iterator {i.id}" for i in self.iterators if i.open)
+        report.extend(f"channel {c.id}" for c in self.channels if c.open)
+        report.extend(f"stack {s.id}" for s in self.stacks if s.open)
         return report
 
     def assert_no_leaks(self) -> None:
@@ -309,6 +356,148 @@ class Host:
             "Gdi.select_pen": select_pen, "Gdi.deselect_pen": deselect_pen,
             "Gdi.draw_line": draw_line, "Gdi.release_dc": release_dc,
             "Gdi.delete_pen": delete_pen,
+        })
+
+    # -- protocol scenario suite (docs/PROTOCOLS.md) -------------------------------
+
+    def _register_scenarios(self) -> None:
+        from ..runtime.values import VVariant
+        _iter = _handle("iter")
+        _vec = _handle("vec")
+        _chan = _handle("chan")
+        _stack = _handle("stack")
+        ids = itertools.count(1)
+
+        # iterator.vlt — Iter ------------------------------------------------
+        def vec_new(interp):
+            return VHandle("vec", SimVector())
+
+        def vec_push(interp, v, value):
+            _vec(v, "Iter.vec_push").items.append(int(value))
+            return VOID_VALUE
+
+        def vec_len(interp, v):
+            return len(_vec(v, "Iter.vec_len").items)
+
+        def start(interp, v):
+            cursor = SimIterator(next(ids), _vec(v, "Iter.start"))
+            self.iterators.append(cursor)
+            return VHandle("iter", cursor)
+
+        def has_next(interp, it):
+            cursor = _iter(it, "Iter.has_next")
+            if not cursor.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING, "Iter.has_next on stopped iterator")
+            if cursor.pos < len(cursor.vector.items):
+                return VVariant("Next", [])
+            return VVariant("End", [])
+
+        def nxt(interp, it):
+            cursor = _iter(it, "Iter.next")
+            if not cursor.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING, "Iter.next on stopped iterator")
+            if cursor.pos >= len(cursor.vector.items):
+                raise RuntimeProtocolError(
+                    Code.RT_PROTOCOL, "Iter.next past the end")
+            value = cursor.vector.items[cursor.pos]
+            cursor.pos += 1
+            return value
+
+        def stop(interp, it):
+            cursor = _iter(it, "Iter.stop")
+            if not cursor.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DOUBLE_FREE, "Iter.stop on stopped iterator")
+            cursor.open = False
+            return VOID_VALUE
+
+        self.env.register_all({
+            "Iter.vec_new": vec_new, "Iter.vec_push": vec_push,
+            "Iter.vec_len": vec_len, "Iter.start": start,
+            "Iter.has_next": has_next, "Iter.next": nxt,
+            "Iter.stop": stop,
+        })
+
+        # channel.vlt — Chan -------------------------------------------------
+        def dial(interp, endpoint):
+            chan = SimChannel(next(ids), str(endpoint))
+            self.channels.append(chan)
+            return VHandle("chan", chan)
+
+        def request(interp, c, amount):
+            chan = _chan(c, "Chan.request")
+            chan.pending = int(amount)
+            return VOID_VALUE
+
+        def propose(interp, c):
+            chan = _chan(c, "Chan.propose")
+            if not chan.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING, "Chan.propose on closed channel")
+            if chan.pending % 2 == 0:       # deterministic peer
+                return VVariant("Deal", [chan.pending])
+            return VVariant("NoDeal", [])
+
+        def settle(interp, c):
+            chan = _chan(c, "Chan.settle")
+            chan.settled_total += chan.pending
+            chan.pending = 0
+            return VOID_VALUE
+
+        def hangup(interp, c):
+            chan = _chan(c, "Chan.hangup")
+            if not chan.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DOUBLE_FREE, "Chan.hangup on closed channel")
+            chan.open = False
+            return VOID_VALUE
+
+        self.env.register_all({
+            "Chan.dial": dial, "Chan.request": request,
+            "Chan.propose": propose, "Chan.settle": settle,
+            "Chan.hangup": hangup,
+        })
+
+        # stack.vlt — Stack --------------------------------------------------
+        def stack_new(interp):
+            stk = SimStack(next(ids))
+            self.stacks.append(stk)
+            return VHandle("stack", stk)
+
+        def push(interp, s, value):
+            stk = _stack(s, "Stack.push")
+            if not stk.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DANGLING, "Stack.push on destroyed stack")
+            stk.items.append(int(value))
+            return VOID_VALUE
+
+        def pop(interp, s):
+            stk = _stack(s, "Stack.pop")
+            if not stk.items:
+                raise RuntimeProtocolError(
+                    Code.RT_PROTOCOL, "Stack.pop on empty stack")
+            value = stk.items.pop()
+            if stk.items:
+                return VVariant("More", [value])
+            return VVariant("Last", [value])
+
+        def destroy(interp, s):
+            stk = _stack(s, "Stack.destroy")
+            if not stk.open:
+                raise RuntimeProtocolError(
+                    Code.RT_DOUBLE_FREE, "Stack.destroy twice")
+            if stk.items:
+                raise RuntimeProtocolError(
+                    Code.RT_PROTOCOL, "Stack.destroy on non-empty stack")
+            stk.open = False
+            return VOID_VALUE
+
+        self.env.register_all({
+            "Stack.stack_new": stack_new, "Stack.push_first": push,
+            "Stack.push": push, "Stack.pop": pop, "Stack.destroy": destroy,
         })
 
     # -- kernel (§4) -------------------------------------------------------------------------

@@ -19,7 +19,7 @@ _VAULT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "vault")
 
 #: Load order matters only for readability; names are global either way.
 STDLIB_UNITS = ("region", "file", "socket", "ntkernel", "transactions",
-                "gdi")
+                "gdi", "iterator", "channel", "stack")
 
 
 def stdlib_path(unit: str) -> str:

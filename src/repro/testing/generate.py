@@ -1,0 +1,465 @@
+"""Seeded generator of adversarial Vault protocol programs.
+
+Each generated unit is self-contained: it declares its own protocol
+interfaces (random keyed state machines in the style of the stdlib
+vault units), backs them with ``extern module`` declarations, and then
+emits client functions drawn from a fixed catalogue of *intents* —
+clients that follow the protocol, and clients that violate it in each
+of the ways the paper's checker is supposed to catch:
+
+========================  =======================================
+intent                    expected diagnostic family
+========================  =======================================
+``ok``                    none — checks clean
+``wrong_state``           V0301 KEY_WRONG_STATE
+``leak``                  V0302 KEY_LEAKED
+``double_drop``           V0303 KEY_CONSUMED_MISSING
+``use_after_drop``        V0300/V0303 (key gone at access)
+``switch_ok``             none — keyed-variant capture/restore
+``switch_bad``            V0301 inside one switch arm
+``interleave``            none — two protocols, two live keys
+========================  =======================================
+
+On top of the intent catalogue the generator applies structural
+stressors: gratuitous nested ``if`` pyramids around the data flow,
+wide units padded with filler functions, and *near-miss* twin
+interfaces whose operations share names with the real ones but demand
+shifted states.
+
+Everything is a pure function of ``random.Random(seed)``: the same
+``(seed, config)`` pair reproduces the same program text byte for
+byte (``tests/test_properties.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["GenConfig", "ProtocolSpec", "GeneratedProgram",
+           "generate_program", "random_config", "INTENTS"]
+
+#: every client intent the generator knows how to emit.
+INTENTS = ("ok", "wrong_state", "leak", "double_drop", "use_after_drop",
+           "switch_ok", "switch_bad", "interleave")
+
+#: intents that deliberately break the protocol.
+VIOLATION_INTENTS = ("wrong_state", "leak", "double_drop",
+                     "use_after_drop", "switch_bad")
+
+_MODULE_POOL = ("Disk", "Lockbox", "Port", "Pool", "Tape", "Pipeline",
+                "Camera", "Busline", "Radio", "Vaultd")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs for one generated program.  Frozen so it can be replayed."""
+
+    n_protocols: int = 2          # independent keyed state machines
+    max_states: int = 5           # states per machine (min 3)
+    extra_transitions: int = 2    # random edges beyond the backbone
+    n_clients: int = 6            # client functions drawn from INTENTS
+    p_variant: float = 0.7        # chance a protocol gets a keyed probe
+    p_violation: float = 0.5      # chance a client is adversarial
+    nesting_depth: int = 2        # if-pyramid depth around data flow
+    wide_fillers: int = 2         # trivial padding functions
+    near_miss: bool = True        # emit twin interfaces w/ shifted states
+
+
+def random_config(rng: random.Random) -> GenConfig:
+    """Draw a configuration; used by the fuzz loop to vary shape."""
+    return GenConfig(
+        n_protocols=rng.randint(1, 3),
+        max_states=rng.randint(3, 6),
+        extra_transitions=rng.randint(0, 3),
+        n_clients=rng.randint(3, 8),
+        p_variant=rng.choice((0.0, 0.5, 1.0)),
+        p_violation=rng.choice((0.0, 0.4, 0.7)),
+        nesting_depth=rng.randint(0, 3),
+        wide_fillers=rng.randint(0, 4),
+        near_miss=rng.random() < 0.5,
+    )
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One random keyed state machine and its interface surface."""
+
+    index: int
+    module: str                   # "Disk0"
+    sig: str                      # "DISK0_SIG"
+    res: str                      # "disk0_res"
+    states: Tuple[str, ...]       # ("q0", "q1", ...)
+    transitions: Tuple[Tuple[int, int], ...]   # op go_{a}_{b}
+    observers: Tuple[int, ...]    # states with peek_{a}
+    drop_state: int               # drop() consumes at this state
+    variant: Optional[str] = None           # variant type name
+    variant_ctors: Tuple[Tuple[str, int, bool], ...] = ()
+    # ... (ctor name, restored-state index, has int payload)
+    probe_state: int = 0          # ask() consumes at this state
+
+    def op(self, a: int, b: int) -> str:
+        return f"go_{a}_{b}"
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A generated unit plus the metadata needed to reason about it."""
+
+    seed: int
+    config: GenConfig
+    source: str
+    protocols: Tuple[ProtocolSpec, ...]
+    intents: Tuple[str, ...]      # intent of each client, in order
+
+    @property
+    def adversarial(self) -> bool:
+        return any(i in VIOLATION_INTENTS for i in self.intents)
+
+
+# ---------------------------------------------------------------------------
+# Protocol construction
+# ---------------------------------------------------------------------------
+
+def _build_protocol(rng: random.Random, idx: int, cfg: GenConfig) -> ProtocolSpec:
+    n = rng.randint(3, max(3, cfg.max_states))
+    states = tuple(f"q{i}" for i in range(n))
+    # Backbone chain q0 -> q1 -> ... -> q{n-1} guarantees every state
+    # can reach every later one; extra edges add cycles and shortcuts.
+    edges = [(i, i + 1) for i in range(n - 1)]
+    for _ in range(cfg.extra_transitions):
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a != b and (a, b) not in edges:
+            edges.append((a, b))
+    observers = tuple(sorted(rng.sample(range(n), k=rng.randint(1, n - 1))))
+    drop_state = n - 1
+
+    module = f"{rng.choice(_MODULE_POOL)}{idx}"
+    spec = ProtocolSpec(
+        index=idx,
+        module=module,
+        sig=f"{module.upper()}_SIG",
+        res=f"{module.lower()}_res",
+        states=states,
+        transitions=tuple(edges),
+        observers=observers,
+        drop_state=drop_state,
+    )
+    if rng.random() < cfg.p_variant and n >= 3:
+        probe_state = rng.randrange(1, n - 1)
+        # Restored states may be anywhere: the backbone still reaches
+        # drop_state from either arm.
+        ctors = (
+            (f"{module}Go", rng.randrange(n - 1), False),
+            (f"{module}Halt", rng.randrange(n - 1), True),
+        )
+        spec = replace(spec, variant=f"{module.lower()}_ev",
+                       variant_ctors=ctors, probe_state=probe_state)
+    return spec
+
+
+def _shortest_path(spec: ProtocolSpec, frm: int, to: int) -> List[Tuple[int, int]]:
+    """BFS over the transition edges; the backbone guarantees a path
+    whenever ``frm <= to``."""
+    if frm == to:
+        return []
+    adj: Dict[int, List[int]] = {}
+    for a, b in spec.transitions:
+        adj.setdefault(a, []).append(b)
+    prev: Dict[int, int] = {frm: frm}
+    queue = deque([frm])
+    while queue:
+        cur = queue.popleft()
+        if cur == to:
+            break
+        for nxt in adj.get(cur, ()):
+            if nxt not in prev:
+                prev[nxt] = cur
+                queue.append(nxt)
+    if to not in prev:
+        raise AssertionError(
+            f"generator invariant broken: no path {frm}->{to} in "
+            f"{spec.module}")
+    hops: List[Tuple[int, int]] = []
+    cur = to
+    while cur != frm:
+        hops.append((prev[cur], cur))
+        cur = prev[cur]
+    hops.reverse()
+    return hops
+
+
+# ---------------------------------------------------------------------------
+# Declaration rendering
+# ---------------------------------------------------------------------------
+
+def _render_interface(spec: ProtocolSpec, lines: List[str]) -> None:
+    if spec.variant is not None:
+        arms = []
+        for name, restored, payload in spec.variant_ctors:
+            pay = "(int)" if payload else ""
+            arms.append(f"'{name}{pay} {{K@{spec.states[restored]}}}")
+        lines.append(f"variant {spec.variant}<key K> [ {' | '.join(arms)} ];")
+    lines.append(f"interface {spec.sig} {{")
+    lines.append(f"    type {spec.res};")
+    lines.append(f"    tracked(@{spec.states[0]}) {spec.res} acquire(int tag);")
+    for a, b in spec.transitions:
+        lines.append(f"    void {spec.op(a, b)}(tracked(K) {spec.res} r) "
+                     f"[K@{spec.states[a]}->{spec.states[b]}];")
+    for a in spec.observers:
+        lines.append(f"    int peek_{a}(tracked(K) {spec.res} r) "
+                     f"[K@{spec.states[a]}];")
+    if spec.variant is not None:
+        lines.append(f"    tracked {spec.variant}<K> ask(tracked(K) "
+                     f"{spec.res} r) [-K@{spec.states[spec.probe_state]}];")
+    lines.append(f"    void drop(tracked(K) {spec.res} r) "
+                 f"[-K@{spec.states[spec.drop_state]}];")
+    lines.append("}")
+    lines.append(f"extern module {spec.module} : {spec.sig};")
+    lines.append("")
+
+
+def _render_near_miss(spec: ProtocolSpec, lines: List[str]) -> None:
+    """A twin interface: same operation names, shifted states.  Never
+    called by generated clients — it exists to stress name resolution
+    with near-identical signatures in scope."""
+    n = len(spec.states)
+    lines.append(f"interface {spec.sig}X {{")
+    lines.append(f"    type {spec.res}x;")
+    lines.append(f"    tracked(@{spec.states[n - 1]}) {spec.res}x "
+                 f"acquire(int tag);")
+    for a, b in spec.transitions:
+        ra, rb = n - 1 - a, n - 1 - b
+        lines.append(f"    void {spec.op(a, b)}(tracked(K) {spec.res}x r) "
+                     f"[K@{spec.states[ra]}->{spec.states[rb]}];")
+    lines.append(f"    void drop(tracked(K) {spec.res}x r) "
+                 f"[-K@{spec.states[0]}];")
+    lines.append("}")
+    lines.append(f"extern module {spec.module}X : {spec.sig}X;")
+    lines.append("")
+
+
+# ---------------------------------------------------------------------------
+# Client bodies
+# ---------------------------------------------------------------------------
+
+class _Body:
+    """Statement accumulator with an indentation cursor."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 1
+
+    def emit(self, stmt: str) -> None:
+        self.lines.append("    " * self.depth + stmt)
+
+    def open(self, head: str) -> None:
+        self.emit(head + " {")
+        self.depth += 1
+
+    def close(self, tail: str = "}") -> None:
+        self.depth -= 1
+        self.emit(tail)
+
+
+def _emit_noise(body: _Body, rng: random.Random, cfg: GenConfig,
+                var: str) -> None:
+    """A balanced if-pyramid mutating only data: stresses parsing and
+    the checker's join logic without touching any key."""
+    depth = rng.randint(0, cfg.nesting_depth)
+    for level in range(depth):
+        body.open(f"if ({var} > {rng.randint(0, 9)})")
+    if depth:
+        body.emit(f"{var} = {var} + {rng.randint(1, 5)};")
+    for level in range(depth):
+        body.close()
+        body.open("else")
+        body.emit(f"{var} = {var} - {rng.randint(1, 5)};")
+        body.close()
+
+
+def _emit_walk(body: _Body, rng: random.Random, cfg: GenConfig,
+               spec: ProtocolSpec, handle: str, acc: str,
+               frm: int, to: int) -> None:
+    """Advance ``handle`` from state ``frm`` to ``to`` along real
+    transitions, peeking through observers on the way."""
+    for a, b in _shortest_path(spec, frm, to):
+        if a in spec.observers and rng.random() < 0.5:
+            body.emit(f"{acc} = {acc} + {spec.module}.peek_{a}({handle});")
+        body.emit(f"{spec.module}.{spec.op(a, b)}({handle});")
+        if rng.random() < 0.3:
+            _emit_noise(body, rng, cfg, acc)
+
+
+def _acquire(body: _Body, spec: ProtocolSpec, handle: str, key: str,
+             tag: str) -> None:
+    body.emit(f"tracked({key}) {spec.res} {handle} = "
+              f"{spec.module}.acquire({tag});")
+
+
+def _gen_client(rng: random.Random, cfg: GenConfig, name: str,
+                intent: str, specs: Sequence[ProtocolSpec]) -> List[str]:
+    spec = rng.choice(list(specs))
+    body = _Body()
+    body.emit("int acc = x;")
+    _emit_noise(body, rng, cfg, "acc")
+
+    if intent == "interleave" and len(specs) >= 2:
+        other = rng.choice([s for s in specs if s is not spec])
+        _acquire(body, spec, "ha", "KA", "x")
+        _acquire(body, other, "hb", "KB", "x + 1")
+        walk_a = _shortest_path(spec, 0, spec.drop_state)
+        walk_b = _shortest_path(other, 0, other.drop_state)
+        while walk_a or walk_b:
+            for hops, sp, hd in ((walk_a, spec, "ha"), (walk_b, other, "hb")):
+                if hops:
+                    a, b = hops.pop(0)
+                    body.emit(f"{sp.module}.{sp.op(a, b)}({hd});")
+        body.emit(f"{spec.module}.drop(ha);")
+        body.emit(f"{other.module}.drop(hb);")
+        body.emit("return acc;")
+        return body.lines
+
+    _acquire(body, spec, "h", "K", "x")
+
+    if intent in ("switch_ok", "switch_bad") and spec.variant is not None:
+        _emit_walk(body, rng, cfg, spec, "h", "acc", 0, spec.probe_state)
+        body.open(f"switch ({spec.module}.ask(h))")
+        bad_arm = rng.randrange(len(spec.variant_ctors))
+        for i, (ctor, restored, payload) in enumerate(spec.variant_ctors):
+            pat = f"'{ctor}(code)" if payload else f"'{ctor}"
+            body.open(f"case {pat}:")
+            if payload:
+                body.emit("acc = acc + code;")
+            if intent == "switch_bad" and i == bad_arm:
+                # An operation legal from some *other* state than the
+                # one this constructor restored the key at.
+                wrong = [(a, b) for a, b in spec.transitions if a != restored]
+                if wrong:
+                    a, b = rng.choice(wrong)
+                    body.emit(f"{spec.module}.{spec.op(a, b)}(h);"
+                              "    // violation: key restored at "
+                              f"{spec.states[restored]}")
+            _emit_walk(body, rng, cfg, spec, "h", "acc",
+                       restored, spec.drop_state)
+            body.emit(f"{spec.module}.drop(h);")
+            body.emit("return acc;")
+            body.close()
+        body.close()
+        return body.lines
+
+    if intent == "wrong_state":
+        mid = rng.randrange(0, spec.drop_state)
+        _emit_walk(body, rng, cfg, spec, "h", "acc", 0, mid)
+        wrong = [(a, b) for a, b in spec.transitions if a != mid]
+        a, b = rng.choice(wrong) if wrong else spec.transitions[0]
+        body.emit(f"{spec.module}.{spec.op(a, b)}(h);"
+                  f"    // violation: key is at {spec.states[mid]}")
+        body.emit("return acc;")
+        return body.lines
+
+    if intent == "leak":
+        mid = rng.randrange(0, spec.drop_state + 1)
+        _emit_walk(body, rng, cfg, spec, "h", "acc", 0, mid)
+        body.emit("return acc;    // violation: h never dropped")
+        return body.lines
+
+    # The remaining intents all complete the protocol first.
+    _emit_walk(body, rng, cfg, spec, "h", "acc", 0, spec.drop_state)
+    body.emit(f"{spec.module}.drop(h);")
+    if intent == "double_drop":
+        body.emit(f"{spec.module}.drop(h);    // violation: dropped twice")
+    elif intent == "use_after_drop":
+        obs = spec.observers[0]
+        body.emit(f"acc = acc + {spec.module}.peek_{obs}(h);"
+                  "    // violation: key already consumed")
+    body.emit("return acc;")
+    return body.lines
+
+
+def _pick_intent(rng: random.Random, cfg: GenConfig,
+                 specs: Sequence[ProtocolSpec]) -> str:
+    if rng.random() < cfg.p_violation:
+        choices = list(VIOLATION_INTENTS)
+        if not any(s.variant for s in specs):
+            choices.remove("switch_bad")
+        return rng.choice(choices)
+    choices = ["ok", "switch_ok", "interleave"]
+    if not any(s.variant for s in specs):
+        choices.remove("switch_ok")
+    if len(specs) < 2:
+        choices.remove("interleave")
+    return rng.choice(choices)
+
+
+# ---------------------------------------------------------------------------
+# Whole units
+# ---------------------------------------------------------------------------
+
+def generate_program(seed: int,
+                     config: Optional[GenConfig] = None) -> GeneratedProgram:
+    """Generate one adversarial protocol program.
+
+    Deterministic: ``generate_program(s)`` always returns the same
+    bytes, and ``generate_program(s, cfg)`` the same for any fixed
+    ``cfg``.  When ``config`` is omitted it is itself drawn from the
+    seed, so a bare integer fully identifies a program.
+    """
+    rng = random.Random(seed)
+    cfg = config if config is not None else random_config(rng)
+
+    specs = tuple(_build_protocol(rng, i, cfg)
+                  for i in range(max(1, cfg.n_protocols)))
+
+    lines: List[str] = [
+        f"// generated by repro.testing.generate (seed={seed})",
+        "// adversarial protocol program: do not edit by hand",
+        "",
+    ]
+    for spec in specs:
+        _render_interface(spec, lines)
+        if cfg.near_miss:
+            _render_near_miss(spec, lines)
+
+    intents: List[str] = []
+    client_names: List[str] = []
+    for i in range(max(1, cfg.n_clients)):
+        intent = _pick_intent(rng, cfg, specs)
+        # switch intents silently degrade to plain walks when the
+        # chosen protocol has no variant; resolve that here so the
+        # recorded intent stays truthful.
+        if intent in ("switch_ok", "switch_bad"):
+            with_variant = [s for s in specs if s.variant is not None]
+            if not with_variant:
+                intent = "ok" if intent == "switch_ok" else "wrong_state"
+        name = f"client_{intent}_{i}"
+        client_names.append(name)
+        intents.append(intent)
+        chosen = specs
+        if intent in ("switch_ok", "switch_bad"):
+            chosen = tuple(s for s in specs if s.variant is not None)
+        lines.append(f"int {name}(int x) {{")
+        lines.extend(_gen_client(random.Random(rng.randrange(1 << 30)),
+                                 cfg, name, intent, chosen))
+        lines.append("}")
+        lines.append("")
+
+    for k in range(cfg.wide_fillers):
+        c1, c2 = rng.randint(2, 9), rng.randint(0, 99)
+        lines.append(f"int filler_{k}(int x) {{")
+        lines.append(f"    return (x * {c1} + {c2}) - (x / {c1 + 1});")
+        lines.append("}")
+        lines.append("")
+
+    lines.append("int main() {")
+    terms = " + ".join(f"{n}({i + 1})" for i, n in enumerate(client_names))
+    lines.append(f"    return {terms};")
+    lines.append("}")
+    lines.append("")
+
+    return GeneratedProgram(seed=seed, config=cfg,
+                            source="\n".join(lines),
+                            protocols=specs, intents=tuple(intents))

@@ -22,14 +22,13 @@ Regenerate after an intentional diagnostics change with::
 
 from __future__ import annotations
 
-import threading
 from pathlib import Path
 
 import pytest
 
 from repro import check_source
 from repro.pipeline import CheckSession, fork_available
-from repro.server import CheckServer, DaemonClient
+from repro.server import DaemonClient
 
 REPO = Path(__file__).resolve().parent.parent
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -105,6 +104,23 @@ def test_corpus_is_nonempty_and_golden_dir_has_no_strays(update_golden):
     assert actual == expected
 
 
+def test_update_golden_on_unchanged_tree_is_a_noop(tmp_path, update_golden):
+    """Regenerating the corpus from an unchanged tree must reproduce
+    ``tests/golden/`` exactly: same file set, same bytes.  Guards the
+    ``--update-golden`` round trip itself, not just each file."""
+    if update_golden:
+        pytest.skip("regeneration run")
+    for rel in CORPUS:
+        report = check_source(read_source(rel), filename=rel)
+        (tmp_path / golden_path(rel).name).write_text(
+            report_stdout(report, rel), encoding="utf-8")
+    regenerated = {p.name: p.read_text(encoding="utf-8")
+                   for p in tmp_path.glob("*.golden")}
+    pinned = {p.name: p.read_text(encoding="utf-8")
+              for p in GOLDEN_DIR.glob("*.golden")}
+    assert regenerated == pinned
+
+
 # ---------------------------------------------------------------------------
 # Parallel: forced through the worker pool
 # ---------------------------------------------------------------------------
@@ -141,24 +157,10 @@ def test_cached_output_matches_golden(tmp_path, update_golden):
 
 
 # ---------------------------------------------------------------------------
-# Daemon: over the wire
+# Daemon: over the wire (the in-thread daemon fixture lives in conftest)
 # ---------------------------------------------------------------------------
 
-@pytest.fixture(scope="module")
-def daemon_socket(tmp_path_factory):
-    sock = str(tmp_path_factory.mktemp("golden-daemon") / "d.sock")
-    server = CheckServer(socket_path=sock)
-    server.bind()
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        yield sock
-    finally:
-        server.request_stop()
-        thread.join(10)
-        server.close()
-
-
+@pytest.mark.daemon
 @pytest.mark.parametrize("rel", CORPUS)
 def test_daemon_output_matches_golden(rel, daemon_socket, update_golden):
     with DaemonClient(daemon_socket) as client:
@@ -202,6 +204,7 @@ def test_shared_cas_output_matches_golden(tmp_path, update_golden):
         reader_store.close()
 
 
+@pytest.mark.daemon
 def test_shared_remote_output_matches_golden(daemon_socket, update_golden):
     from repro.cache import open_store
 

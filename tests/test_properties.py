@@ -304,6 +304,8 @@ class _NeverRepliesServer:
             pass
 
 
+@pytest.mark.slow
+@pytest.mark.daemon
 @given(st.integers(1, 3), st.integers(0, 200))
 @settings(max_examples=10,
           suppress_health_check=[HealthCheck.too_slow],
@@ -322,3 +324,36 @@ def test_dead_daemon_falls_back_without_leaking(n, seed):
     assert outcome.render == local.render()
     if fds_before is not None:
         assert _open_fds() == fds_before, "fallback leaked fds"
+
+
+# ---------------------------------------------------------------------------
+# Adversarial generator determinism (repro.testing.generate).
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1))
+@SLOW
+def test_generator_is_deterministic_and_always_parses(seed):
+    from repro.testing import generate_program
+    program = generate_program(seed)
+    again = generate_program(seed)
+    assert program.source == again.source, \
+        "same seed must reproduce byte-identical program text"
+    assert program.intents == again.intents
+    # Every generated program is a valid unit: it parses, resolves and
+    # type-checks — only *protocol* (V03xx) diagnostics are allowed.
+    report = check_source(program.source, filename=f"gen-{seed}.vlt")
+    offending = [c.value for c in report.codes()
+                 if not c.value.startswith("V03")]
+    assert not offending, (
+        f"seed {seed} produced non-protocol diagnostics {offending}:\n"
+        f"{report.render()}")
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(0, 10_000))
+@SLOW
+def test_derived_seeds_replay_exactly(seed, index):
+    from repro.testing import derive_seed, generate_program
+    program_seed = derive_seed(seed, index)
+    assert derive_seed(seed, index) == program_seed
+    assert (generate_program(program_seed).source
+            == generate_program(program_seed).source)

@@ -43,15 +43,17 @@ from repro.server import (CheckServer, DaemonClient, DaemonUnavailable,
 from repro.server.daemon import _Request, coalesce_group
 from repro.server.watch import Watcher
 
+from conftest import (REPO, ScriptedDaemon as _ScriptedDaemon,
+                      ServerHandle as _ServerHandle, needs_unix,
+                      spawn_daemon as _spawn_daemon,
+                      start_server as _start_server, vaultc as _vaultc)
 from test_resilience import _open_fds
 
-REPO = Path(__file__).resolve().parent.parent
+pytestmark = pytest.mark.daemon
+
 OK_SOURCE = (REPO / "examples" / "region_demo.vlt").read_text()
 BAD_SOURCE = "void f() { Region.delete(r); }\n"
 SYNTAX_CRASH = "int f( {"
-
-needs_unix = pytest.mark.skipif(
-    not hasattr(socket_mod, "AF_UNIX"), reason="needs AF_UNIX sockets")
 
 
 # ---------------------------------------------------------------------------
@@ -144,30 +146,8 @@ class TestCoalescing:
 
 
 # ---------------------------------------------------------------------------
-# In-thread daemon
+# In-thread daemon (helpers shared via conftest)
 # ---------------------------------------------------------------------------
-
-class _ServerHandle:
-    def __init__(self, server: CheckServer, thread: threading.Thread):
-        self.server = server
-        self.thread = thread
-        self.socket_path = server.socket_path
-
-    def stop(self):
-        self.server.request_stop()
-        self.thread.join(10)
-        self.server.close()
-
-
-def _start_server(tmp_path, **kwargs) -> _ServerHandle:
-    sock = str(tmp_path / "daemon.sock")
-    kwargs.setdefault("telemetry", Telemetry(metrics=True))
-    server = CheckServer(socket_path=sock, **kwargs)
-    server.bind()
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    return _ServerHandle(server, thread)
-
 
 @needs_unix
 class TestDaemon:
@@ -406,43 +386,8 @@ class TestDaemon:
 # Subprocess daemon: signals, death mid-request, CLI byte identity
 # ---------------------------------------------------------------------------
 
-def _spawn_daemon(sock: str, *extra: str, test_ops: bool = False,
-                  jobs: str = "1") -> subprocess.Popen:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
-        env.get("PYTHONPATH", "")
-    if test_ops:
-        env["VAULTC_SERVER_TEST_OPS"] = "1"
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
-         "--jobs", jobs, *extra],
-        cwd=str(REPO), env=env,
-        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
-    deadline = time.monotonic() + 20
-    while time.monotonic() < deadline:
-        try:
-            with DaemonClient(sock) as client:
-                client.ping()
-            return proc
-        except DaemonUnavailable:
-            if proc.poll() is not None:
-                raise AssertionError(
-                    f"daemon exited early with rc={proc.returncode}")
-            time.sleep(0.05)
-    proc.kill()
-    raise AssertionError("daemon never became ready")
-
-
-def _vaultc(args, cwd=REPO):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
-        env.get("PYTHONPATH", "")
-    return subprocess.run(
-        [sys.executable, "-m", "repro.cli", *args],
-        cwd=str(cwd), env=env, capture_output=True, text=True)
-
-
 @needs_unix
+@pytest.mark.slow
 class TestDaemonProcess:
     def test_sigterm_exits_cleanly_and_unlinks(self, tmp_path):
         sock = str(tmp_path / "term.sock")
@@ -1017,68 +962,8 @@ class TestAdmissionControl:
 # Client resilience: timeouts, retry, backoff
 # ---------------------------------------------------------------------------
 
-class _ScriptedDaemon:
-    """A minimal fake daemon: each incoming request consumes the next
-    script step.  Steps: a dict (reply it), ``"close"`` (EOF without
-    replying), ``"hang"`` (hold the connection open, never reply)."""
-
-    def __init__(self, path, script):
-        self.path = path
-        self.script = list(script)
-        self._listener = socket_mod.socket(socket_mod.AF_UNIX,
-                                           socket_mod.SOCK_STREAM)
-        self._listener.bind(path)
-        self._listener.listen(8)
-        self.requests = []
-        self._threads = []
-        self._stop = False
-        self._accept = threading.Thread(target=self._loop, daemon=True)
-        self._accept.start()
-
-    def _loop(self):
-        while not self._stop:
-            try:
-                sock, _ = self._listener.accept()
-            except OSError:
-                return
-            t = threading.Thread(target=self._serve, args=(sock,),
-                                 daemon=True)
-            self._threads.append(t)
-            t.start()
-
-    def _serve(self, sock):
-        try:
-            while True:
-                frame = recv_frame(sock)
-                if frame is None:
-                    return
-                self.requests.append(frame)
-                step = self.script.pop(0) if self.script else "close"
-                if step == "close":
-                    return
-                if step == "hang":
-                    sock.settimeout(10)
-                    try:
-                        sock.recv(1)         # block until client quits
-                    except OSError:
-                        pass
-                    return
-                send_frame(sock, step)
-        except (OSError, ProtocolError):
-            return
-        finally:
-            sock.close()
-
-    def close(self):
-        self._stop = True
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        self._accept.join(2)
-
-
 @needs_unix
+@pytest.mark.slow
 class TestClientResilience:
     def test_backoff_delay_grows_exponentially(self):
         from repro.server.client import BACKOFF_BASE_SECONDS, backoff_delay
@@ -1272,6 +1157,7 @@ class TestSupervisorPolicy:
 
 
 @needs_unix
+@pytest.mark.slow
 class TestSupervisedDaemon:
     def test_supervised_daemon_survives_sigkill(self, tmp_path):
         sock = str(tmp_path / "sup.sock")
@@ -1307,6 +1193,7 @@ class TestSupervisedDaemon:
 # ---------------------------------------------------------------------------
 
 @needs_unix
+@pytest.mark.slow
 class TestChaosProxy:
     @pytest.fixture()
     def stack(self, tmp_path):
@@ -1361,6 +1248,7 @@ class TestChaosProxy:
 
 
 @needs_unix
+@pytest.mark.slow
 class TestRetryNeverDuplicates:
     """Property: whatever single wire fault hits the first attempt,
     the client's bounded retry yields exactly the in-process
